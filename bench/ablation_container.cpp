@@ -1,0 +1,91 @@
+// Ablation H — execution-environment provisioning vs application start-up.
+//
+// Section 2: the cold start = (1) provisioning the VM/container + (2)
+// starting the function application, and "as containerization or
+// virtualization techniques are optimized to decrease start-up time
+// [16,19,23], applications' start-up time will become a more evident
+// problem". This ablation sweeps the container provisioning cost from
+// classic-docker (~100 ms) down to microVM-class (~5 ms) and shows the
+// application share of the cold start — and therefore prebaking's leverage —
+// growing exactly as the paper argues.
+#include <cstdio>
+
+#include "exp/calibration.hpp"
+#include "exp/report.hpp"
+#include "faas/platform.hpp"
+
+using namespace prebake;
+
+namespace {
+
+double cold_start_ms(bool prebaked, const os::ContainerCosts& costs) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  faas::PlatformConfig cfg;
+  cfg.containerized = true;
+  cfg.container_costs = costs;
+  faas::Platform platform{kernel, exp::testbed_runtime(), cfg, 77};
+  platform.resources().add_node("n", 8ull << 30);
+  platform.deploy(exp::markdown_spec(),
+                  prebaked ? faas::StartMode::kPrebaked
+                           : faas::StartMode::kVanilla,
+                  core::SnapshotPolicy::warmup(1));
+  double total = 0;
+  bool done = false;
+  platform.invoke("markdown-render", funcs::sample_request("markdown"),
+                  [&](const funcs::Response&, const faas::RequestMetrics& m) {
+                    total = m.total.to_millis();
+                    done = true;
+                  });
+  while (!done && sim.step()) {
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation H: container provisioning vs application "
+              "start-up ==\n\n");
+
+  struct Sandbox {
+    const char* label;
+    double network_ms;   // the classic dominant term
+    double ns_ms, cgroup_ms, mount_ms;
+  };
+  const Sandbox sandboxes[] = {
+      {"docker-classic", 90.0, 4.0, 3.0, 1.5},
+      {"docker-tuned", 30.0, 3.0, 2.0, 1.0},
+      {"sock-like [19]", 8.0, 1.0, 0.8, 0.3},
+      {"microvm-like [1]", 3.0, 0.8, 0.4, 0.2},
+  };
+
+  exp::TextTable table{{"Sandbox", "Provisioning", "Cold (vanilla)",
+                        "Cold (prebaked)", "App share", "Prebake cuts"}};
+  for (const Sandbox& s : sandboxes) {
+    os::ContainerCosts costs;
+    costs.network_setup = sim::Duration::millis_f(s.network_ms);
+    costs.namespace_setup = sim::Duration::millis_f(s.ns_ms);
+    costs.cgroup_setup = sim::Duration::millis_f(s.cgroup_ms);
+    costs.mount_per_layer = sim::Duration::millis_f(s.mount_ms);
+
+    const double provisioning = costs.provisioning_total(2).to_millis();
+    const double vanilla = cold_start_ms(false, costs);
+    const double prebaked = cold_start_ms(true, costs);
+    const double app_share = (vanilla - provisioning) / vanilla;
+
+    char share[16], cuts[16];
+    std::snprintf(share, sizeof share, "%.0f%%", app_share * 100.0);
+    std::snprintf(cuts, sizeof cuts, "%.0f%%",
+                  (1.0 - prebaked / vanilla) * 100.0);
+    table.add_row({s.label, exp::fmt_ms(provisioning), exp::fmt_ms(vanilla),
+                   exp::fmt_ms(prebaked), share, cuts});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Shape: the faster the sandbox, the larger the application share of\n"
+      "the cold start — and the larger the fraction prebaking eliminates.\n"
+      "With classic docker the runtime is ~half the story; in a microVM\n"
+      "world it is nearly all of it (the paper's Section 2 argument).\n");
+  return 0;
+}

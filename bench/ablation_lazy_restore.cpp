@@ -1,0 +1,74 @@
+// Ablation F — eager vs lazy-pages (post-copy) restore.
+//
+// CRIU can defer page contents to a userfaultfd server, trading restore
+// latency for first-touch faults — the direction later snapshot systems
+// (e.g. record-and-prefetch working sets) push further. This ablation sweeps
+// the eagerly restored working-set fraction for a large (resizer-class)
+// snapshot and reports: time-to-ready, time to page in the remainder, and
+// the break-even against an eager restore.
+#include <cstdio>
+
+#include "criu/dump.hpp"
+#include "criu/restore.hpp"
+#include "exp/calibration.hpp"
+#include "exp/report.hpp"
+
+using namespace prebake;
+
+int main() {
+  std::printf("== Ablation F: lazy-pages restore (working-set fraction sweep) "
+              "==\n\n");
+
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  kernel.fs().create("/bin/app", 2 * 1024 * 1024);
+
+  // A 100 MiB-class process, like the Image Resizer snapshot.
+  const os::Pid pid = kernel.clone_process(os::kNoPid);
+  kernel.exec(pid, "/bin/app", {"/bin/app"});
+  const os::VmaId heap = kernel.mmap(pid, 100ull * 1024 * 1024,
+                                     os::Prot::kReadWrite, os::VmaKind::kAnon,
+                                     "[heap]",
+                                     std::make_shared<os::PatternSource>(3),
+                                     false);
+  kernel.fault_in_all(pid, heap);
+  criu::DumpOptions dopts;
+  dopts.fs_prefix = "/snap/lazy/";
+  const criu::DumpResult dump = criu::Dumper{kernel}.dump(pid, dopts);
+
+  exp::TextTable table{{"Eager fraction", "Time to ready", "Deferred pages",
+                        "Page-in remainder", "Ready + full page-in"}};
+  for (const double fraction : {1.0, 0.5, 0.25, 0.1, 0.05, 0.0}) {
+    criu::RestoreOptions opts;
+    opts.fs_prefix = "/snap/lazy/";
+    opts.lazy_pages = fraction < 1.0;
+    opts.lazy_working_set = fraction;
+
+    const sim::TimePoint t0 = sim.now();
+    const criu::RestoreResult r = criu::Restorer{kernel}.restore(dump.images, opts);
+    const double ready_ms = (sim.now() - t0).to_millis();
+
+    double page_in_ms = 0.0;
+    std::uint64_t deferred = 0;
+    if (r.lazy_server != nullptr) {
+      deferred = r.lazy_server->pending_pages();
+      const sim::TimePoint t1 = sim.now();
+      r.lazy_server->page_in_all();
+      page_in_ms = (sim.now() - t1).to_millis();
+    }
+    kernel.kill_process(r.pid);
+    kernel.reap(r.pid);
+
+    char frac[16];
+    std::snprintf(frac, sizeof frac, "%.0f%%", fraction * 100.0);
+    table.add_row({frac, exp::fmt_ms(ready_ms), std::to_string(deferred),
+                   exp::fmt_ms(page_in_ms), exp::fmt_ms(ready_ms + page_in_ms)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Shape: time-to-ready shrinks with the eager fraction, but the uffd\n"
+      "round trip (~9 us/page) makes fully-lazy total cost exceed the eager\n"
+      "restore — lazy restore pays off only when most pages are never\n"
+      "touched again, e.g. short-lived invocations over large heaps.\n");
+  return 0;
+}

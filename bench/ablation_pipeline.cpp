@@ -1,0 +1,84 @@
+// Ablation E — cold-start amplification in function pipelines.
+//
+// The SPEC-RG architecture's Workflow Management layer composes functions;
+// a freshly scaled N-stage pipeline pays N sequential replica start-ups on
+// its critical path, so the per-replica savings of prebaking multiply with
+// composition depth. Sweeps pipeline depth and reports the end-to-end cold
+// and warm latencies for Vanilla vs PB-Warmup stages.
+#include <cstdio>
+
+#include "exp/calibration.hpp"
+#include "exp/report.hpp"
+#include "faas/workflow.hpp"
+
+using namespace prebake;
+
+namespace {
+
+struct PipelineTimes {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  std::uint32_t cold_starts = 0;
+};
+
+PipelineTimes run_pipeline(faas::StartMode mode, int depth) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  faas::Platform platform{kernel, exp::testbed_runtime(),
+                          faas::PlatformConfig{}, 1234};
+  platform.resources().add_node("n", 32ull << 30);
+  faas::WorkflowEngine engine{platform};
+
+  faas::WorkflowSpec spec;
+  spec.name = "pipeline";
+  for (int i = 0; i < depth; ++i) {
+    rt::FunctionSpec fn = exp::markdown_spec();
+    fn.name = "stage-" + std::to_string(i);
+    platform.deploy(std::move(fn), mode, core::SnapshotPolicy::warmup(1));
+    spec.stages.push_back("stage-" + std::to_string(i));
+  }
+  engine.register_workflow(std::move(spec));
+
+  auto run_once = [&](PipelineTimes& out, bool cold) {
+    bool done = false;
+    engine.run("pipeline", funcs::sample_request("markdown"),
+               [&](const funcs::Response& res, const faas::WorkflowMetrics& m) {
+                 if (!res.ok()) std::abort();
+                 (cold ? out.cold_ms : out.warm_ms) = m.total.to_millis();
+                 if (cold) out.cold_starts = m.cold_starts;
+                 done = true;
+               });
+    while (!done && sim.step()) {
+    }
+  };
+
+  PipelineTimes out;
+  run_once(out, /*cold=*/true);
+  run_once(out, /*cold=*/false);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation E: pipeline depth vs end-to-end cold start ==\n\n");
+
+  exp::TextTable table{{"Depth", "Vanilla cold", "Prebaked cold", "Saved",
+                        "Vanilla warm", "Prebaked warm"}};
+  for (const int depth : {1, 2, 3, 4, 6}) {
+    const PipelineTimes vanilla = run_pipeline(faas::StartMode::kVanilla, depth);
+    const PipelineTimes prebaked = run_pipeline(faas::StartMode::kPrebaked, depth);
+    char saved[32];
+    std::snprintf(saved, sizeof saved, "%.0f ms",
+                  vanilla.cold_ms - prebaked.cold_ms);
+    table.add_row({std::to_string(depth), exp::fmt_ms(vanilla.cold_ms),
+                   exp::fmt_ms(prebaked.cold_ms), saved,
+                   exp::fmt_ms(vanilla.warm_ms), exp::fmt_ms(prebaked.warm_ms)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shape: the absolute saving grows linearly with pipeline depth"
+              " (each stage's\nstart-up sits on the critical path); warm "
+              "latencies are identical, consistent\nwith Figure 7's "
+              "no-post-restore-penalty result.\n");
+  return 0;
+}

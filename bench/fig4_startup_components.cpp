@@ -1,0 +1,107 @@
+// Figure 4 — Application start-up components (CLONE, EXEC, RTS, APPINIT)
+// stacked as part of the overall start-up time, for both techniques. The
+// paper's observations to reproduce: CLONE+EXEC are a tiny fraction; Vanilla
+// RTS is ~70 ms for every function; prebaking brings RTS to 0 and the
+// remaining APPINIT scales with snapshot size (NOOP 13 MB, Markdown 14 MB,
+// Image Resizer 99.2 MB).
+#include <cstdio>
+
+#include "exp/calibration.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace prebake;
+
+namespace {
+
+struct Phases {
+  double clone_ms = 0, exec_ms = 0, rts_ms = 0, appinit_ms = 0, total_ms = 0;
+};
+
+Phases mean_phases(const exp::ScenarioResult& result) {
+  Phases p;
+  for (const core::StartupBreakdown& b : result.breakdowns) {
+    p.clone_ms += b.clone_time.to_millis();
+    p.exec_ms += b.exec_time.to_millis();
+    p.rts_ms += b.rts_time.to_millis();
+    p.appinit_ms += b.appinit_stacked().to_millis();
+    p.total_ms += b.total.to_millis();
+  }
+  const auto n = static_cast<double>(result.breakdowns.size());
+  p.clone_ms /= n;
+  p.exec_ms /= n;
+  p.rts_ms /= n;
+  p.appinit_ms /= n;
+  p.total_ms /= n;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 4: start-up phase breakdown (mean of 200 reps) ==\n\n");
+
+  struct Fn {
+    const char* label;
+    rt::FunctionSpec spec;
+  };
+  const Fn fns[] = {
+      {"NOOP", exp::noop_spec()},
+      {"Markdown", exp::markdown_spec()},
+      {"ImageResizer", exp::image_resizer_spec()},
+  };
+
+  exp::TextTable table{{"Function", "Technique", "CLONE", "EXEC", "RTS",
+                        "APPINIT", "Total", "Snapshot"}};
+  double max_total = 0.0;
+  struct Row {
+    std::string label;
+    Phases phases;
+  };
+  std::vector<Row> rows;
+
+  for (const Fn& fn : fns) {
+    for (const exp::Technique tech :
+         {exp::Technique::kVanilla, exp::Technique::kPrebakeNoWarmup}) {
+      exp::ScenarioConfig cfg;
+      cfg.spec = fn.spec;
+      cfg.technique = tech;
+      cfg.repetitions = 200;
+      cfg.seed = 42;
+      const exp::ScenarioResult result = exp::run_startup_scenario(cfg);
+      const Phases p = mean_phases(result);
+      max_total = std::max(max_total, p.total_ms);
+      table.add_row({fn.label, exp::technique_name(tech),
+                     exp::fmt_ms(p.clone_ms), exp::fmt_ms(p.exec_ms),
+                     exp::fmt_ms(p.rts_ms), exp::fmt_ms(p.appinit_ms),
+                     exp::fmt_ms(p.total_ms),
+                     result.snapshot_nominal_bytes == 0
+                         ? "-"
+                         : exp::fmt_mib(result.snapshot_nominal_bytes)});
+      rows.push_back(
+          {std::string(fn.label) + "/" + exp::technique_name(tech), p});
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Stacked view (c=CLONE+EXEC, R=RTS, A=APPINIT):\n");
+  for (const Row& row : rows) {
+    const int width = 60;
+    auto cols = [&](double ms) {
+      return static_cast<int>(ms / max_total * width + 0.5);
+    };
+    std::string bar;
+    bar += std::string(static_cast<std::size_t>(
+                           cols(row.phases.clone_ms + row.phases.exec_ms)),
+                       'c');
+    bar += std::string(static_cast<std::size_t>(cols(row.phases.rts_ms)), 'R');
+    bar += std::string(static_cast<std::size_t>(cols(row.phases.appinit_ms)), 'A');
+    std::printf("  %-26s |%-60s| %7.2f ms\n", row.label.c_str(), bar.c_str(),
+                row.phases.total_ms);
+  }
+  std::printf("\nPaper: CLONE and EXEC contribute a tiny fraction; Vanilla RTS"
+              " ~70 ms for all functions; prebaking brings RTS to 0 ms.\n");
+  return 0;
+}

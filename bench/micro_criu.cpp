@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the checkpoint/restore engine:
+// image encode/decode throughput, CRC32, page-source generation, pagemap
+// walks, and full dump/restore cycles of the simulated engine (host-side
+// cost of the simulation itself, useful for keeping the harness fast).
+#include <benchmark/benchmark.h>
+
+#include "criu/crc32.hpp"
+#include "criu/dump.hpp"
+#include "criu/restore.hpp"
+#include "exp/calibration.hpp"
+
+using namespace prebake;
+
+namespace {
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(criu::crc32(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_PatternSourceFill(benchmark::State& state) {
+  const os::PatternSource src{42};
+  std::array<std::uint8_t, os::kPageSize> buf{};
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    src.fill(page++, std::span<std::uint8_t, os::kPageSize>{buf});
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(os::kPageSize));
+}
+BENCHMARK(BM_PatternSourceFill);
+
+void BM_PageDigest(benchmark::State& state) {
+  const os::PatternSource src{42};
+  std::uint64_t page = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(src.page_digest(page++));
+}
+BENCHMARK(BM_PageDigest);
+
+void BM_EncodeDecodePagemap(benchmark::State& state) {
+  std::vector<criu::PagemapEntry> entries;
+  for (int i = 0; i < state.range(0); ++i)
+    entries.push_back(criu::PagemapEntry{static_cast<os::VmaId>(i % 7),
+                                         static_cast<std::uint64_t>(i) * 16, 8});
+  for (auto _ : state) {
+    const auto img = criu::encode_pagemap(entries);
+    benchmark::DoNotOptimize(criu::decode_pagemap(img));
+  }
+}
+BENCHMARK(BM_EncodeDecodePagemap)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_KernelPagemapWalk(benchmark::State& state) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim};
+  kernel.fs().create("/bin/app", 1024 * 1024);
+  const os::Pid pid = kernel.clone_process(os::kNoPid);
+  kernel.exec(pid, "/bin/app", {"/bin/app"});
+  const os::VmaId heap = kernel.mmap(
+      pid, static_cast<std::uint64_t>(state.range(0)) * os::kPageSize,
+      os::Prot::kReadWrite, os::VmaKind::kAnon, "[heap]",
+      std::make_shared<os::PatternSource>(1), false);
+  kernel.fault_in_all(pid, heap);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kernel.pagemap(pid));
+}
+BENCHMARK(BM_KernelPagemapWalk)->Arg(1024)->Arg(16384);
+
+void BM_FullDump(benchmark::State& state) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  kernel.fs().create("/bin/app", 1024 * 1024);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const os::Pid pid = kernel.clone_process(os::kNoPid);
+    kernel.exec(pid, "/bin/app", {"/bin/app"});
+    const os::VmaId heap = kernel.mmap(
+        pid, static_cast<std::uint64_t>(state.range(0)) * 1024 * 1024,
+        os::Prot::kReadWrite, os::VmaKind::kAnon, "[heap]",
+        std::make_shared<os::PatternSource>(1), false);
+    kernel.fault_in_all(pid, heap);
+    state.ResumeTiming();
+    criu::DumpResult dump = criu::Dumper{kernel}.dump(pid);
+    benchmark::DoNotOptimize(dump);
+  }
+}
+BENCHMARK(BM_FullDump)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_FullRestore(benchmark::State& state) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  kernel.fs().create("/bin/app", 1024 * 1024);
+  const os::Pid pid = kernel.clone_process(os::kNoPid);
+  kernel.exec(pid, "/bin/app", {"/bin/app"});
+  const os::VmaId heap = kernel.mmap(
+      pid, static_cast<std::uint64_t>(state.range(0)) * 1024 * 1024,
+      os::Prot::kReadWrite, os::VmaKind::kAnon, "[heap]",
+      std::make_shared<os::PatternSource>(1), false);
+  kernel.fault_in_all(pid, heap);
+  const criu::DumpResult dump = criu::Dumper{kernel}.dump(pid);
+  for (auto _ : state) {
+    const criu::RestoreResult r = criu::Restorer{kernel}.restore(dump.images);
+    state.PauseTiming();
+    kernel.kill_process(r.pid);
+    kernel.reap(r.pid);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_FullRestore)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table 1 — start-up time intervals (ms) for functions with small, medium
+// and big code bases under Vanilla, PB-NOWarmup and PB-Warmup; 95%
+// bootstrap CIs over 200 repetitions, exactly as the paper reports.
+#include <cstdio>
+
+#include "exp/calibration.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "stats/bootstrap.hpp"
+
+using namespace prebake;
+
+namespace {
+
+stats::Interval run_cell(exp::SynthSize size, exp::Technique tech) {
+  exp::ScenarioConfig cfg;
+  cfg.spec = exp::synthetic_spec(size);
+  cfg.technique = tech;
+  cfg.repetitions = 200;
+  cfg.measure_first_response = true;
+  cfg.seed = 42;
+  const exp::ScenarioResult result = exp::run_startup_scenario(cfg);
+  return stats::bootstrap_median_ci(result.startup_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 1: start-up time intervals (ms), 95%% confidence, "
+              "200 reps ==\n\n");
+
+  // The paper's reported intervals for side-by-side comparison.
+  const char* paper[3][3] = {
+      {"(219.25;220.32)", "(172.12;172.80)", "(54.06;54.75)"},
+      {"(455.45;456.64)", "(360.51;361.24)", "(63.46;63.99)"},
+      {"(1619.91;1622.08)", "(1339.90;1340.98)", "(83.62;84.35)"},
+  };
+
+  exp::TextTable table{{"Size", "Vanilla", "PB-NOWarmup", "PB-Warmup", "Source"}};
+  const exp::SynthSize sizes[] = {exp::SynthSize::kSmall,
+                                  exp::SynthSize::kMedium,
+                                  exp::SynthSize::kBig};
+  for (int i = 0; i < 3; ++i) {
+    const auto vanilla = run_cell(sizes[i], exp::Technique::kVanilla);
+    const auto nowarm = run_cell(sizes[i], exp::Technique::kPrebakeNoWarmup);
+    const auto warm = run_cell(sizes[i], exp::Technique::kPrebakeWarmup);
+    table.add_row({exp::synth_size_name(sizes[i]), exp::fmt_interval(vanilla),
+                   exp::fmt_interval(nowarm), exp::fmt_interval(warm),
+                   "measured"});
+    table.add_row({exp::synth_size_name(sizes[i]), paper[i][0], paper[i][1],
+                   paper[i][2], "paper"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("PB-Warmup grows only ~30 ms from small to big (snapshot read),"
+              "\nwhile Vanilla grows ~1400 ms (class loading + JIT).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Autoscaling under a step load: how much does prebaking soften the
+// scale-up penalty when demand suddenly grows (the cold-start case the
+// paper's Figure 1 describes — "whenever the FaaS platform policy decides
+// to scale the function up to address a demand growth").
+//
+//   build/examples/autoscale_burst
+//
+// A markdown-rendering service receives a low background rate, then a step
+// to a much higher rate. Every additional replica the platform spins up is
+// a cold start; the example compares the user-visible latency of the two
+// start techniques during the step.
+#include <cstdio>
+
+#include "exp/calibration.hpp"
+#include "exp/report.hpp"
+#include "faas/platform.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace prebake;
+
+namespace {
+
+struct PhaseStats {
+  std::vector<double> steady_ms;
+  std::vector<double> surge_ms;
+  int surge_cold = 0;
+};
+
+PhaseStats drive(faas::Platform& platform, const std::string& fn) {
+  PhaseStats out;
+  sim::Simulation& sim = platform.kernel().sim();
+  const funcs::Request req = funcs::sample_request("markdown");
+  const sim::TimePoint t0 = sim.now();
+
+  // Phase 1 (steady): one request every 200 ms for 20 s — a single replica
+  // keeps up.
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(t0 + sim::Duration::millis(200) * static_cast<double>(i), [&, fn] {
+      platform.invoke(fn, req,
+                      [&](const funcs::Response&, const faas::RequestMetrics& m) {
+                        out.steady_ms.push_back(m.total.to_millis());
+                      });
+    });
+  }
+  // Phase 2 (surge): at t=25 s, 60 requests arrive at 1 ms spacing — well
+  // above what one replica (≈3 ms/request) can absorb, so the platform must
+  // scale out and every new replica start is on the critical path.
+  const sim::TimePoint surge = t0 + sim::Duration::seconds(25);
+  for (int i = 0; i < 60; ++i) {
+    sim.schedule_at(surge + sim::Duration::millis(1) * static_cast<double>(i), [&, fn] {
+      platform.invoke(fn, req,
+                      [&](const funcs::Response&, const faas::RequestMetrics& m) {
+                        out.surge_ms.push_back(m.total.to_millis());
+                        if (m.cold_start) ++out.surge_cold;
+                      });
+    });
+  }
+  sim.run_until(surge + sim::Duration::seconds(120));
+  return out;
+}
+
+void report(const char* label, const PhaseStats& s) {
+  const auto steady = stats::summarize(s.steady_ms);
+  const auto surge = stats::summarize(s.surge_ms);
+  std::printf("%-18s steady p50=%6.1f p95=%6.1f | surge p50=%6.1f p95=%6.1f "
+              "max=%6.1f ms (cold starts: %d)\n",
+              label, steady.median, steady.p95, surge.median, surge.p95,
+              surge.max, s.surge_cold);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== autoscale step-load: Vanilla vs PB-Warmup scale-out ==\n\n");
+
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  faas::PlatformConfig cfg;
+  cfg.idle_timeout = sim::Duration::seconds(60);
+  faas::Platform platform{kernel, exp::testbed_runtime(), cfg, 7};
+  platform.resources().add_node("node-1", 16ull << 30);
+
+  rt::FunctionSpec vanilla_fn = exp::markdown_spec();
+  vanilla_fn.name = "md-vanilla";
+  platform.deploy(vanilla_fn, faas::StartMode::kVanilla);
+  rt::FunctionSpec prebaked_fn = exp::markdown_spec();
+  prebaked_fn.name = "md-prebaked";
+  platform.deploy(prebaked_fn, faas::StartMode::kPrebaked,
+                  core::SnapshotPolicy::warmup(1));
+
+  const PhaseStats vanilla = drive(platform, "md-vanilla");
+  const PhaseStats prebaked = drive(platform, "md-prebaked");
+
+  report("md-vanilla", vanilla);
+  report("md-prebaked", prebaked);
+
+  const double v95 = stats::percentile(vanilla.surge_ms, 0.95);
+  const double p95 = stats::percentile(prebaked.surge_ms, 0.95);
+  std::printf("\nsurge p95 improvement from prebaking: %.0f%%\n",
+              (1.0 - p95 / v95) * 100.0);
+  std::printf("replicas started in total: %llu\n",
+              static_cast<unsigned long long>(platform.stats().replicas_started));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// OpenFaaS-style deployment walkthrough (paper Section 5): the faas-cli
+// new / build / push / deploy pipeline with a CRIU template, narrated step
+// by step.
+//
+//   build/examples/openfaas_deploy
+#include <cstdio>
+
+#include "exp/calibration.hpp"
+#include "openfaas/deployment.hpp"
+
+using namespace prebake;
+
+int main() {
+  std::printf("== OpenFaaS + prebaking walkthrough ==\n\n");
+
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  openfaas::ProviderConfig provider;
+  provider.orchestrator = "kubernetes";
+  provider.allow_privileged = true;
+  openfaas::Deployment d{kernel, exp::testbed_runtime(), provider};
+
+  std::printf("$ faas-cli template ls\n");
+  for (const std::string& name : d.templates().names())
+    std::printf("    %-18s criu=%s\n", name.c_str(),
+                d.templates().get(name).uses_criu ? "yes" : "no");
+
+  std::printf("\n$ faas-cli new resizer --lang java8-criu-warm\n");
+  const openfaas::FunctionProject project =
+      d.new_function("resizer", "java8-criu-warm", exp::image_resizer_spec());
+  std::printf("    project created (runtime %s)\n",
+              project.spec.runtime_binary.c_str());
+
+  std::printf("\n$ faas-cli build -f resizer.yml   # privileged buildx\n");
+  openfaas::ContainerImage image = d.build(project);
+  std::printf("    layers: base %.1f MiB + function %.1f MiB + snapshot "
+              "%.1f MiB (warmed with %u request)\n",
+              image.base_layer_bytes / 1048576.0,
+              image.function_layer_bytes / 1048576.0,
+              image.snapshot_layer_bytes / 1048576.0, image.warmup_requests);
+
+  std::printf("\n$ faas-cli push -f resizer.yml\n");
+  d.push(std::move(image));
+  std::printf("    pushed %zu image(s) to the registry\n", d.repository().size());
+
+  std::printf("\n$ faas-cli deploy -f resizer.yml\n");
+  d.deploy("resizer");
+  std::printf("    deployed behind the gateway\n");
+
+  std::printf("\n$ curl -d @photo http://gateway:8080/function/resizer\n");
+  funcs::Response res;
+  const openfaas::InvocationRecord cold =
+      d.invoke("resizer", funcs::sample_request("image-resizer"), &res);
+  std::printf("    HTTP %d in %.1f ms (cold start; watchdog ran criu "
+              "restore in %.1f ms)\n",
+              cold.status, cold.total.to_millis(), cold.startup.to_millis());
+
+  const openfaas::InvocationRecord warm =
+      d.invoke("resizer", funcs::sample_request("image-resizer"));
+  std::printf("    HTTP %d in %.1f ms (warm replica)\n", warm.status,
+              warm.total.to_millis());
+
+  std::printf("\n$ faas-cli scale resizer --replicas 3\n");
+  d.scale("resizer", 3);
+  std::printf("    %u ready replicas (each restored from the image's "
+              "snapshot layer)\n",
+              d.ready_replicas("resizer"));
+  return 0;
+}

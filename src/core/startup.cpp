@@ -1,0 +1,141 @@
+#include "core/startup.hpp"
+
+#include <stdexcept>
+
+namespace prebake::core {
+
+StartupService::StartupService(os::Kernel& kernel, rt::RuntimeCosts costs,
+                               funcs::SharedAssets& assets)
+    : kernel_{&kernel}, costs_{std::move(costs)}, assets_{&assets} {
+  // The launcher models the platform-side parent (watchdog / deployer agent)
+  // that fork-execs replicas. It holds the privileges CRIU needs.
+  launcher_ = kernel_->clone_process(os::kNoPid);
+  os::Process& launcher = kernel_->process(launcher_);
+  launcher.set_name("replica-launcher");
+  launcher.grant(os::Cap::kSysPtrace | os::Cap::kCheckpointRestore);
+}
+
+ReplicaProcess StartupService::start_vanilla(const rt::FunctionSpec& spec,
+                                             sim::Rng rng) {
+  os::Kernel& k = *kernel_;
+  ReplicaProcess rep;
+  const sim::TimePoint t0 = k.sim().now();
+
+  // CLONE
+  rep.pid = k.clone_process(launcher_);
+  const sim::TimePoint t_clone = k.sim().now();
+
+  // EXEC
+  k.exec(rep.pid, spec.runtime_binary, {spec.runtime_binary, spec.name});
+  const sim::TimePoint t_exec = k.sim().now();
+
+  // RTS + APPINIT
+  rep.runtime = std::make_unique<rt::ManagedRuntime>(k, rep.pid, costs_, spec,
+                                                     std::move(rng));
+  rep.runtime->bootstrap();
+  rep.runtime->app_init(*assets_);
+  const sim::TimePoint t_ready = k.sim().now();
+
+  rep.breakdown.clone_time = t_clone - t0;
+  rep.breakdown.exec_time = t_exec - t_clone;
+  rep.breakdown.rts_time = rep.runtime->rts_time();
+  rep.breakdown.appinit_time = rep.runtime->appinit_time();
+  rep.breakdown.total = t_ready - t0;
+  return rep;
+}
+
+os::Pid StartupService::ensure_zygote(const rt::FunctionSpec& spec) {
+  const auto it = zygotes_.find(spec.runtime_binary);
+  if (it != zygotes_.end() && kernel_->alive(it->second)) return it->second;
+
+  // Boot a generic runtime process once (deploy-time cost, like baking).
+  const os::Pid pid = kernel_->clone_process(launcher_);
+  kernel_->exec(pid, spec.runtime_binary, {spec.runtime_binary, "--zygote"});
+  rt::FunctionSpec generic;  // no function code: just the bare runtime
+  generic.name = "zygote";
+  generic.runtime_binary = spec.runtime_binary;
+  rt::ManagedRuntime zygote_rt{*kernel_, pid, costs_, generic, sim::Rng{0x2790}};
+  zygote_rt.bootstrap();
+  zygotes_[spec.runtime_binary] = pid;
+  return pid;
+}
+
+ReplicaProcess StartupService::start_zygote_fork(const rt::FunctionSpec& spec,
+                                                 sim::Rng rng) {
+  os::Kernel& k = *kernel_;
+  const os::Pid zygote = ensure_zygote(spec);
+
+  ReplicaProcess rep;
+  const sim::TimePoint t0 = k.sim().now();
+
+  // fork(2) from the zygote: the booted runtime state arrives via COW.
+  rep.pid = k.clone_process(zygote);
+  const sim::TimePoint t_fork = k.sim().now();
+
+  rep.runtime = std::make_unique<rt::ManagedRuntime>(
+      rt::ManagedRuntime::attach_forked(k, rep.pid, costs_, spec,
+                                        std::move(rng)));
+  rep.runtime->app_init(*assets_);
+  const sim::TimePoint t_ready = k.sim().now();
+
+  rep.breakdown.clone_time = t_fork - t0;
+  rep.breakdown.exec_time = sim::Duration{};  // no exec: the image is shared
+  rep.breakdown.rts_time = sim::Duration{};   // bootstrap ran in the zygote
+  rep.breakdown.appinit_time = t_ready - t_fork;
+  rep.breakdown.total = t_ready - t0;
+  return rep;
+}
+
+ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
+                                              const criu::ImageDir& images,
+                                              const std::string& fs_prefix,
+                                              sim::Rng rng,
+                                              double io_contention,
+                                              bool in_memory_images) {
+  os::Kernel& k = *kernel_;
+  ReplicaProcess rep;
+  const sim::TimePoint t0 = k.sim().now();
+
+  criu::RestoreOptions opts;
+  opts.fs_prefix = fs_prefix;
+  opts.io_contention = io_contention;
+  opts.in_memory = in_memory_images;
+  // Replicas are restored concurrently, so the original pid cannot be
+  // reused; CRIU runs with the launcher's capabilities.
+  opts.restore_original_pid = false;
+  opts.criu_caps = k.process(launcher_).caps();
+
+  criu::Restorer restorer{k};
+  const criu::RestoreResult restored = restorer.restore(images, opts);
+  rep.pid = restored.pid;
+  const sim::TimePoint t_restored = k.sim().now();
+
+  // Learn how warm the image is from its stats entry.
+  const criu::StatsEntry stats =
+      criu::decode_stats(images.get("stats.img").bytes);
+  rep.runtime = std::make_unique<rt::ManagedRuntime>(
+      rt::ManagedRuntime::attach_restored(k, rep.pid, costs_, spec,
+                                          std::move(rng),
+                                          stats.warmup_requests > 0, *assets_));
+  const sim::TimePoint t_ready = k.sim().now();
+
+  rep.breakdown.clone_time = sim::Duration{};
+  rep.breakdown.exec_time = sim::Duration{};
+  rep.breakdown.rts_time = sim::Duration{};  // "brings the RTS down to 0 ms"
+  rep.breakdown.restore_time = t_restored - t0;
+  rep.breakdown.appinit_time = t_ready - t_restored;
+  rep.breakdown.total = t_ready - t0;
+  return rep;
+}
+
+void StartupService::reclaim(ReplicaProcess& replica) {
+  if (replica.pid == os::kNoPid) return;
+  if (kernel_->alive(replica.pid)) {
+    kernel_->kill_process(replica.pid);
+    kernel_->reap(replica.pid);
+  }
+  replica.runtime.reset();
+  replica.pid = os::kNoPid;
+}
+
+}  // namespace prebake::core

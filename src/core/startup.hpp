@@ -1,0 +1,84 @@
+// Starting function replicas: the Vanilla fork-exec path versus the
+// prebaking restore path. This is the measurement surface for every start-up
+// experiment in the paper.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "criu/image.hpp"
+#include "criu/restore.hpp"
+#include "funcs/handlers.hpp"
+#include "os/kernel.hpp"
+#include "rt/runtime.hpp"
+
+namespace prebake::core {
+
+// Phase breakdown, matching the paper's Figure 4 instrumentation: CLONE,
+// EXEC, RTS (exec end -> main()), APPINIT (main() -> ready). For prebaked
+// starts the paper folds everything into APPINIT ("prebaking brings the RTS
+// down to 0 ms"); we additionally expose the raw restore time.
+struct StartupBreakdown {
+  sim::Duration clone_time;
+  sim::Duration exec_time;
+  sim::Duration rts_time;
+  sim::Duration appinit_time;
+  sim::Duration restore_time;  // prebake only: CRIU restore proper
+  sim::Duration total;
+
+  // The paper's stacked view: prebake folds restore+fixups into APPINIT.
+  sim::Duration appinit_stacked() const { return appinit_time + restore_time; }
+};
+
+struct ReplicaProcess {
+  os::Pid pid = os::kNoPid;
+  std::unique_ptr<rt::ManagedRuntime> runtime;
+  StartupBreakdown breakdown;
+};
+
+class StartupService {
+ public:
+  StartupService(os::Kernel& kernel, rt::RuntimeCosts costs,
+                 funcs::SharedAssets& assets);
+
+  // The Vanilla path: clone + exec + runtime bootstrap + app init.
+  ReplicaProcess start_vanilla(const rt::FunctionSpec& spec, sim::Rng rng);
+
+  // The SOCK-style zygote path [18,19]: fork a pre-booted runtime process
+  // (COW) and run only app_init in the child. The zygote itself is created
+  // lazily per runtime binary — a deploy-time cost, like baking a snapshot.
+  // Skips CLONE(exec)+RTS but, unlike prebaking, still pays APPINIT and the
+  // I/O-heavy initialization SOCK does not address (paper Section 6).
+  ReplicaProcess start_zygote_fork(const rt::FunctionSpec& spec, sim::Rng rng);
+
+  // The prebaking path: CRIU-restore the snapshot, re-attach the runtime.
+  // `fs_prefix` is where the image files live in the simulated filesystem
+  // ("" if the snapshot was never persisted). `io_contention` models N
+  // concurrent restores sharing storage.
+  ReplicaProcess start_prebaked(const rt::FunctionSpec& spec,
+                                const criu::ImageDir& images,
+                                const std::string& fs_prefix, sim::Rng rng,
+                                double io_contention = 1.0,
+                                bool in_memory_images = false);
+
+  os::Pid launcher_pid() const { return launcher_; }
+  os::Kernel& kernel() { return *kernel_; }
+  const rt::RuntimeCosts& runtime_costs() const { return costs_; }
+  funcs::SharedAssets& assets() { return *assets_; }
+
+  // Tear down a replica (platform reclaim).
+  void reclaim(ReplicaProcess& replica);
+
+ private:
+  os::Pid ensure_zygote(const rt::FunctionSpec& spec);
+
+  os::Kernel* kernel_;
+  rt::RuntimeCosts costs_;
+  funcs::SharedAssets* assets_;
+  os::Pid launcher_ = os::kNoPid;  // the deployer/watchdog parent process
+  // One booted zygote per runtime binary (created on first use).
+  std::map<std::string, os::Pid> zygotes_;
+};
+
+}  // namespace prebake::core

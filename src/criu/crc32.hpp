@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial), used to integrity-check every record in
+// the checkpoint image format.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace prebake::criu {
+
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+}  // namespace prebake::criu

@@ -1,0 +1,25 @@
+#include "criu/dedup.hpp"
+
+namespace prebake::criu {
+
+std::uint64_t DedupIndex::add(const ImageDir& images) {
+  const PagesEntry pages = decode_pages(images.get("pages-1.img").bytes);
+  std::uint64_t fresh = 0;
+  for (const std::uint64_t digest : pages.digests) {
+    auto [it, inserted] = pages_.emplace(digest, 0);
+    ++it->second;
+    if (inserted) {
+      ++fresh;
+      ++stats_.unique_pages;
+    }
+    ++stats_.total_pages;
+  }
+  return fresh;
+}
+
+std::uint32_t DedupIndex::refcount(std::uint64_t digest) const {
+  const auto it = pages_.find(digest);
+  return it == pages_.end() ? 0 : it->second;
+}
+
+}  // namespace prebake::criu

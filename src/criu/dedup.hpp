@@ -1,0 +1,47 @@
+// Content-addressed page deduplication across snapshots.
+//
+// Replicas of different functions share most of their runtime base pages
+// (the JVM heap right after bootstrap is identical for every Java function),
+// so a snapshot store that indexes pages by content hash stores each unique
+// page once. This is the storage-side optimization production snapshot
+// systems layer on top of the paper's design; digest-mode images already
+// carry the per-page hashes needed to build the index.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "criu/image.hpp"
+
+namespace prebake::criu {
+
+struct DedupStats {
+  std::uint64_t total_pages = 0;   // pages across all indexed snapshots
+  std::uint64_t unique_pages = 0;  // distinct page contents
+  std::uint64_t total_bytes() const { return total_pages * 4096; }
+  std::uint64_t unique_bytes() const { return unique_pages * 4096; }
+  std::uint64_t saved_bytes() const { return total_bytes() - unique_bytes(); }
+  double dedup_ratio() const {
+    return unique_pages == 0
+               ? 1.0
+               : static_cast<double>(total_pages) /
+                     static_cast<double>(unique_pages);
+  }
+};
+
+class DedupIndex {
+ public:
+  // Index every dumped page of a snapshot; returns how many of its pages
+  // were new to the store.
+  std::uint64_t add(const ImageDir& images);
+
+  const DedupStats& stats() const { return stats_; }
+  // How many snapshots reference a given page digest (0 if unknown).
+  std::uint32_t refcount(std::uint64_t digest) const;
+
+ private:
+  std::map<std::uint64_t, std::uint32_t> pages_;  // digest -> refcount
+  DedupStats stats_;
+};
+
+}  // namespace prebake::criu

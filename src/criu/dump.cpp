@@ -1,0 +1,203 @@
+#include "criu/dump.hpp"
+
+#include <array>
+#include <set>
+#include <stdexcept>
+
+namespace prebake::criu {
+
+DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
+  os::Kernel& k = *kernel_;
+  const sim::TimePoint t0 = k.sim().now();
+  os::Process& target = k.process(pid);
+  if (target.state() != os::ProcState::kRunning)
+    throw std::logic_error{"criu dump: target is not running"};
+
+  const bool privileged = os::has_cap(opts.criu_caps, os::Cap::kSysAdmin) ||
+                          os::has_cap(opts.criu_caps, os::Cap::kSysPtrace) ||
+                          os::has_cap(opts.criu_caps, os::Cap::kCheckpointRestore);
+  if (!privileged)
+    throw std::runtime_error{
+        "criu dump: need CAP_SYS_ADMIN, CAP_SYS_PTRACE or CAP_CHECKPOINT_RESTORE"};
+
+  // 1. Seize and freeze every thread so the state cannot change under us.
+  k.ptrace_seize(pid, opts.criu_caps);
+  k.freeze(pid, opts.criu_caps);
+
+  // 2. Discover resident memory from /proc/$pid/pagemap.
+  const std::vector<os::PagemapRange> ranges = k.pagemap(pid);
+
+  // Parent coverage for incremental dumps: a page is skipped if the parent
+  // already holds it and it has not been dirtied since.
+  std::set<std::pair<os::VmaId, std::uint64_t>> parent_pages;
+  if (opts.parent != nullptr) {
+    const auto parent_maps =
+        decode_pagemap(opts.parent->get("pagemap.img").bytes);
+    for (const PagemapEntry& e : parent_maps)
+      for (std::uint64_t p = 0; p < e.pages; ++p)
+        parent_pages.emplace(e.vma, e.first_page + p);
+  }
+
+  // 3. Inject the parasite into the frozen target.
+  k.inject_parasite(pid, opts.parasite_blob_bytes);
+  const std::uint64_t pipe = k.create_pipe();
+
+  // 4. Stream page contents: the parasite reads the target address space and
+  // sends pages to the criu process through the pipe.
+  std::vector<PagemapEntry> dumped_ranges;
+  PagesEntry pages;
+  pages.mode = opts.payload_mode;
+  std::uint64_t pages_dumped = 0;
+  std::uint64_t zero_pages = 0;
+
+  // Zero-page detection (CRIU's PAGE_IS_ZERO): all-zero pages carry no
+  // payload; restore maps fresh zero pages instead of reading bytes.
+  static const std::uint64_t kZeroDigest = [] {
+    const std::array<std::uint8_t, os::kPageSize> zeros{};
+    return os::hash_page_bytes(
+        std::span<const std::uint8_t, os::kPageSize>{zeros});
+  }();
+
+  for (const os::PagemapRange& range : ranges) {
+    const os::Vma* vma = target.mm().find(range.vma);
+    if (vma == nullptr || vma->name == "[criu-parasite]") continue;
+
+    PagemapEntry current{};
+    bool open = false;
+    auto flush = [&] {
+      if (open && current.pages > 0) dumped_ranges.push_back(current);
+      open = false;
+    };
+    for (std::uint64_t i = 0; i < range.pages; ++i) {
+      const std::uint64_t page = range.first_page + i;
+      const bool dirty = page < vma->dirty.size() && vma->dirty[page];
+      if (opts.parent != nullptr && !dirty &&
+          parent_pages.contains({range.vma, page})) {
+        flush();
+        continue;  // unchanged since parent snapshot
+      }
+      const std::uint64_t digest = vma->source->page_digest(page);
+      const bool is_zero = digest == kZeroDigest;
+      if (!open || current.zero != is_zero) {
+        flush();
+        current = PagemapEntry{range.vma, page, 0, is_zero};
+        open = true;
+      }
+      ++current.pages;
+      if (is_zero) {
+        ++zero_pages;
+        continue;  // no pipe transfer, no payload
+      }
+      ++pages_dumped;
+
+      k.pipe_transfer(pipe, os::kPageSize);
+      if (opts.payload_mode == PayloadMode::kFull) {
+        std::array<std::uint8_t, os::kPageSize> buf{};
+        vma->source->fill(page, std::span<std::uint8_t, os::kPageSize>{buf});
+        pages.raw.insert(pages.raw.end(), buf.begin(), buf.end());
+        pages.digests.push_back(os::hash_page_bytes(
+            std::span<const std::uint8_t, os::kPageSize>{buf}));
+      } else {
+        pages.digests.push_back(digest);
+      }
+    }
+    flush();
+  }
+
+  // 5. Serialize metadata.
+  InventoryEntry inv;
+  inv.root_pid = pid;
+  inv.name = target.name();
+  inv.argv = target.argv();
+  inv.n_threads = static_cast<std::uint32_t>(target.threads().size());
+  inv.ns = target.ns();
+  inv.caps = static_cast<std::uint32_t>(target.caps());
+
+  std::vector<CoreEntry> cores;
+  for (const os::Thread& t : target.threads())
+    cores.push_back(CoreEntry{t.tid, t.regs});
+
+  std::vector<VmaEntry> vmas;
+  for (const os::Vma& vma : target.mm().vmas()) {
+    if (vma.name == "[criu-parasite]") continue;
+    VmaEntry e;
+    e.id = vma.id;
+    e.start = vma.start;
+    e.length = vma.length;
+    e.prot = static_cast<std::uint8_t>(vma.prot);
+    e.kind = static_cast<std::uint8_t>(vma.kind);
+    e.name = vma.name;
+    e.backing_path = vma.backing_path;
+    if (const auto* pattern = dynamic_cast<const os::PatternSource*>(vma.source.get())) {
+      e.source_kind = SourceKind::kPattern;
+      e.pattern_seed = pattern->seed();
+      e.pattern_version = pattern->version();
+    } else {
+      e.source_kind = SourceKind::kBuffer;
+    }
+    vmas.push_back(std::move(e));
+  }
+
+  std::vector<FileEntry> files;
+  for (const auto& [fd, desc] : target.fds())
+    files.push_back(FileEntry{fd, static_cast<std::uint8_t>(desc.kind),
+                              desc.path, desc.pipe_id});
+
+  DumpResult result;
+  ImageDir& dir = result.images;
+  dir.put("inventory.img", encode_inventory(inv));
+  dir.put("core-" + std::to_string(pid) + ".img", encode_core(cores));
+  dir.put("mm.img", encode_mm(vmas));
+  dir.put("pagemap.img", encode_pagemap(dumped_ranges));
+  const std::uint64_t payload_bytes = pages_dumped * os::kPageSize;
+  dir.put("pages-1.img", encode_pages(pages), payload_bytes);
+  dir.put("files.img", encode_files(files));
+
+  StatsEntry stats;
+  stats.pages_dumped = pages_dumped;
+  stats.zero_pages = zero_pages;
+  stats.payload_bytes = payload_bytes;
+  stats.warmup_requests = opts.warmup_requests;
+
+  // 6. Cure the parasite and release the target.
+  k.cure_parasite(pid);
+  if (opts.pre_dump) {
+    k.clear_soft_dirty(pid);
+    k.thaw(pid);
+  } else if (opts.leave_running) {
+    k.thaw(pid);
+  } else {
+    k.thaw(pid);
+    k.kill_process(pid);
+    k.reap(pid);
+  }
+
+  // 7. Persist to storage (image files hit the disk at write bandwidth).
+  std::uint64_t metadata_bytes = 0;
+  for (const auto& [name, f] : dir.files())
+    if (name != "pages-1.img") metadata_bytes += f.nominal_size;
+  stats.metadata_bytes = metadata_bytes;
+
+  if (!opts.fs_prefix.empty()) {
+    for (const auto& [name, f] : dir.files()) {
+      k.fs().create(opts.fs_prefix + name, f.nominal_size);
+      // Freshly written images sit in the page cache.
+      k.fs().warm(opts.fs_prefix + name);
+      k.sim().advance(k.costs().disk_write_cost(f.nominal_size));
+    }
+  }
+
+  stats.dump_duration_ns = (k.sim().now() - t0).nanos_count();
+  dir.put("stats.img", encode_stats(stats));
+  if (!opts.fs_prefix.empty()) {
+    k.fs().create(opts.fs_prefix + "stats.img",
+                  dir.get("stats.img").nominal_size);
+    k.fs().warm(opts.fs_prefix + "stats.img");
+  }
+
+  result.stats = stats;
+  result.duration = sim::Duration::nanos(stats.dump_duration_ns);
+  return result;
+}
+
+}  // namespace prebake::criu

@@ -1,0 +1,58 @@
+// The checkpoint (dump) side of the CRIU-model engine.
+//
+// Follows the algorithm described in Section 3.2 of the paper: freeze every
+// thread of the target, walk /proc/$pid/pagemap to find resident memory,
+// inject the parasite blob with ptrace, stream page contents through a pipe
+// into image files, then cure the parasite and either resume or kill the
+// target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "criu/image.hpp"
+#include "os/kernel.hpp"
+
+namespace prebake::criu {
+
+struct DumpOptions {
+  // Resume the target after the dump instead of killing it (CRIU -R).
+  bool leave_running = false;
+  // kDigest stores 8 bytes/page in host memory while accounting the full
+  // payload size; kFull stores the raw bytes (tests use this to prove the
+  // byte-identical round trip).
+  PayloadMode payload_mode = PayloadMode::kDigest;
+  // Incremental dump: only pages dirtied (or newly mapped) since `parent`
+  // was taken are dumped. Used by the pre-dump ablation.
+  const ImageDir* parent = nullptr;
+  // Pre-dump: like a dump but leaves the target running and resets the
+  // soft-dirty bits so the next dump is incremental.
+  bool pre_dump = false;
+  std::uint64_t parasite_blob_bytes = 64 * 1024;
+  // Capabilities of the criu process. Unprivileged dump works with
+  // CAP_CHECKPOINT_RESTORE only (Linux 5.9+, [11] in the paper).
+  os::Cap criu_caps = os::Cap::kSysPtrace | os::Cap::kSysAdmin;
+  // If non-empty, image files are also registered in the simulated
+  // filesystem under this prefix and write bandwidth is charged.
+  std::string fs_prefix;
+  // Recorded into stats.img (how many warm-up requests preceded the dump).
+  std::uint32_t warmup_requests = 0;
+};
+
+struct DumpResult {
+  ImageDir images;
+  StatsEntry stats;
+  sim::Duration duration;
+};
+
+class Dumper {
+ public:
+  explicit Dumper(os::Kernel& kernel) : kernel_{&kernel} {}
+
+  DumpResult dump(os::Pid pid, const DumpOptions& opts = {});
+
+ private:
+  os::Kernel* kernel_;
+};
+
+}  // namespace prebake::criu

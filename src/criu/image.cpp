@@ -1,0 +1,273 @@
+#include "criu/image.hpp"
+
+#include <stdexcept>
+
+#include "criu/crc32.hpp"
+#include "criu/wire.hpp"
+
+namespace prebake::criu {
+
+namespace {
+
+// Frame an image body with the magic/type header and a trailing CRC of
+// everything before it.
+std::vector<std::uint8_t> frame(ImageType type, Writer body) {
+  Writer w;
+  w.u32(kImageMagic);
+  w.u32(static_cast<std::uint32_t>(type));
+  w.u32(kFormatVersion);
+  w.raw(body.bytes());
+  const std::uint32_t crc = crc32(w.bytes());
+  w.u32(crc);
+  return w.take();
+}
+
+// Strip and verify the header/CRC; returns a Reader over the body.
+Reader unframe(ImageType expected, std::span<const std::uint8_t> img) {
+  if (img.size() < 16) throw std::runtime_error{"image too small"};
+  const std::span<const std::uint8_t> without_crc{img.data(), img.size() - 4};
+  Reader tail{img.subspan(img.size() - 4)};
+  if (tail.u32() != crc32(without_crc))
+    throw std::runtime_error{"image CRC mismatch"};
+  Reader r{without_crc};
+  if (r.u32() != kImageMagic) throw std::runtime_error{"bad image magic"};
+  const auto type = static_cast<ImageType>(r.u32());
+  if (type != expected) throw std::runtime_error{"unexpected image type"};
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion)
+    throw std::runtime_error{"unsupported image format version"};
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_inventory(const InventoryEntry& e) {
+  Writer w;
+  w.u32(e.version);
+  w.i32(e.root_pid);
+  w.str(e.name);
+  w.u32(static_cast<std::uint32_t>(e.argv.size()));
+  for (const auto& a : e.argv) w.str(a);
+  w.u32(e.n_threads);
+  w.u64(e.ns.pid_ns);
+  w.u64(e.ns.mnt_ns);
+  w.u64(e.ns.net_ns);
+  w.u32(e.caps);
+  return frame(ImageType::kInventory, std::move(w));
+}
+
+InventoryEntry decode_inventory(std::span<const std::uint8_t> img) {
+  Reader r = unframe(ImageType::kInventory, img);
+  InventoryEntry e;
+  e.version = r.u32();
+  e.root_pid = r.i32();
+  e.name = r.str();
+  const std::uint32_t argc = r.u32();
+  for (std::uint32_t i = 0; i < argc; ++i) e.argv.push_back(r.str());
+  e.n_threads = r.u32();
+  e.ns.pid_ns = r.u64();
+  e.ns.mnt_ns = r.u64();
+  e.ns.net_ns = r.u64();
+  e.caps = r.u32();
+  return e;
+}
+
+std::vector<std::uint8_t> encode_core(const std::vector<CoreEntry>& cores) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(cores.size()));
+  for (const CoreEntry& c : cores) {
+    w.i32(c.tid);
+    for (std::uint64_t reg : c.regs) w.u64(reg);
+  }
+  return frame(ImageType::kCore, std::move(w));
+}
+
+std::vector<CoreEntry> decode_core(std::span<const std::uint8_t> img) {
+  Reader r = unframe(ImageType::kCore, img);
+  const std::uint32_t n = r.u32();
+  std::vector<CoreEntry> cores(n);
+  for (CoreEntry& c : cores) {
+    c.tid = r.i32();
+    for (std::uint64_t& reg : c.regs) reg = r.u64();
+  }
+  return cores;
+}
+
+std::vector<std::uint8_t> encode_mm(const std::vector<VmaEntry>& vmas) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(vmas.size()));
+  for (const VmaEntry& v : vmas) {
+    w.u32(v.id);
+    w.u64(v.start);
+    w.u64(v.length);
+    w.u8(v.prot);
+    w.u8(v.kind);
+    w.str(v.name);
+    w.str(v.backing_path);
+    w.u8(static_cast<std::uint8_t>(v.source_kind));
+    w.u64(v.pattern_seed);
+    w.u64(v.pattern_version);
+  }
+  return frame(ImageType::kMm, std::move(w));
+}
+
+std::vector<VmaEntry> decode_mm(std::span<const std::uint8_t> img) {
+  Reader r = unframe(ImageType::kMm, img);
+  const std::uint32_t n = r.u32();
+  std::vector<VmaEntry> vmas(n);
+  for (VmaEntry& v : vmas) {
+    v.id = r.u32();
+    v.start = r.u64();
+    v.length = r.u64();
+    v.prot = r.u8();
+    v.kind = r.u8();
+    v.name = r.str();
+    v.backing_path = r.str();
+    v.source_kind = static_cast<SourceKind>(r.u8());
+    v.pattern_seed = r.u64();
+    v.pattern_version = r.u64();
+  }
+  return vmas;
+}
+
+std::vector<std::uint8_t> encode_pagemap(const std::vector<PagemapEntry>& es) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(es.size()));
+  for (const PagemapEntry& e : es) {
+    w.u32(e.vma);
+    w.u64(e.first_page);
+    w.u64(e.pages);
+    w.u8(e.zero ? 1 : 0);
+  }
+  return frame(ImageType::kPagemap, std::move(w));
+}
+
+std::vector<PagemapEntry> decode_pagemap(std::span<const std::uint8_t> img) {
+  Reader r = unframe(ImageType::kPagemap, img);
+  const std::uint32_t n = r.u32();
+  std::vector<PagemapEntry> es(n);
+  for (PagemapEntry& e : es) {
+    e.vma = r.u32();
+    e.first_page = r.u64();
+    e.pages = r.u64();
+    e.zero = r.u8() != 0;
+  }
+  return es;
+}
+
+std::vector<std::uint8_t> encode_pages(const PagesEntry& e) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(e.mode));
+  w.u32(static_cast<std::uint32_t>(e.digests.size()));
+  for (std::uint64_t d : e.digests) w.u64(d);
+  w.u64(e.raw.size());
+  w.raw(e.raw);
+  return frame(ImageType::kPages, std::move(w));
+}
+
+PagesEntry decode_pages(std::span<const std::uint8_t> img) {
+  Reader r = unframe(ImageType::kPages, img);
+  PagesEntry e;
+  e.mode = static_cast<PayloadMode>(r.u8());
+  const std::uint32_t n = r.u32();
+  e.digests.resize(n);
+  for (std::uint64_t& d : e.digests) d = r.u64();
+  const std::uint64_t raw_len = r.u64();
+  e.raw = r.raw(raw_len);
+  return e;
+}
+
+std::vector<std::uint8_t> encode_files(const std::vector<FileEntry>& es) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(es.size()));
+  for (const FileEntry& e : es) {
+    w.i32(e.fd);
+    w.u8(e.kind);
+    w.str(e.path);
+    w.u64(e.pipe_id);
+  }
+  return frame(ImageType::kFiles, std::move(w));
+}
+
+std::vector<FileEntry> decode_files(std::span<const std::uint8_t> img) {
+  Reader r = unframe(ImageType::kFiles, img);
+  const std::uint32_t n = r.u32();
+  std::vector<FileEntry> es(n);
+  for (FileEntry& e : es) {
+    e.fd = r.i32();
+    e.kind = r.u8();
+    e.path = r.str();
+    e.pipe_id = r.u64();
+  }
+  return es;
+}
+
+std::vector<std::uint8_t> encode_stats(const StatsEntry& e) {
+  Writer w;
+  w.u64(e.pages_dumped);
+  w.u64(e.zero_pages);
+  w.u64(e.payload_bytes);
+  w.u64(e.metadata_bytes);
+  w.i64(e.dump_duration_ns);
+  w.u32(e.warmup_requests);
+  return frame(ImageType::kStats, std::move(w));
+}
+
+StatsEntry decode_stats(std::span<const std::uint8_t> img) {
+  Reader r = unframe(ImageType::kStats, img);
+  StatsEntry e;
+  e.pages_dumped = r.u64();
+  e.zero_pages = r.u64();
+  e.payload_bytes = r.u64();
+  e.metadata_bytes = r.u64();
+  e.dump_duration_ns = r.i64();
+  e.warmup_requests = r.u32();
+  return e;
+}
+
+void ImageDir::put(const std::string& name, std::vector<std::uint8_t> bytes,
+                   std::optional<std::uint64_t> nominal_size) {
+  ImageFile f;
+  f.nominal_size = nominal_size.value_or(bytes.size());
+  f.bytes = std::move(bytes);
+  files_[name] = std::move(f);
+}
+
+const ImageDir::ImageFile& ImageDir::get(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end())
+    throw std::runtime_error{"ImageDir: missing image file " + name};
+  return it->second;
+}
+
+std::vector<std::string> ImageDir::names() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, f] : files_) out.push_back(name);
+  return out;
+}
+
+std::uint64_t ImageDir::nominal_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, f] : files_) total += f.nominal_size;
+  return total;
+}
+
+std::uint64_t ImageDir::real_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, f] : files_) total += f.bytes.size();
+  return total;
+}
+
+void ImageDir::validate() const {
+  for (const auto& [name, f] : files_) {
+    if (f.bytes.size() < 16)
+      throw std::runtime_error{"ImageDir: file too small: " + name};
+    const std::span<const std::uint8_t> body{f.bytes.data(), f.bytes.size() - 4};
+    Reader tail{std::span<const std::uint8_t>{f.bytes.data() + f.bytes.size() - 4, 4}};
+    if (tail.u32() != crc32(body))
+      throw std::runtime_error{"ImageDir: CRC mismatch in " + name};
+  }
+}
+
+}  // namespace prebake::criu

@@ -1,0 +1,162 @@
+// Checkpoint image format.
+//
+// A snapshot is a directory of image files, mirroring CRIU's on-disk layout:
+//
+//   inventory.img   — format version, root pid, process name, thread count
+//   core-<tid>.img  — per-thread architectural state
+//   mm.img          — VMA table (address layout, protections, page sources)
+//   pagemap.img     — runs of dumped pages per VMA
+//   pages-1.img     — page payload: either raw bytes (kFull) or per-page
+//                     64-bit digests plus a regeneration descriptor (kDigest)
+//   files.img       — open file descriptors
+//   stats.img       — dump statistics (pages, bytes, durations)
+//
+// Every image file starts with a magic + type header and ends with a CRC-32
+// of its body; ImageDir::validate() re-checks all of them. The *nominal*
+// size of pages-1.img is always the full payload size (pages × 4 KiB), which
+// is what restore I/O is charged on — the digest mode only avoids keeping
+// tens of MiB of synthetic bytes resident in the host running the
+// simulation. Both modes round-trip byte-identical process state because
+// PatternSource contents are a pure function of the recorded descriptor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/process.hpp"
+
+namespace prebake::criu {
+
+inline constexpr std::uint32_t kImageMagic = 0x50424B31;  // "PBK1"
+inline constexpr std::uint32_t kFormatVersion = 3;
+
+enum class ImageType : std::uint32_t {
+  kInventory = 1,
+  kCore = 2,
+  kMm = 3,
+  kPagemap = 4,
+  kPages = 5,
+  kFiles = 6,
+  kStats = 7,
+};
+
+enum class PayloadMode : std::uint8_t { kFull = 0, kDigest = 1 };
+
+struct InventoryEntry {
+  std::uint32_t version = kFormatVersion;
+  os::Pid root_pid = 0;
+  std::string name;
+  std::vector<std::string> argv;
+  std::uint32_t n_threads = 1;
+  os::Namespaces ns{};
+  std::uint32_t caps = 0;
+  bool operator==(const InventoryEntry&) const = default;
+};
+
+struct CoreEntry {
+  os::Tid tid = 0;
+  std::array<std::uint64_t, 8> regs{};
+  bool operator==(const CoreEntry&) const = default;
+};
+
+enum class SourceKind : std::uint8_t { kBuffer = 0, kPattern = 1 };
+
+struct VmaEntry {
+  os::VmaId id = 0;
+  std::uint64_t start = 0;
+  std::uint64_t length = 0;
+  std::uint8_t prot = 0;
+  std::uint8_t kind = 0;  // os::VmaKind
+  std::string name;
+  std::string backing_path;
+  SourceKind source_kind = SourceKind::kPattern;
+  std::uint64_t pattern_seed = 0;     // for kPattern
+  std::uint64_t pattern_version = 0;  // for kPattern
+  bool operator==(const VmaEntry&) const = default;
+};
+
+struct PagemapEntry {
+  os::VmaId vma = 0;
+  std::uint64_t first_page = 0;
+  std::uint64_t pages = 0;
+  // PAGE_IS_ZERO: the run is known to be all-zero pages; no payload is
+  // stored and restore maps fresh zero pages (CRIU's zero-page detection).
+  bool zero = false;
+  bool operator==(const PagemapEntry&) const = default;
+};
+
+struct FileEntry {
+  int fd = -1;
+  std::uint8_t kind = 0;  // os::FdKind
+  std::string path;
+  std::uint64_t pipe_id = 0;
+  bool operator==(const FileEntry&) const = default;
+};
+
+struct StatsEntry {
+  std::uint64_t pages_dumped = 0;   // pages with payload (zero pages excluded)
+  std::uint64_t zero_pages = 0;     // detected all-zero pages (no payload)
+  std::uint64_t payload_bytes = 0;   // pages_dumped * 4 KiB
+  std::uint64_t metadata_bytes = 0;  // everything except page payload
+  std::int64_t dump_duration_ns = 0;
+  std::uint32_t warmup_requests = 0;  // prebake policy bookkeeping
+  bool operator==(const StatsEntry&) const = default;
+};
+
+// Page payload: one digest per dumped page (in pagemap order); raw bytes are
+// kept only in kFull mode.
+struct PagesEntry {
+  PayloadMode mode = PayloadMode::kDigest;
+  std::vector<std::uint64_t> digests;
+  std::vector<std::uint8_t> raw;  // kFull: pages*4096 bytes
+  bool operator==(const PagesEntry&) const = default;
+};
+
+// --- per-file encode/decode (each returns/accepts a full image file body,
+// i.e. header + payload + trailing CRC) ------------------------------------
+std::vector<std::uint8_t> encode_inventory(const InventoryEntry& e);
+InventoryEntry decode_inventory(std::span<const std::uint8_t> img);
+std::vector<std::uint8_t> encode_core(const std::vector<CoreEntry>& cores);
+std::vector<CoreEntry> decode_core(std::span<const std::uint8_t> img);
+std::vector<std::uint8_t> encode_mm(const std::vector<VmaEntry>& vmas);
+std::vector<VmaEntry> decode_mm(std::span<const std::uint8_t> img);
+std::vector<std::uint8_t> encode_pagemap(const std::vector<PagemapEntry>& es);
+std::vector<PagemapEntry> decode_pagemap(std::span<const std::uint8_t> img);
+std::vector<std::uint8_t> encode_pages(const PagesEntry& e);
+PagesEntry decode_pages(std::span<const std::uint8_t> img);
+std::vector<std::uint8_t> encode_files(const std::vector<FileEntry>& es);
+std::vector<FileEntry> decode_files(std::span<const std::uint8_t> img);
+std::vector<std::uint8_t> encode_stats(const StatsEntry& e);
+StatsEntry decode_stats(std::span<const std::uint8_t> img);
+
+// An in-memory image directory. Real bytes are kept here; nominal sizes are
+// what storage accounting uses (they differ only for digest-mode pages).
+class ImageDir {
+ public:
+  struct ImageFile {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t nominal_size = 0;
+  };
+
+  void put(const std::string& name, std::vector<std::uint8_t> bytes,
+           std::optional<std::uint64_t> nominal_size = std::nullopt);
+  const ImageFile& get(const std::string& name) const;
+  bool has(const std::string& name) const { return files_.contains(name); }
+  std::vector<std::string> names() const;
+
+  std::uint64_t nominal_total() const;  // snapshot size as seen by storage
+  std::uint64_t real_total() const;     // bytes actually held in memory
+
+  // Re-verify the CRC of every file; throws on corruption.
+  void validate() const;
+
+  const std::map<std::string, ImageFile>& files() const { return files_; }
+
+ private:
+  std::map<std::string, ImageFile> files_;
+};
+
+}  // namespace prebake::criu

@@ -1,0 +1,231 @@
+#include "criu/restore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace prebake::criu {
+
+namespace {
+
+// Charge the storage cost of reading every image file of one snapshot. A
+// lazy-pages restore only reads the eager fraction of the page payload; the
+// rest is read on demand by the LazyPagesServer.
+std::uint64_t charge_image_reads(os::Kernel& k, const ImageDir& images,
+                                 const RestoreOptions& opts) {
+  std::uint64_t bytes = 0;
+  for (const auto& [name, f] : images.files()) {
+    std::uint64_t to_read = f.nominal_size;
+    if (opts.lazy_pages && name == "pages-1.img")
+      to_read = static_cast<std::uint64_t>(
+          static_cast<double>(to_read) * std::clamp(opts.lazy_working_set, 0.0, 1.0));
+    bytes += to_read;
+    if (to_read == 0) continue;
+    if (!opts.fs_prefix.empty()) {
+      const std::string path = opts.fs_prefix + name;
+      if (opts.remote_fetch && !k.fs().is_cached(path)) {
+        // Pull from the remote registry, then keep a local cached copy.
+        k.sim().advance(k.costs().network_fetch_cost(to_read) *
+                        std::max(opts.io_contention, 1.0));
+        k.fs().warm(path);
+      }
+      if (opts.in_memory) k.fs().warm(path);
+      k.fs().charge_read(path, to_read, opts.io_contention);
+    } else {
+      // Unpersisted images: behave as if already page-cache resident.
+      k.sim().advance(k.costs().page_cache_read_cost(to_read) *
+                      std::max(opts.io_contention, 1.0));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+RestoreResult Restorer::restore(const ImageDir& images,
+                                const RestoreOptions& opts) {
+  const ImageDir* chain[] = {&images};
+  return restore_chain(chain, opts);
+}
+
+RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
+                                      const RestoreOptions& opts) {
+  if (chain.empty()) throw std::invalid_argument{"restore: empty image chain"};
+  os::Kernel& k = *kernel_;
+  const sim::TimePoint t0 = k.sim().now();
+
+  const ImageDir& last = *chain.back();
+  last.validate();
+
+  // 1. Read and decode the metadata images (and charge their I/O).
+  RestoreResult result;
+  for (const ImageDir* dir : chain)
+    result.bytes_read += charge_image_reads(k, *dir, opts);
+
+  const InventoryEntry inv = decode_inventory(last.get("inventory.img").bytes);
+  const auto cores =
+      decode_core(last.get("core-" + std::to_string(inv.root_pid) + ".img").bytes);
+  const auto vmas = decode_mm(last.get("mm.img").bytes);
+  const auto files = decode_files(last.get("files.img").bytes);
+  if (cores.size() != inv.n_threads)
+    throw std::runtime_error{"restore: core/inventory thread count mismatch"};
+
+  // 2. Transmute: clone the new process shell (optionally with the original
+  // pid, which requires CAP_CHECKPOINT_RESTORE [11]).
+  os::CloneOptions clone_opts;
+  clone_opts.caller_caps = opts.criu_caps;
+  if (opts.restore_original_pid) {
+    if (!os::has_cap(opts.criu_caps, os::Cap::kCheckpointRestore) &&
+        !os::has_cap(opts.criu_caps, os::Cap::kSysAdmin))
+      throw std::runtime_error{
+          "restore: original pid requires CAP_CHECKPOINT_RESTORE"};
+    clone_opts.set_child_pid = true;
+    clone_opts.child_pid = inv.root_pid;
+  }
+  const os::Pid pid = k.clone_process(os::kNoPid, clone_opts);
+  os::Process& proc = k.process(pid);
+  proc.set_name(inv.name);
+  proc.set_argv(inv.argv);
+  proc.ns() = inv.ns;
+  proc.grant(static_cast<os::Cap>(inv.caps));
+
+  // 3. Threads: the clone gave us a root thread; rename it to the recorded
+  // tid (tids are process-local in the model), recreate the remaining
+  // threads, and load every register file.
+  proc.threads()[0].tid = cores[0].tid;
+  for (std::size_t i = 1; i < cores.size(); ++i)
+    proc.spawn_thread(cores[i].tid);
+  for (std::size_t i = 0; i < cores.size(); ++i)
+    proc.threads()[i].regs = cores[i].regs;
+
+  // 4. Rebuild the address space from mm.img. Buffer-backed VMAs need the
+  // full page payload; pattern VMAs regenerate from the recorded descriptor.
+  const PagesEntry last_pages = decode_pages(last.get("pages-1.img").bytes);
+  proc.replace_mm(os::AddressSpace{});
+  std::map<os::VmaId, os::VmaId> vma_id_map;  // image id -> new id
+  std::map<os::VmaId, std::shared_ptr<os::BufferSource>> buffers;
+  for (const VmaEntry& e : vmas) {
+    std::shared_ptr<os::PageSource> source;
+    if (e.source_kind == SourceKind::kPattern) {
+      source = std::make_shared<os::PatternSource>(e.pattern_seed, e.pattern_version);
+    } else {
+      if (last_pages.mode != PayloadMode::kFull)
+        throw std::runtime_error{
+            "restore: digest-mode image cannot rebuild buffer-backed memory"};
+      auto buf = std::make_shared<os::BufferSource>(
+          std::vector<std::uint8_t>(e.length, 0));
+      buffers[e.id] = buf;
+      source = buf;
+    }
+    const os::VmaId new_id = proc.mm().map(
+        e.length, static_cast<os::Prot>(e.prot), static_cast<os::VmaKind>(e.kind),
+        e.name, std::move(source), /*populate=*/false, e.backing_path);
+    vma_id_map[e.id] = new_id;
+  }
+
+  // 5. Replay the pagemap(s) oldest-first: fault pages in and, for buffer
+  // VMAs, copy payload bytes back into place. Under lazy_pages only a
+  // prefix of each run is eagerly mapped; the tail goes to the uffd server.
+  std::vector<std::pair<os::VmaId, std::uint64_t>> lazy_pending;
+  for (const ImageDir* dir : chain) {
+    const auto maps = decode_pagemap(dir->get("pagemap.img").bytes);
+    const PagesEntry pages = decode_pages(dir->get("pages-1.img").bytes);
+    std::size_t cursor = 0;  // page index within this image's payload
+    for (const PagemapEntry& e : maps) {
+      const auto it = vma_id_map.find(e.vma);
+      if (it == vma_id_map.end())
+        throw std::runtime_error{"restore: pagemap references unknown vma"};
+      if (e.zero) {
+        // Zero run: map fresh zero pages; no payload, no digests.
+        k.fault_in(pid, it->second, e.first_page, e.pages, /*write=*/false);
+        result.pages_restored += e.pages;
+        continue;
+      }
+      std::uint64_t eager = e.pages;
+      if (opts.lazy_pages) {
+        eager = static_cast<std::uint64_t>(std::ceil(
+            static_cast<double>(e.pages) *
+            std::clamp(opts.lazy_working_set, 0.0, 1.0)));
+        for (std::uint64_t p = eager; p < e.pages; ++p)
+          lazy_pending.emplace_back(it->second, e.first_page + p);
+      }
+      k.fault_in(pid, it->second, e.first_page, eager, /*write=*/false);
+      result.pages_restored += eager;
+
+      const auto buf_it = buffers.find(e.vma);
+      for (std::uint64_t p = 0; p < e.pages; ++p, ++cursor) {
+        const bool eager_page = p < eager;
+        if (buf_it != buffers.end()) {
+          if (pages.mode != PayloadMode::kFull)
+            throw std::runtime_error{
+                "restore: digest-mode image cannot rebuild buffer-backed memory"};
+          auto& bytes = buf_it->second->bytes();
+          const std::uint64_t off = (e.first_page + p) * os::kPageSize;
+          if (off < bytes.size()) {
+            const std::size_t len = std::min<std::size_t>(
+                os::kPageSize, bytes.size() - off);
+            std::memcpy(bytes.data() + off,
+                        pages.raw.data() + cursor * os::kPageSize, len);
+          }
+        }
+        if (opts.verify_pages && eager_page) {
+          const os::Vma* vma = proc.mm().find(it->second);
+          const std::uint64_t got = vma->source->page_digest(e.first_page + p);
+          if (cursor >= pages.digests.size() || got != pages.digests[cursor])
+            throw std::runtime_error{"restore: page digest mismatch"};
+          // Verification reads the page once.
+          k.sim().advance(k.costs().memcpy_cost(os::kPageSize));
+        }
+      }
+    }
+  }
+
+  // 6. Reopen file descriptors.
+  for (const FileEntry& e : files) {
+    os::FdDesc desc;
+    desc.fd = e.fd;
+    desc.kind = static_cast<os::FdKind>(e.kind);
+    desc.path = e.path;
+    desc.pipe_id = e.pipe_id;
+    proc.fds()[e.fd] = desc;
+  }
+
+  proc.set_state(os::ProcState::kRunning);
+  result.pid = pid;
+  if (opts.lazy_pages)
+    result.lazy_server = std::make_shared<LazyPagesServer>(
+        k, pid, opts.fs_prefix, std::move(lazy_pending));
+  result.duration = k.sim().now() - t0;
+  return result;
+}
+
+LazyPagesServer::LazyPagesServer(
+    os::Kernel& kernel, os::Pid pid, std::string fs_prefix,
+    std::vector<std::pair<os::VmaId, std::uint64_t>> pending)
+    : kernel_{&kernel},
+      pid_{pid},
+      fs_prefix_{std::move(fs_prefix)},
+      pending_{std::move(pending)} {}
+
+std::uint64_t LazyPagesServer::page_in(std::uint64_t pages) {
+  if (kernel_ == nullptr) return 0;
+  os::Kernel& k = *kernel_;
+  std::uint64_t served = 0;
+  while (served < pages && cursor_ < pending_.size()) {
+    const auto [vma, page] = pending_[cursor_++];
+    // uffd round trip + reading the page from the (cached) image.
+    k.sim().advance(k.costs().uffd_fault);
+    if (!fs_prefix_.empty())
+      k.fs().charge_read(fs_prefix_ + "pages-1.img", os::kPageSize);
+    else
+      k.sim().advance(k.costs().page_cache_read_cost(os::kPageSize));
+    if (k.alive(pid_)) k.fault_in(pid_, vma, page, 1, /*write=*/false);
+    ++served;
+  }
+  return served;
+}
+
+}  // namespace prebake::criu

@@ -1,0 +1,96 @@
+// The restore side of the CRIU-model engine.
+//
+// Mirrors CRIU's restore: the restorer process reads the image files,
+// transmutes itself into the checkpointed process (clone — optionally with
+// the original pid, which needs CAP_CHECKPOINT_RESTORE), recreates
+// namespaces and open files, then remaps and faults the checkpointed memory.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "criu/image.hpp"
+#include "os/kernel.hpp"
+
+namespace prebake::criu {
+
+struct RestoreOptions {
+  // Reuse the checkpointed pid (requires CAP_CHECKPOINT_RESTORE or root).
+  bool restore_original_pid = false;
+  // Recompute every page digest after mapping and compare against the image
+  // (integrity check; costs CPU time).
+  bool verify_pages = false;
+  // Keep images in memory / page cache (the in-memory CRIU optimization of
+  // Venkatesh et al. [26], discussed as future work in Section 7): image
+  // reads are charged at page-cache bandwidth even on first restore.
+  bool in_memory = false;
+  // N concurrent restores sharing the storage device (processor-sharing
+  // approximation); used by the concurrency ablation.
+  double io_contention = 1.0;
+  os::Cap criu_caps = os::Cap::kSysPtrace | os::Cap::kSysAdmin;
+  // Where the image files live in the simulated filesystem ("" = images were
+  // never persisted; no storage read is charged, only decode + mapping).
+  std::string fs_prefix;
+  // The images live on a remote snapshot registry ("checkpoint/restore as
+  // a service", Section 7): a node's first read of each file is charged at
+  // network bandwidth, after which it is cached locally.
+  bool remote_fetch = false;
+  // Lazy-pages (post-copy) restore, CRIU's userfaultfd mode: only
+  // `lazy_working_set` of each VMA's pages are mapped eagerly; the rest are
+  // served on demand by the returned LazyPagesServer when the process first
+  // touches them. Trades restore latency for first-touch page faults.
+  bool lazy_pages = false;
+  double lazy_working_set = 0.25;  // fraction of pages restored eagerly
+};
+
+// The uffd page server left behind by a lazy restore: it owns the pages that
+// were *not* eagerly mapped and faults them into the target on demand.
+class LazyPagesServer {
+ public:
+  LazyPagesServer() = default;
+  LazyPagesServer(os::Kernel& kernel, os::Pid pid, std::string fs_prefix,
+                  std::vector<std::pair<os::VmaId, std::uint64_t>> pending);
+
+  // Fault `pages` pending pages into the target (first-touch order);
+  // charges page-fault plus image-read costs. Returns pages actually served.
+  std::uint64_t page_in(std::uint64_t pages);
+  // Drain everything (e.g. before a full-memory operation).
+  std::uint64_t page_in_all() { return page_in(pending_pages()); }
+
+  std::uint64_t pending_pages() const { return pending_.size() - cursor_; }
+  bool done() const { return pending_pages() == 0; }
+
+ private:
+  os::Kernel* kernel_ = nullptr;
+  os::Pid pid_ = os::kNoPid;
+  std::string fs_prefix_;
+  std::vector<std::pair<os::VmaId, std::uint64_t>> pending_;  // (vma, page)
+  std::size_t cursor_ = 0;
+};
+
+struct RestoreResult {
+  os::Pid pid = os::kNoPid;
+  std::uint64_t pages_restored = 0;
+  std::uint64_t bytes_read = 0;
+  sim::Duration duration;
+  // Present iff the restore ran with lazy_pages.
+  std::shared_ptr<LazyPagesServer> lazy_server;
+};
+
+class Restorer {
+ public:
+  explicit Restorer(os::Kernel& kernel) : kernel_{&kernel} {}
+
+  RestoreResult restore(const ImageDir& images, const RestoreOptions& opts = {});
+  // Restore from an incremental chain (pre-dump(s) followed by the final
+  // dump); metadata comes from the last image, memory from the whole chain.
+  RestoreResult restore_chain(std::span<const ImageDir* const> chain,
+                              const RestoreOptions& opts = {});
+
+ private:
+  os::Kernel* kernel_;
+};
+
+}  // namespace prebake::criu

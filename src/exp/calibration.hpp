@@ -1,0 +1,51 @@
+// Calibration of the simulated testbed to the paper's experimental setup:
+// a quad-core i5-3470S VM, 8 GB RAM, Ubuntu 16.04 (Linux 4.15), Oracle Java
+// 1.8.0_201 (Section 4.1). Constants were fit so the *emergent* start-up
+// medians reproduce the paper's reported numbers; see DESIGN.md §5 and
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+#pragma once
+
+#include "os/cost_model.hpp"
+#include "rt/function_spec.hpp"
+#include "rt/runtime.hpp"
+
+namespace prebake::exp {
+
+// Kernel-side costs of the simulated testbed.
+os::CostModel testbed_costs();
+
+// Runtime-side (JVM-like) costs of the simulated testbed.
+rt::RuntimeCosts testbed_runtime();
+
+// --- Other runtimes (paper Section 7 future work: "extend our evaluation
+// to other runtime environments such as Node.JS and Python") ---------------
+enum class RuntimeKind { kJava8, kNode12, kPython3 };
+const char* runtime_kind_name(RuntimeKind kind);
+// Cost profile for a runtime: Java 8 is the calibrated testbed; Node 12
+// (V8: quicker bootstrap, cheap baseline JIT) and CPython 3 (no JIT, light
+// bootstrap, byte-compiled module import) are modeled from their published
+// start-up characteristics.
+rt::RuntimeCosts runtime_profile(RuntimeKind kind);
+// A size-parameterized function for cross-runtime comparison ("hello" +
+// `code_mb` MB of lazily imported application code).
+rt::FunctionSpec cross_runtime_spec(RuntimeKind kind, int code_mb);
+
+// --- The paper's three real functions (Sections 4.1-4.2) -------------------
+// NOOP: acks every request; vanilla ~103 ms -> prebaked ~62 ms (40%).
+rt::FunctionSpec noop_spec();
+// Markdown Render: markdown -> HTML; ~100 ms -> ~53 ms (47%).
+rt::FunctionSpec markdown_spec();
+// Image Resizer: loads a 1 MiB 3440x1440 image at init, scales to 10% per
+// request; ~310 ms -> ~87 ms (71%); 99.2 MB snapshot.
+rt::FunctionSpec image_resizer_spec();
+
+// --- The synthetic functions of Section 4.2.2 ------------------------------
+enum class SynthSize { kSmall, kMedium, kBig };
+// small: 374 classes (~2.8 MB); medium: 574 (~9.2 MB); big: 1574 (~41 MB).
+// All classes are loaded lazily when the function is first invoked, so the
+// paper's start-up measurement for them runs until the first response.
+rt::FunctionSpec synthetic_spec(SynthSize size);
+
+const char* synth_size_name(SynthSize size);
+
+}  // namespace prebake::exp

@@ -1,0 +1,75 @@
+#include "exp/cli.hpp"
+
+#include <stdexcept>
+
+namespace prebake::exp {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {  // "--" separator: everything after is positional
+      for (++i; i < argc; ++i) positional_.emplace_back(argv[i]);
+      break;
+    }
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" when the next token is not itself a flag.
+    if (i + 1 < argc && std::string_view{argv[i + 1]}.rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";
+    }
+  }
+  for (const auto& [flag, value] : flags_) read_[flag] = false;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return std::nullopt;
+  read_[flag] = true;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& flag, std::string fallback) const {
+  return get(flag).value_or(std::move(fallback));
+}
+
+std::int64_t CliArgs::get_int_or(const std::string& flag,
+                                 std::int64_t fallback) const {
+  const auto v = get(flag);
+  if (!v.has_value()) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"--" + flag + " expects an integer, got '" +
+                                *v + "'"};
+  }
+}
+
+double CliArgs::get_double_or(const std::string& flag, double fallback) const {
+  const auto v = get(flag);
+  if (!v.has_value()) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"--" + flag + " expects a number, got '" + *v +
+                                "'"};
+  }
+}
+
+std::vector<std::string> CliArgs::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [flag, was_read] : read_)
+    if (!was_read) out.push_back(flag);
+  return out;
+}
+
+}  // namespace prebake::exp

@@ -1,0 +1,41 @@
+// Minimal command-line parsing for the tools and benches.
+//
+// Supports `--flag value`, `--flag=value`, bare `--switch`, and positional
+// arguments. Unknown-flag detection is the caller's job via consumed().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prebake::exp {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& flag) const {
+    const bool present = flags_.contains(flag);
+    if (present) read_[flag] = true;  // checking presence consumes a switch
+    return present;
+  }
+  // Value access; switches (no value) read as "".
+  std::optional<std::string> get(const std::string& flag) const;
+  std::string get_or(const std::string& flag, std::string fallback) const;
+  std::int64_t get_int_or(const std::string& flag, std::int64_t fallback) const;
+  double get_double_or(const std::string& flag, double fallback) const;
+
+  // Flags present on the command line but never read by the program.
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace prebake::exp

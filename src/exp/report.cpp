@@ -1,0 +1,95 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace prebake::exp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument{"TextTable: cell count != header count"};
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return out.str();
+}
+
+std::string fmt_ms(double ms, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f ms", precision, ms);
+  return buf;
+}
+
+std::string fmt_interval(const stats::Interval& iv, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "(%.*f; %.*f)", precision, iv.lo, precision,
+                iv.hi);
+  return buf;
+}
+
+std::string fmt_percent(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+std::string fmt_mib(std::uint64_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f MiB",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+std::string ascii_bar(double value, double max_value, int width) {
+  if (max_value <= 0.0) max_value = 1.0;
+  const int fill = std::clamp(
+      static_cast<int>(value / max_value * width + 0.5), 0, width);
+  return std::string(static_cast<std::size_t>(fill), '#') +
+         std::string(static_cast<std::size_t>(width - fill), ' ');
+}
+
+std::string render_ecdf(std::span<const double> sample,
+                        std::span<const double> quantiles) {
+  std::ostringstream out;
+  char buf[128];
+  for (double q : quantiles) {
+    const double v = stats::percentile(sample, q);
+    std::snprintf(buf, sizeof buf, "  p%-5.1f %10.3f ms\n", q * 100.0, v);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace prebake::exp

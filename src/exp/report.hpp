@@ -1,0 +1,36 @@
+// Plain-text table/figure rendering for the benchmark binaries.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+
+namespace prebake::exp {
+
+// Fixed-width table printer.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_ms(double ms, int precision = 2);
+std::string fmt_interval(const stats::Interval& iv, int precision = 2);
+std::string fmt_percent(double ratio, int precision = 2);
+std::string fmt_mib(std::uint64_t bytes);
+
+// Horizontal ASCII bar scaled to `max_value` over `width` columns.
+std::string ascii_bar(double value, double max_value, int width = 48);
+
+// Render an ECDF as a quantile table (step plot in text form).
+std::string render_ecdf(std::span<const double> sample,
+                        std::span<const double> quantiles);
+
+}  // namespace prebake::exp

@@ -1,0 +1,151 @@
+#include "exp/scenario.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "faas/builder.hpp"
+#include "sim/simulation.hpp"
+
+namespace prebake::exp {
+
+const char* technique_name(Technique t) {
+  switch (t) {
+    case Technique::kVanilla: return "Vanilla";
+    case Technique::kPrebakeNoWarmup: return "PB-NOWarmup";
+    case Technique::kPrebakeWarmup: return "PB-Warmup";
+    case Technique::kZygoteFork: return "Zygote-Fork";
+  }
+  throw std::invalid_argument{"technique_name: bad technique"};
+}
+
+namespace {
+
+// One self-contained simulated testbed.
+struct Testbed {
+  sim::Simulation sim;
+  os::Kernel kernel;
+  funcs::SharedAssets assets;
+  core::StartupService startup;
+  faas::FunctionBuilder builder;
+
+  explicit Testbed(const rt::RuntimeCosts& runtime)
+      : kernel{sim, testbed_costs()},
+        startup{kernel, runtime, assets},
+        builder{kernel, startup} {}
+};
+
+core::ReplicaProcess start_replica(Testbed& bed, const rt::FunctionSpec& spec,
+                                   Technique technique,
+                                   const core::BakedSnapshot* snapshot,
+                                   sim::Rng rng) {
+  if (technique == Technique::kVanilla)
+    return bed.startup.start_vanilla(spec, std::move(rng));
+  if (technique == Technique::kZygoteFork)
+    return bed.startup.start_zygote_fork(spec, std::move(rng));
+  return bed.startup.start_prebaked(spec, snapshot->images,
+                                    snapshot->fs_prefix, std::move(rng));
+}
+
+}  // namespace
+
+ScenarioResult run_startup_scenario(const ScenarioConfig& config) {
+  Testbed bed{config.runtime.value_or(testbed_runtime())};
+  sim::Rng root{config.seed};
+
+  // Build the function artifacts; bake the snapshot if needed.
+  std::optional<core::PrebakeConfig> prebake;
+  if (config.technique == Technique::kPrebakeNoWarmup ||
+      config.technique == Technique::kPrebakeWarmup) {
+    core::PrebakeConfig cfg;
+    cfg.policy = config.technique == Technique::kPrebakeWarmup
+                     ? core::SnapshotPolicy::warmup(config.warmup_requests)
+                     : core::SnapshotPolicy::no_warmup();
+    prebake = cfg;
+  }
+  faas::BuildResult built =
+      bed.builder.build(config.spec, prebake, root.child(1));
+  const rt::FunctionSpec& spec = built.spec;
+  const core::BakedSnapshot* snapshot =
+      built.snapshot.has_value() ? &*built.snapshot : nullptr;
+
+  ScenarioResult result;
+  if (snapshot != nullptr) {
+    result.snapshot_nominal_bytes = snapshot->images.nominal_total();
+    result.bake_time_ms = snapshot->build_time.to_millis();
+  }
+
+  // Warm the OS page cache with one throwaway run: the paper's testbed keeps
+  // its page cache across the 200 repetitions (only the runtime and load
+  // generator are restarted), so repetition 1 must not be a cold-disk
+  // outlier.
+  {
+    core::ReplicaProcess warm =
+        start_replica(bed, spec, config.technique, snapshot, root.child(2));
+    funcs::Request req = funcs::sample_request(spec.handler_id);
+    (void)warm.runtime->handle(req);
+    bed.startup.reclaim(warm);
+  }
+
+  const funcs::Request first_request = funcs::sample_request(spec.handler_id);
+  result.breakdowns.reserve(static_cast<std::size_t>(config.repetitions));
+  result.startup_ms.reserve(static_cast<std::size_t>(config.repetitions));
+
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    sim::Rng rng = root.child(100 + static_cast<std::uint64_t>(rep));
+    const sim::TimePoint t0 = bed.sim.now();
+    core::ReplicaProcess replica =
+        start_replica(bed, spec, config.technique, snapshot, std::move(rng));
+
+    if (config.measure_first_response) {
+      // The load generator holds the first request until the replica is
+      // ready, then start-up is measured to the first response.
+      const funcs::Response res = replica.runtime->handle(first_request);
+      if (!res.ok()) throw std::runtime_error{"scenario: request failed"};
+      replica.breakdown.total = bed.sim.now() - t0;
+    }
+
+    result.breakdowns.push_back(replica.breakdown);
+    result.startup_ms.push_back(replica.breakdown.total.to_millis());
+    bed.startup.reclaim(replica);
+  }
+  return result;
+}
+
+ServiceScenarioResult run_service_scenario(const rt::FunctionSpec& raw_spec,
+                                           Technique technique, int requests,
+                                           std::uint64_t seed) {
+  Testbed bed{testbed_runtime()};
+  sim::Rng root{seed};
+
+  std::optional<core::PrebakeConfig> prebake;
+  if (technique == Technique::kPrebakeNoWarmup ||
+      technique == Technique::kPrebakeWarmup) {
+    core::PrebakeConfig cfg;
+    cfg.policy = technique == Technique::kPrebakeWarmup
+                     ? core::SnapshotPolicy::warmup(1)
+                     : core::SnapshotPolicy::no_warmup();
+    prebake = cfg;
+  }
+  faas::BuildResult built = bed.builder.build(raw_spec, prebake, root.child(1));
+  const core::BakedSnapshot* snapshot =
+      built.snapshot.has_value() ? &*built.snapshot : nullptr;
+
+  core::ReplicaProcess replica = start_replica(bed, built.spec, technique,
+                                               snapshot, root.child(3));
+
+  ServiceScenarioResult result;
+  result.startup_ms = replica.breakdown.total.to_millis();
+  const funcs::Request req = funcs::sample_request(built.spec.handler_id);
+  result.service_ms.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const funcs::Response res = replica.runtime->handle(req);
+    if (!res.ok()) throw std::runtime_error{"service scenario: request failed"};
+    result.service_ms.push_back(
+        replica.runtime->last_service_time().to_millis());
+    result.response_bodies.push_back(res.body);
+  }
+  bed.startup.reclaim(replica);
+  return result;
+}
+
+}  // namespace prebake::exp

@@ -1,0 +1,67 @@
+// Experiment scenario runners shared by the benchmark binaries and the
+// calibration tests. Each scenario builds a fresh simulated testbed, bakes
+// the snapshot (if the technique needs one), then measures `repetitions`
+// independent replica start-ups exactly as the paper's harness does
+// (Section 4.1: runtime restarted before every run; 200 repetitions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/startup.hpp"
+#include "exp/calibration.hpp"
+#include "rt/function_spec.hpp"
+
+namespace prebake::exp {
+
+enum class Technique {
+  kVanilla,
+  kPrebakeNoWarmup,
+  kPrebakeWarmup,
+  // SOCK-style zygote fork [18,19]: COW-fork a pre-booted runtime, run only
+  // app init. A related-work baseline, not part of the paper's evaluation.
+  kZygoteFork,
+};
+
+const char* technique_name(Technique t);
+
+struct ScenarioConfig {
+  rt::FunctionSpec spec;
+  Technique technique = Technique::kVanilla;
+  int repetitions = 200;
+  // Measure start-up until the first response instead of until
+  // ready-to-serve. The paper's synthetic functions load their classes on
+  // first invocation, so their start-up is measured this way.
+  bool measure_first_response = false;
+  std::uint64_t seed = 42;
+  std::uint32_t warmup_requests = 1;  // for kPrebakeWarmup
+  // Runtime cost profile; defaults to the calibrated Java 8 testbed. The
+  // cross-runtime ablation passes runtime_profile(kNode12/kPython3).
+  std::optional<rt::RuntimeCosts> runtime;
+};
+
+struct ScenarioResult {
+  std::vector<core::StartupBreakdown> breakdowns;
+  std::vector<double> startup_ms;  // per the config's start-up definition
+  std::uint64_t snapshot_nominal_bytes = 0;  // 0 for Vanilla
+  double bake_time_ms = 0.0;
+};
+
+ScenarioResult run_startup_scenario(const ScenarioConfig& config);
+
+// Service-time scenario (Figure 7): start one replica with the given
+// technique, then apply `requests` sequential requests; returns per-request
+// service times and the response bodies (for cross-technique equality
+// checks).
+struct ServiceScenarioResult {
+  std::vector<double> service_ms;
+  std::vector<std::string> response_bodies;
+  double startup_ms = 0.0;
+};
+
+ServiceScenarioResult run_service_scenario(const rt::FunctionSpec& spec,
+                                           Technique technique, int requests,
+                                           std::uint64_t seed = 42);
+
+}  // namespace prebake::exp

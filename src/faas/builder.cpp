@@ -1,0 +1,51 @@
+#include "faas/builder.hpp"
+
+namespace prebake::faas {
+
+namespace {
+// A JDK 8-class runtime image; exec maps only its leading pages, so the size
+// mostly affects storage, not start-up.
+constexpr std::uint64_t kRuntimeBinaryBytes = 48ull * 1024 * 1024;
+// Archive (jar) overhead over the raw class bytes: manifest, index, padding.
+constexpr double kArchiveOverhead = 1.04;
+}  // namespace
+
+void FunctionBuilder::ensure_runtime_binary(const std::string& path) {
+  if (!kernel_->fs().exists(path))
+    kernel_->fs().create(path, kRuntimeBinaryBytes);
+}
+
+BuildResult FunctionBuilder::build(rt::FunctionSpec spec,
+                                   std::optional<core::PrebakeConfig> prebake,
+                                   sim::Rng rng) {
+  os::Kernel& k = *kernel_;
+  const sim::TimePoint t0 = k.sim().now();
+
+  ensure_runtime_binary(spec.runtime_binary);
+
+  // Package the classpath into the registry.
+  const std::uint64_t archive_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(spec.total_class_bytes()) * kArchiveOverhead);
+  spec.classpath_archive = "/registry/" + spec.name + "/classes.jar";
+  k.fs().create(spec.classpath_archive, std::max<std::uint64_t>(archive_bytes, 4096));
+  k.sim().advance(k.costs().disk_write_cost(archive_bytes));
+
+  // Stage application data dependencies (e.g. the resizer's source image).
+  if (spec.init_io_bytes > 0) {
+    if (spec.init_io_path.empty())
+      spec.init_io_path = "/registry/" + spec.name + "/data.bin";
+    if (!k.fs().exists(spec.init_io_path))
+      k.fs().create(spec.init_io_path, spec.init_io_bytes);
+  }
+
+  BuildResult result;
+  if (prebake.has_value()) {
+    core::Prebaker prebaker{*startup_};
+    result.snapshot = prebaker.bake(spec, *prebake, std::move(rng));
+  }
+  result.spec = std::move(spec);
+  result.build_time = k.sim().now() - t0;
+  return result;
+}
+
+}  // namespace prebake::faas

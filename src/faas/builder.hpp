@@ -1,0 +1,39 @@
+// Function Builder: turns a function source description into deployable
+// artifacts — registers the class archive (and runtime binary) in storage
+// and, for prebaked functions, triggers the build-time checkpoint
+// (Section 3.1: "it's more appropriate for the Function Builder to trigger
+// the function snapshot").
+#pragma once
+
+#include <optional>
+
+#include "core/prebaker.hpp"
+#include "faas/registry.hpp"
+#include "os/kernel.hpp"
+
+namespace prebake::faas {
+
+struct BuildResult {
+  rt::FunctionSpec spec;  // with classpath_archive/init_io paths filled in
+  std::optional<core::BakedSnapshot> snapshot;
+  sim::Duration build_time;
+};
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(os::Kernel& kernel, core::StartupService& startup)
+      : kernel_{&kernel}, startup_{&startup} {}
+
+  // Registers artifacts in the simulated filesystem and optionally prebakes.
+  BuildResult build(rt::FunctionSpec spec,
+                    std::optional<core::PrebakeConfig> prebake, sim::Rng rng);
+
+  // Ensure the runtime binary exists in storage (shared by all functions).
+  void ensure_runtime_binary(const std::string& path);
+
+ private:
+  os::Kernel* kernel_;
+  core::StartupService* startup_;
+};
+
+}  // namespace prebake::faas

@@ -1,0 +1,255 @@
+#include "faas/platform.hpp"
+
+#include <stdexcept>
+
+namespace prebake::faas {
+
+Platform::Platform(os::Kernel& kernel, rt::RuntimeCosts runtime_costs,
+                   PlatformConfig config, std::uint64_t seed)
+    : kernel_{&kernel},
+      startup_{kernel, std::move(runtime_costs), assets_},
+      containers_{kernel, config.container_costs},
+      builder_{kernel, startup_},
+      config_{config},
+      rng_{seed} {}
+
+void Platform::deploy(rt::FunctionSpec spec, StartMode mode,
+                      core::SnapshotPolicy policy) {
+  std::optional<core::PrebakeConfig> prebake;
+  if (mode == StartMode::kPrebaked) {
+    core::PrebakeConfig cfg;
+    cfg.policy = policy;
+    prebake = cfg;
+  }
+  BuildResult built = builder_.build(std::move(spec), prebake,
+                                     rng_.child(registry_.size() + 7));
+
+  RegisteredFunction fn;
+  fn.spec = std::move(built.spec);
+  fn.mode = mode;
+  fn.policy = policy;
+  fn.build_time = built.build_time;
+  if (built.snapshot.has_value()) snapshots_.put(std::move(*built.snapshot));
+  registry_.put(std::move(fn));
+}
+
+Platform::Replica* Platform::find_idle(const std::string& function) {
+  for (auto& r : replicas_)
+    if (r->function == function && r->state == ReplicaState::kIdle) return r.get();
+  return nullptr;
+}
+
+std::uint32_t Platform::replica_count(const std::string& function) const {
+  std::uint32_t n = 0;
+  for (const auto& r : replicas_)
+    if (r->function == function) ++n;
+  return n;
+}
+
+std::uint32_t Platform::idle_replica_count(const std::string& function) const {
+  std::uint32_t n = 0;
+  for (const auto& r : replicas_)
+    if (r->function == function && r->state == ReplicaState::kIdle) ++n;
+  return n;
+}
+
+Platform::Replica* Platform::start_replica(const std::string& function,
+                                           bool prewarmed) {
+  const RegisteredFunction& fn = registry_.get(function);
+  if (replica_count(function) >= config_.max_replicas_per_function)
+    return nullptr;
+
+  // Estimate the placement footprint: snapshot size (prebaked) or class +
+  // runtime footprint (vanilla), plus the container overhead.
+  std::uint64_t est = config_.replica_mem_overhead;
+  if (fn.mode == StartMode::kPrebaked) {
+    est += snapshots_.get(function, fn.policy).images.nominal_total();
+  } else {
+    est += 16ull * 1024 * 1024 + fn.spec.total_class_bytes() * 2 +
+           fn.spec.init_extra_resident;
+  }
+  const std::optional<NodeId> node = resources_.place(est);
+  if (!node.has_value()) return nullptr;
+
+  auto replica = std::make_unique<Replica>();
+  replica->id = next_replica_id_++;
+  replica->function = function;
+  replica->node = *node;
+  replica->mem_bytes = est;
+  replica->prewarmed = prewarmed;
+
+  if (config_.containerized) {
+    // Provision the execution environment first (Section 2, component 1).
+    // The image layers: runtime binary + the function's class archive.
+    std::vector<std::string> layers{fn.spec.runtime_binary};
+    if (!fn.spec.classpath_archive.empty())
+      layers.push_back(fn.spec.classpath_archive);
+    replica->container = containers_.create(
+        function + "-" + std::to_string(replica->id), std::move(layers), est,
+        /*privileged=*/fn.mode == StartMode::kPrebaked);
+  }
+
+  sim::Rng rng = rng_.child(replica->id * 1315423911ULL);
+  if (fn.mode == StartMode::kPrebaked) {
+    // A corrupt or missing snapshot must degrade availability, not destroy
+    // it: fall back to the fork-exec path and count the incident.
+    try {
+      const core::BakedSnapshot& snap = snapshots_.get(function, fn.policy);
+      replica->proc = startup_.start_prebaked(fn.spec, snap.images,
+                                              snap.fs_prefix, rng.child(0));
+    } catch (const std::exception&) {
+      ++stats_.restore_fallbacks;
+      replica->proc = startup_.start_vanilla(fn.spec, rng.child(1));
+    }
+  } else {
+    replica->proc = startup_.start_vanilla(fn.spec, std::move(rng));
+  }
+  if (replica->container.has_value()) {
+    containers_.attach(*replica->container, replica->proc.pid);
+    if (const auto oom = containers_.enforce_memory_limit(*replica->container)) {
+      ++stats_.oom_kills;
+      containers_.destroy(*replica->container);
+      resources_.release(*node, est);
+      return nullptr;
+    }
+  }
+  replica->state = ReplicaState::kIdle;
+  replica->idle_since = kernel_->sim().now();
+  ++stats_.replicas_started;
+
+  replicas_.push_back(std::move(replica));
+  Replica* out = replicas_.back().get();
+  arm_idle_timer(*out);
+  return out;
+}
+
+void Platform::invoke(const std::string& function, funcs::Request req,
+                      InvokeCallback callback) {
+  if (!registry_.has(function))
+    throw std::out_of_range{"Platform::invoke: unknown function " + function};
+  ++stats_.invocations;
+  queues_[function].push_back(
+      Pending{std::move(req), std::move(callback), kernel_->sim().now()});
+
+  if (find_idle(function) == nullptr) {
+    // Cold start: no ready replica for this event (Figure 1's flow).
+    if (start_replica(function) == nullptr &&
+        queues_[function].size() > 4 * config_.max_replicas_per_function) {
+      // Saturated: reject to keep the queue bounded.
+      Pending p = std::move(queues_[function].back());
+      queues_[function].pop_back();
+      ++stats_.rejected;
+      funcs::Response res;
+      res.status = 503;
+      res.body = "no capacity";
+      RequestMetrics m;
+      m.function = function;
+      m.arrival = p.arrival;
+      p.callback(res, m);
+      return;
+    }
+  }
+  dispatch(function);
+}
+
+void Platform::scale_up(const std::string& function, std::uint32_t count) {
+  while (idle_replica_count(function) < count)
+    if (start_replica(function, /*prewarmed=*/true) == nullptr) break;
+}
+
+void Platform::set_min_idle(const std::string& function, std::uint32_t count) {
+  if (!registry_.has(function))
+    throw std::out_of_range{"Platform::set_min_idle: unknown function " + function};
+  min_idle_[function] = count;
+  scale_up(function, count);
+}
+
+void Platform::dispatch(const std::string& function) {
+  auto& queue = queues_[function];
+  while (!queue.empty()) {
+    Replica* replica = find_idle(function);
+    if (replica == nullptr) return;
+    Pending pending = std::move(queue.front());
+    queue.pop_front();
+    serve(*replica, std::move(pending));
+  }
+}
+
+void Platform::serve(Replica& replica, Pending pending) {
+  replica.state = ReplicaState::kBusy;
+  ++replica.idle_epoch;  // cancel any pending idle timeout logically
+
+  RequestMetrics metrics;
+  metrics.function = replica.function;
+  metrics.arrival = pending.arrival;
+  metrics.queue_wait = kernel_->sim().now() - pending.arrival;
+  // A cold start is a request that had to wait for a replica to be created
+  // on its behalf; pre-warmed pool replicas serve warm (Lin & Glikson [14]).
+  if (!replica.served_any && !replica.prewarmed) {
+    metrics.cold_start = true;
+    metrics.startup = replica.proc.breakdown.total;
+    ++stats_.cold_starts;
+  }
+  replica.served_any = true;
+
+  // Execute the real handler synchronously to *measure* its duration, then
+  // rewind and re-emit the completion as an event, so the replica stays Busy
+  // across the service window and concurrent arrivals trigger scale-out
+  // (one request per replica, as in public clouds — Section 4.1).
+  const sim::TimePoint service_start = kernel_->sim().now();
+  const funcs::Response response = replica.proc.runtime->handle(pending.req);
+  const sim::TimePoint service_end = kernel_->sim().now();
+  metrics.service = service_end - service_start;
+  metrics.total = service_end - pending.arrival;
+  kernel_->sim().rewind_to(service_start);
+
+  const std::uint64_t id = replica.id;
+  kernel_->sim().schedule_at(
+      service_end,
+      [this, id, response, metrics, callback = std::move(pending.callback)] {
+        request_log_.push_back(metrics);
+        // Release the replica before delivering the response so a chained
+        // invocation (workflow stages) can reuse it immediately.
+        std::string function;
+        for (auto& r : replicas_) {
+          if (r->id != id) continue;
+          r->state = ReplicaState::kIdle;
+          r->idle_since = kernel_->sim().now();
+          arm_idle_timer(*r);
+          function = r->function;
+          break;
+        }
+        callback(response, metrics);
+        if (!function.empty()) dispatch(function);
+      });
+}
+
+void Platform::arm_idle_timer(Replica& replica) {
+  const std::uint64_t epoch = ++replica.idle_epoch;
+  const std::uint64_t id = replica.id;
+  kernel_->sim().schedule_in(config_.idle_timeout, [this, id, epoch] {
+    for (auto& r : replicas_) {
+      if (r->id != id) continue;
+      if (r->state != ReplicaState::kIdle || r->idle_epoch != epoch) return;
+      // The warm pool floor is exempt from idle reclaim. No re-arm: the
+      // replica sits in the pool until it serves again (serving re-arms on
+      // completion); re-arming here would tick forever on an idle system.
+      const auto it = min_idle_.find(r->function);
+      if (it != min_idle_.end() && idle_replica_count(r->function) <= it->second)
+        return;
+      reclaim(*r);
+      return;
+    }
+  });
+}
+
+void Platform::reclaim(Replica& replica) {
+  if (replica.container.has_value()) containers_.destroy(*replica.container);
+  startup_.reclaim(replica.proc);
+  resources_.release(replica.node, replica.mem_bytes);
+  ++stats_.replicas_reclaimed;
+  const std::uint64_t id = replica.id;
+  std::erase_if(replicas_, [id](const auto& r) { return r->id == id; });
+}
+
+}  // namespace prebake::faas

@@ -1,0 +1,154 @@
+// The FaaS platform: Function Router, Function Deployer and autoscaling glue
+// over the SPEC-RG components (Section 2 / Figure 1 of the paper).
+//
+// Concurrency model matches the paper's description of public clouds: each
+// replica handles one request at a time; a request arriving while every
+// replica is busy triggers a scale-up; replicas idle longer than the
+// idle-timeout are garbage collected. Worker-node CPU work (replica start-up
+// and request service) executes inline on the simulation clock, modeling a
+// single-CPU worker; request arrivals are scheduled events.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prebaker.hpp"
+#include "core/startup.hpp"
+#include "faas/builder.hpp"
+#include "faas/registry.hpp"
+#include "faas/resource_manager.hpp"
+#include "os/container.hpp"
+
+namespace prebake::faas {
+
+struct RequestMetrics {
+  std::string function;
+  sim::TimePoint arrival;
+  sim::Duration queue_wait;  // waiting for a replica (includes start-up)
+  sim::Duration startup;     // replica start-up this request had to wait for
+  sim::Duration service;     // handler execution
+  sim::Duration total;       // arrival -> response
+  bool cold_start = false;
+};
+
+using InvokeCallback =
+    std::function<void(const funcs::Response&, const RequestMetrics&)>;
+
+struct PlatformConfig {
+  // Idle replicas are reclaimed after this long (Wang et al. [27] observe
+  // minutes-scale timeouts in public platforms).
+  sim::Duration idle_timeout = sim::Duration::seconds(600);
+  std::uint32_t max_replicas_per_function = 64;
+  // Container/runtime overhead accounted per replica beyond process RSS.
+  std::uint64_t replica_mem_overhead = 32ull * 1024 * 1024;
+  // Run every replica inside a container (Section 2's execution-environment
+  // provisioning term); adds the ContainerCosts to each replica start and
+  // enforces a cgroup memory limit sized to the placement estimate.
+  bool containerized = false;
+  os::ContainerCosts container_costs{};
+};
+
+struct PlatformStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t replicas_started = 0;
+  std::uint64_t replicas_reclaimed = 0;
+  std::uint64_t rejected = 0;  // no capacity and queue overflow
+  std::uint64_t oom_kills = 0;  // cgroup memory.max enforcement actions
+  // Snapshot restores that failed (corrupt/missing images) and fell back to
+  // the Vanilla start path.
+  std::uint64_t restore_fallbacks = 0;
+};
+
+class Platform {
+ public:
+  Platform(os::Kernel& kernel, rt::RuntimeCosts runtime_costs,
+           PlatformConfig config, std::uint64_t seed);
+
+  // Build (optionally prebake) and register a function. Replaces any
+  // existing version.
+  void deploy(rt::FunctionSpec spec, StartMode mode,
+              core::SnapshotPolicy policy = core::SnapshotPolicy::no_warmup());
+
+  // Invoke a function; the callback fires when the response is ready (in
+  // simulation time). Must be called from within the simulation (or before
+  // running it).
+  void invoke(const std::string& function, funcs::Request req,
+              InvokeCallback callback);
+
+  // Pre-warm: ensure at least `count` idle replicas exist.
+  void scale_up(const std::string& function, std::uint32_t count);
+
+  // Warm-pool policy (the pool-based alternative of Lin & Glikson [14], the
+  // approach the paper contrasts prebaking against): keep at least `count`
+  // idle replicas alive at all times — they are exempt from idle-timeout
+  // reclaim and replenished after scale-downs. The pool's memory is the cost
+  // the provider eats for the latency (Section 1).
+  void set_min_idle(const std::string& function, std::uint32_t count);
+
+  ResourceManager& resources() { return resources_; }
+  FunctionRegistry& registry() { return registry_; }
+  core::SnapshotStore& snapshots() { return snapshots_; }
+  const PlatformStats& stats() const { return stats_; }
+  const std::vector<RequestMetrics>& request_log() const { return request_log_; }
+  std::uint32_t replica_count(const std::string& function) const;
+  std::uint32_t idle_replica_count(const std::string& function) const;
+  os::Kernel& kernel() { return *kernel_; }
+  core::StartupService& startup() { return startup_; }
+  os::ContainerRuntime& containers() { return containers_; }
+
+ private:
+  enum class ReplicaState : std::uint8_t { kIdle, kBusy };
+
+  struct Replica {
+    std::uint64_t id = 0;
+    std::string function;
+    NodeId node = 0;
+    std::uint64_t mem_bytes = 0;
+    core::ReplicaProcess proc;
+    ReplicaState state = ReplicaState::kIdle;
+    sim::TimePoint idle_since;
+    std::uint64_t idle_epoch = 0;  // invalidates stale idle-timeout events
+    bool served_any = false;
+    bool prewarmed = false;  // started proactively (scale_up), not by a request
+    std::optional<os::ContainerId> container;
+  };
+
+  struct Pending {
+    funcs::Request req;
+    InvokeCallback callback;
+    sim::TimePoint arrival;
+  };
+
+  Replica* find_idle(const std::string& function);
+  Replica* start_replica(const std::string& function, bool prewarmed = false);
+  void dispatch(const std::string& function);
+  void serve(Replica& replica, Pending pending);
+  void arm_idle_timer(Replica& replica);
+  void reclaim(Replica& replica);
+
+  os::Kernel* kernel_;
+  funcs::SharedAssets assets_;
+  core::StartupService startup_;
+  os::ContainerRuntime containers_;
+  FunctionBuilder builder_;
+  FunctionRegistry registry_;
+  core::SnapshotStore snapshots_;
+  ResourceManager resources_;
+  PlatformConfig config_;
+  sim::Rng rng_;
+  PlatformStats stats_;
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::map<std::string, std::uint32_t> min_idle_;
+  std::map<std::string, std::deque<Pending>> queues_;
+  std::vector<RequestMetrics> request_log_;
+  std::uint64_t next_replica_id_ = 1;
+};
+
+}  // namespace prebake::faas

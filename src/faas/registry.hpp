@@ -1,0 +1,50 @@
+// Function Registry (SPEC-RG reference architecture, Section 2): the
+// repository of function metadata and deployable artifacts.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "core/prebaker.hpp"
+#include "rt/function_spec.hpp"
+
+namespace prebake::faas {
+
+// How new replicas of a function are started.
+enum class StartMode : std::uint8_t { kVanilla, kPrebaked };
+
+struct RegisteredFunction {
+  rt::FunctionSpec spec;
+  StartMode mode = StartMode::kVanilla;
+  core::SnapshotPolicy policy;  // meaningful when mode == kPrebaked
+  std::uint32_t version = 1;
+  sim::Duration build_time;
+};
+
+class FunctionRegistry {
+ public:
+  void put(RegisteredFunction fn) {
+    auto [it, inserted] = functions_.try_emplace(fn.spec.name, fn);
+    if (!inserted) {
+      fn.version = it->second.version + 1;
+      it->second = std::move(fn);
+    }
+  }
+
+  const RegisteredFunction& get(const std::string& name) const {
+    const auto it = functions_.find(name);
+    if (it == functions_.end())
+      throw std::out_of_range{"FunctionRegistry: unknown function " + name};
+    return it->second;
+  }
+
+  bool has(const std::string& name) const { return functions_.contains(name); }
+  std::size_t size() const { return functions_.size(); }
+
+ private:
+  std::map<std::string, RegisteredFunction> functions_;
+};
+
+}  // namespace prebake::faas

@@ -1,0 +1,45 @@
+// Resource Manager (SPEC-RG Resource Orchestration layer): tracks worker
+// nodes and places function replicas by memory footprint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace prebake::faas {
+
+using NodeId = std::uint32_t;
+
+struct Node {
+  NodeId id = 0;
+  std::string name;
+  std::uint64_t mem_capacity = 0;
+  std::uint64_t mem_used = 0;
+  std::uint32_t replicas = 0;
+
+  std::uint64_t mem_free() const { return mem_capacity - mem_used; }
+};
+
+class ResourceManager {
+ public:
+  NodeId add_node(std::string name, std::uint64_t mem_capacity_bytes);
+
+  // Worst-fit placement (most free memory first) to spread load. Returns
+  // nullopt when no node can host the replica.
+  std::optional<NodeId> place(std::uint64_t mem_bytes);
+  void release(NodeId node, std::uint64_t mem_bytes);
+
+  const Node& node(NodeId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::uint64_t total_mem_used() const;
+  std::uint64_t total_mem_capacity() const;
+
+ private:
+  Node& node_mut(NodeId id);
+  std::vector<Node> nodes_;
+  NodeId next_id_ = 1;
+};
+
+}  // namespace prebake::faas

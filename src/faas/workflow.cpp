@@ -1,0 +1,57 @@
+#include "faas/workflow.hpp"
+
+#include <stdexcept>
+
+namespace prebake::faas {
+
+void WorkflowEngine::register_workflow(WorkflowSpec spec) {
+  if (spec.stages.empty())
+    throw std::invalid_argument{"workflow: no stages: " + spec.name};
+  for (const std::string& stage : spec.stages)
+    if (!platform_->registry().has(stage))
+      throw std::out_of_range{"workflow: stage not deployed: " + stage};
+  workflows_[spec.name] = std::move(spec);
+}
+
+const WorkflowSpec& WorkflowEngine::get(const std::string& name) const {
+  const auto it = workflows_.find(name);
+  if (it == workflows_.end())
+    throw std::out_of_range{"workflow: unknown workflow " + name};
+  return it->second;
+}
+
+void WorkflowEngine::run(const std::string& name, funcs::Request input,
+                         WorkflowCallback callback) {
+  const WorkflowSpec& spec = get(name);
+  auto metrics = std::make_shared<WorkflowMetrics>();
+  metrics->workflow = name;
+  run_stage(spec, 0, std::move(input), platform_->kernel().sim().now(),
+            std::move(metrics), std::move(callback));
+}
+
+void WorkflowEngine::run_stage(const WorkflowSpec& spec, std::size_t index,
+                               funcs::Request input, sim::TimePoint started,
+                               std::shared_ptr<WorkflowMetrics> metrics,
+                               WorkflowCallback callback) {
+  platform_->invoke(
+      spec.stages[index], std::move(input),
+      [this, &spec, index, started, metrics,
+       callback = std::move(callback)](const funcs::Response& res,
+                                       const RequestMetrics& m) mutable {
+        metrics->stages.push_back(m);
+        if (m.cold_start) ++metrics->cold_starts;
+        const bool last = index + 1 == spec.stages.size();
+        if (last || !res.ok()) {
+          metrics->total = platform_->kernel().sim().now() - started;
+          callback(res, *metrics);
+          return;
+        }
+        funcs::Request next;
+        next.path = "/invoke";
+        next.body = res.body;  // dataflow: stage output feeds the next stage
+        run_stage(spec, index + 1, std::move(next), started, metrics,
+                  std::move(callback));
+      });
+}
+
+}  // namespace prebake::faas

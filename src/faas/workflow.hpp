@@ -1,0 +1,57 @@
+// Workflow Management layer (the third SPEC-RG layer, Section 2): function
+// composition. A workflow chains functions; each stage's response body feeds
+// the next stage's request. Cold starts compound across stages — a freshly
+// scaled N-stage pipeline pays N sequential start-ups on its critical path,
+// which is exactly where prebaking's per-replica savings multiply.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "faas/platform.hpp"
+
+namespace prebake::faas {
+
+struct WorkflowSpec {
+  std::string name;
+  // Function names invoked in order; every stage must be deployed.
+  std::vector<std::string> stages;
+};
+
+struct WorkflowMetrics {
+  std::string workflow;
+  sim::Duration total;
+  std::vector<RequestMetrics> stages;
+  std::uint32_t cold_starts = 0;
+};
+
+using WorkflowCallback =
+    std::function<void(const funcs::Response&, const WorkflowMetrics&)>;
+
+class WorkflowEngine {
+ public:
+  explicit WorkflowEngine(Platform& platform) : platform_{&platform} {}
+
+  // Validates that every stage is deployed before accepting the workflow.
+  void register_workflow(WorkflowSpec spec);
+  bool has(const std::string& name) const { return workflows_.contains(name); }
+  const WorkflowSpec& get(const std::string& name) const;
+
+  // Execute the chain; the callback fires with the last stage's response
+  // (or the first non-2xx response, which aborts the chain).
+  void run(const std::string& name, funcs::Request input,
+           WorkflowCallback callback);
+
+ private:
+  void run_stage(const WorkflowSpec& spec, std::size_t index,
+                 funcs::Request input, sim::TimePoint started,
+                 std::shared_ptr<WorkflowMetrics> metrics,
+                 WorkflowCallback callback);
+
+  Platform* platform_;
+  std::map<std::string, WorkflowSpec> workflows_;
+};
+
+}  // namespace prebake::faas

@@ -1,0 +1,84 @@
+// The paper's evaluated functions as real request handlers.
+//
+// A Handler is the business logic living inside one function replica; the
+// runtime model charges the *time* while these produce the actual *bytes*,
+// so Figure 7's "service distributions coincide" claim can also be checked
+// for output equality between Vanilla-started and prebaked replicas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "funcs/http.hpp"
+#include "funcs/image.hpp"
+
+namespace prebake::funcs {
+
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  virtual Response handle(const Request& req) = 0;
+};
+
+// i) "do-nothing": acks every request.
+class NoopHandler final : public Handler {
+ public:
+  Response handle(const Request& req) override;
+};
+
+// iii) Markdown Render: request body is markdown, response body is HTML.
+class MarkdownHandler final : public Handler {
+ public:
+  Response handle(const Request& req) override;
+};
+
+// ii) Image Resizer: holds a decoded source image (loaded at APPINIT in the
+// paper) and scales it down to `scale` of the original per request.
+class ImageResizerHandler final : public Handler {
+ public:
+  ImageResizerHandler(std::shared_ptr<const Image> source, double scale);
+  Response handle(const Request& req) override;
+
+ private:
+  std::shared_ptr<const Image> source_;
+  double scale_;
+};
+
+// Synthetic function of a configurable "code size" (Section 4.2.2): echoes a
+// fingerprint of its configured class count so invocations are observable.
+class SyntheticHandler final : public Handler {
+ public:
+  explicit SyntheticHandler(int class_count) : class_count_{class_count} {}
+  Response handle(const Request& req) override;
+
+ private:
+  int class_count_;
+};
+
+// Process-wide immutable assets shared between replicas of the same function
+// (the decoded source image is identical for every Image Resizer replica, so
+// regenerating the synthetic pixels per replica would only waste host time).
+class SharedAssets {
+ public:
+  std::shared_ptr<const Image> image(std::uint32_t width, std::uint32_t height,
+                                     std::uint64_t seed);
+
+ private:
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>,
+           std::shared_ptr<const Image>>
+      images_;
+};
+
+// Factory keyed by the handler ids used in function specs:
+//   "noop" | "markdown" | "image-resizer" | "synthetic:<classes>"
+std::unique_ptr<Handler> make_handler(const std::string& id, SharedAssets& assets);
+
+// A representative request for a handler (the paper embeds a markdown
+// document in each Markdown Render request; other functions take empty
+// bodies). Used by load generators and by warm-up before snapshotting.
+Request sample_request(const std::string& handler_id);
+
+}  // namespace prebake::funcs

@@ -1,0 +1,30 @@
+// Minimal HTTP request/response model.
+//
+// The paper's functions sit behind an HTTP server inside each replica (as in
+// AWS Lambda / OpenWhisk); requests and responses here carry real payloads so
+// handler correctness is testable, while transport timing is charged by the
+// platform model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace prebake::funcs {
+
+struct Request {
+  std::string method = "POST";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct Response {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+}  // namespace prebake::funcs

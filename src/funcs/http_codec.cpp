@@ -1,0 +1,207 @@
+#include "funcs/http_codec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace prebake::funcs {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+void fail(ParseError* error, std::string message, std::size_t offset) {
+  if (error != nullptr) *error = ParseError{std::move(message), offset};
+}
+
+bool is_token_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) ||
+         std::string_view{"!#$%&'*+-.^_`|~"}.find(c) != std::string_view::npos;
+}
+
+std::string trim_ows(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return std::string{s.substr(b, e - b)};
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// Shared header+body machinery after the start line. Returns false on error.
+bool parse_headers_and_body(const std::string& wire, std::size_t pos,
+                            std::map<std::string, std::string>& headers,
+                            std::string& body, std::size_t* consumed,
+                            ParseError* error) {
+  // Headers until the blank line.
+  std::optional<std::size_t> content_length;
+  while (true) {
+    const std::size_t eol = wire.find(kCrlf, pos);
+    if (eol == std::string::npos) {
+      fail(error, "unterminated header line", pos);
+      return false;
+    }
+    if (eol == pos) {  // blank line: end of headers
+      pos += kCrlf.size();
+      break;
+    }
+    const std::size_t colon = wire.find(':', pos);
+    if (colon == std::string::npos || colon > eol) {
+      fail(error, "header line without colon", pos);
+      return false;
+    }
+    const std::string name{wire.substr(pos, colon - pos)};
+    if (name.empty() || !std::all_of(name.begin(), name.end(), is_token_char)) {
+      fail(error, "invalid header name", pos);
+      return false;
+    }
+    const std::string value =
+        trim_ows(std::string_view{wire}.substr(colon + 1, eol - colon - 1));
+    headers[name] = value;
+    if (lower(name) == "content-length") {
+      std::size_t len = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), len);
+      if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        fail(error, "bad Content-Length", pos);
+        return false;
+      }
+      content_length = len;
+    }
+    pos = eol + kCrlf.size();
+  }
+
+  const std::size_t body_len = content_length.value_or(0);
+  if (wire.size() - pos < body_len) {
+    fail(error, "truncated body", pos);
+    return false;
+  }
+  body = wire.substr(pos, body_len);
+  if (consumed != nullptr) *consumed = pos + body_len;
+  return true;
+}
+
+void emit_headers_and_body(std::ostringstream& out,
+                           const std::map<std::string, std::string>& headers,
+                           const std::string& body) {
+  for (const auto& [name, value] : headers) {
+    if (lower(name) == "content-length") continue;  // we own this one
+    out << name << ": " << value << kCrlf;
+  }
+  out << "Content-Length: " << body.size() << kCrlf << kCrlf << body;
+}
+
+}  // namespace
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string encode_request(const Request& req) {
+  std::ostringstream out;
+  out << req.method << ' ' << (req.path.empty() ? "/" : req.path)
+      << " HTTP/1.1" << kCrlf;
+  emit_headers_and_body(out, req.headers, req.body);
+  return out.str();
+}
+
+std::string encode_response(const Response& res) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << res.status << ' ' << reason_phrase(res.status) << kCrlf;
+  emit_headers_and_body(out, res.headers, res.body);
+  return out.str();
+}
+
+std::optional<Request> decode_request(const std::string& wire,
+                                      std::size_t* consumed,
+                                      ParseError* error) {
+  const std::size_t eol = wire.find(kCrlf);
+  if (eol == std::string::npos) {
+    fail(error, "unterminated request line", 0);
+    return std::nullopt;
+  }
+  const std::string_view line{wire.data(), eol};
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    fail(error, "malformed request line", 0);
+    return std::nullopt;
+  }
+  Request req;
+  req.method = std::string{line.substr(0, sp1)};
+  req.path = std::string{line.substr(sp1 + 1, sp2 - sp1 - 1)};
+  const std::string_view version = line.substr(sp2 + 1);
+  if (req.method.empty() ||
+      !std::all_of(req.method.begin(), req.method.end(), is_token_char)) {
+    fail(error, "invalid method", 0);
+    return std::nullopt;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    fail(error, "unsupported HTTP version", sp2 + 1);
+    return std::nullopt;
+  }
+  if (!parse_headers_and_body(wire, eol + kCrlf.size(), req.headers, req.body,
+                              consumed, error))
+    return std::nullopt;
+  return req;
+}
+
+std::optional<Response> decode_response(const std::string& wire,
+                                        std::size_t* consumed,
+                                        ParseError* error) {
+  const std::size_t eol = wire.find(kCrlf);
+  if (eol == std::string::npos) {
+    fail(error, "unterminated status line", 0);
+    return std::nullopt;
+  }
+  const std::string_view line{wire.data(), eol};
+  if (line.rfind("HTTP/1.", 0) != 0) {
+    fail(error, "missing HTTP version", 0);
+    return std::nullopt;
+  }
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
+    fail(error, "malformed status line", 0);
+    return std::nullopt;
+  }
+  Response res;
+  const std::string_view code = line.substr(sp1 + 1, 3);
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), res.status);
+  if (ec != std::errc{} || ptr != code.data() + code.size() ||
+      res.status < 100 || res.status > 599) {
+    fail(error, "bad status code", sp1 + 1);
+    return std::nullopt;
+  }
+  if (!parse_headers_and_body(wire, eol + kCrlf.size(), res.headers, res.body,
+                              consumed, error))
+    return std::nullopt;
+  return res;
+}
+
+}  // namespace prebake::funcs

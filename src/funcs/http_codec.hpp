@@ -1,0 +1,41 @@
+// HTTP/1.1 wire codec.
+//
+// The platform's Gateway and Watchdog speak HTTP to function replicas (as in
+// OpenFaaS and the commercial FaaS offerings the paper lists); this codec
+// serializes the Request/Response model to real HTTP/1.1 bytes and parses
+// them back, so transport framing is testable and byte counts feeding the
+// network cost model are exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "funcs/http.hpp"
+
+namespace prebake::funcs {
+
+// Serialize to HTTP/1.1 wire format. A Content-Length header is always
+// emitted (replacing any caller-provided one).
+std::string encode_request(const Request& req);
+std::string encode_response(const Response& res);
+
+struct ParseError {
+  std::string message;
+  std::size_t offset = 0;  // byte offset where parsing failed
+};
+
+// Parse a complete message from `wire`. Returns the message and sets
+// `consumed` to the bytes used (callers may pipeline). On failure returns
+// nullopt and fills `error` if provided.
+std::optional<Request> decode_request(const std::string& wire,
+                                      std::size_t* consumed = nullptr,
+                                      ParseError* error = nullptr);
+std::optional<Response> decode_response(const std::string& wire,
+                                        std::size_t* consumed = nullptr,
+                                        ParseError* error = nullptr);
+
+// Standard reason phrase for a status code ("OK", "Not Found", ...).
+const char* reason_phrase(int status);
+
+}  // namespace prebake::funcs

@@ -1,0 +1,190 @@
+#include "funcs/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace prebake::funcs {
+
+Image generate_synthetic_image(std::uint32_t width, std::uint32_t height,
+                               std::uint64_t seed) {
+  if (width == 0 || height == 0)
+    throw std::invalid_argument{"generate_synthetic_image: zero dimension"};
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.rgba.resize(static_cast<std::size_t>(width) * height * 4);
+
+  sim::Rng rng{seed};
+  // A few random "light sources" make the gradients non-trivial.
+  struct Blob {
+    double x, y, radius, r, g, b;
+  };
+  std::vector<Blob> blobs;
+  for (int i = 0; i < 5; ++i) {
+    blobs.push_back(Blob{rng.uniform(0, width), rng.uniform(0, height),
+                         rng.uniform(width / 8.0, width / 2.0),
+                         rng.uniform(40, 255), rng.uniform(40, 255),
+                         rng.uniform(40, 255)});
+  }
+
+  std::uint64_t noise_state = seed ^ 0xABCDEF;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      double r = 16, g = 24, b = 40;  // dark base
+      for (const Blob& blob : blobs) {
+        const double dx = x - blob.x, dy = y - blob.y;
+        const double w = std::exp(-(dx * dx + dy * dy) / (2 * blob.radius * blob.radius));
+        r += w * blob.r;
+        g += w * blob.g;
+        b += w * blob.b;
+      }
+      // High-frequency deterministic noise (+-12).
+      const std::uint64_t h = sim::splitmix64(noise_state);
+      r += static_cast<double>(h & 0x1F) - 16.0;
+      g += static_cast<double>((h >> 5) & 0x1F) - 16.0;
+      b += static_cast<double>((h >> 10) & 0x1F) - 16.0;
+
+      std::uint8_t* p = img.pixel(x, y);
+      p[0] = static_cast<std::uint8_t>(std::clamp(r, 0.0, 255.0));
+      p[1] = static_cast<std::uint8_t>(std::clamp(g, 0.0, 255.0));
+      p[2] = static_cast<std::uint8_t>(std::clamp(b, 0.0, 255.0));
+      p[3] = 255;
+    }
+  }
+  return img;
+}
+
+Image resize_box(const Image& src, double scale) {
+  if (!src.valid()) throw std::invalid_argument{"resize_box: invalid image"};
+  if (scale <= 0.0 || scale > 1.0)
+    throw std::invalid_argument{"resize_box: scale must be in (0, 1]"};
+  const auto out_w = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(src.width * scale)));
+  const auto out_h = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(src.height * scale)));
+
+  Image out;
+  out.width = out_w;
+  out.height = out_h;
+  out.rgba.resize(static_cast<std::size_t>(out_w) * out_h * 4);
+
+  const double x_ratio = static_cast<double>(src.width) / out_w;
+  const double y_ratio = static_cast<double>(src.height) / out_h;
+  for (std::uint32_t oy = 0; oy < out_h; ++oy) {
+    const auto y0 = static_cast<std::uint32_t>(oy * y_ratio);
+    const auto y1 = std::min<std::uint32_t>(
+        src.height, static_cast<std::uint32_t>(std::ceil((oy + 1) * y_ratio)));
+    for (std::uint32_t ox = 0; ox < out_w; ++ox) {
+      const auto x0 = static_cast<std::uint32_t>(ox * x_ratio);
+      const auto x1 = std::min<std::uint32_t>(
+          src.width, static_cast<std::uint32_t>(std::ceil((ox + 1) * x_ratio)));
+      std::uint64_t acc[4] = {0, 0, 0, 0};
+      std::uint64_t count = 0;
+      for (std::uint32_t sy = y0; sy < y1; ++sy) {
+        for (std::uint32_t sx = x0; sx < x1; ++sx) {
+          const std::uint8_t* p = src.pixel(sx, sy);
+          for (int c = 0; c < 4; ++c) acc[c] += p[c];
+          ++count;
+        }
+      }
+      std::uint8_t* q = out.pixel(ox, oy);
+      for (int c = 0; c < 4; ++c)
+        q[c] = count == 0 ? 0 : static_cast<std::uint8_t>(acc[c] / count);
+    }
+  }
+  return out;
+}
+
+Image resize_bilinear(const Image& src, std::uint32_t width,
+                      std::uint32_t height) {
+  if (!src.valid()) throw std::invalid_argument{"resize_bilinear: invalid image"};
+  if (width == 0 || height == 0)
+    throw std::invalid_argument{"resize_bilinear: zero target dimension"};
+  Image out;
+  out.width = width;
+  out.height = height;
+  out.rgba.resize(static_cast<std::size_t>(width) * height * 4);
+
+  const double x_ratio =
+      width > 1 ? static_cast<double>(src.width - 1) / (width - 1) : 0.0;
+  const double y_ratio =
+      height > 1 ? static_cast<double>(src.height - 1) / (height - 1) : 0.0;
+  for (std::uint32_t oy = 0; oy < height; ++oy) {
+    const double fy = oy * y_ratio;
+    const auto y0 = static_cast<std::uint32_t>(fy);
+    const std::uint32_t y1 = std::min(y0 + 1, src.height - 1);
+    const double wy = fy - y0;
+    for (std::uint32_t ox = 0; ox < width; ++ox) {
+      const double fx = ox * x_ratio;
+      const auto x0 = static_cast<std::uint32_t>(fx);
+      const std::uint32_t x1 = std::min(x0 + 1, src.width - 1);
+      const double wx = fx - x0;
+      const std::uint8_t* p00 = src.pixel(x0, y0);
+      const std::uint8_t* p10 = src.pixel(x1, y0);
+      const std::uint8_t* p01 = src.pixel(x0, y1);
+      const std::uint8_t* p11 = src.pixel(x1, y1);
+      std::uint8_t* q = out.pixel(ox, oy);
+      for (int c = 0; c < 4; ++c) {
+        const double top = p00[c] * (1 - wx) + p10[c] * wx;
+        const double bot = p01[c] * (1 - wx) + p11[c] * wx;
+        q[c] = static_cast<std::uint8_t>(std::lround(top * (1 - wy) + bot * wy));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_ppm(const Image& img) {
+  if (!img.valid()) throw std::invalid_argument{"encode_ppm: invalid image"};
+  char header[64];
+  const int header_len =
+      std::snprintf(header, sizeof header, "P6\n%u %u\n255\n", img.width, img.height);
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(header_len) +
+              static_cast<std::size_t>(img.width) * img.height * 3);
+  out.insert(out.end(), header, header + header_len);
+  for (std::uint32_t y = 0; y < img.height; ++y)
+    for (std::uint32_t x = 0; x < img.width; ++x) {
+      const std::uint8_t* p = img.pixel(x, y);
+      out.push_back(p[0]);
+      out.push_back(p[1]);
+      out.push_back(p[2]);
+    }
+  return out;
+}
+
+Image decode_ppm(const std::vector<std::uint8_t>& bytes) {
+  unsigned width = 0, height = 0, maxval = 0;
+  int consumed = 0;
+  const auto* text = reinterpret_cast<const char*>(bytes.data());
+  // Bound the header scan; encode_ppm writes a short header.
+  char head[64] = {};
+  std::memcpy(head, text, std::min<std::size_t>(bytes.size(), 63));
+  if (std::sscanf(head, "P6\n%u %u\n%u\n%n", &width, &height, &maxval, &consumed) != 3 ||
+      maxval != 255)
+    throw std::invalid_argument{"decode_ppm: bad header"};
+  const std::size_t need = static_cast<std::size_t>(consumed) +
+                           static_cast<std::size_t>(width) * height * 3;
+  if (bytes.size() < need) throw std::invalid_argument{"decode_ppm: truncated"};
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.rgba.resize(static_cast<std::size_t>(width) * height * 4);
+  const std::uint8_t* src = bytes.data() + consumed;
+  for (std::uint32_t y = 0; y < height; ++y)
+    for (std::uint32_t x = 0; x < width; ++x) {
+      std::uint8_t* p = img.pixel(x, y);
+      p[0] = *src++;
+      p[1] = *src++;
+      p[2] = *src++;
+      p[3] = 255;
+    }
+  return img;
+}
+
+}  // namespace prebake::funcs

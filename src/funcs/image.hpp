@@ -1,0 +1,49 @@
+// Raster image support for the paper's "Image Resizer" function.
+//
+// The paper's function loads a 1 MiB, 3440x1440 JPEG at start-up and scales
+// it down to 10% per request. We have no JPEG codec (and no network to fetch
+// the original), so the resizer operates on a deterministic synthetic image
+// of the same dimensions; the resize math (box filter / bilinear) is real.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prebake::funcs {
+
+struct Image {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> rgba;  // width * height * 4
+
+  bool valid() const {
+    return rgba.size() == static_cast<std::size_t>(width) * height * 4;
+  }
+  std::uint8_t* pixel(std::uint32_t x, std::uint32_t y) {
+    return rgba.data() + (static_cast<std::size_t>(y) * width + x) * 4;
+  }
+  const std::uint8_t* pixel(std::uint32_t x, std::uint32_t y) const {
+    return rgba.data() + (static_cast<std::size_t>(y) * width + x) * 4;
+  }
+};
+
+// Deterministic synthetic photo-like content: smooth gradients plus seeded
+// high-frequency detail (so downscaling actually averages something).
+Image generate_synthetic_image(std::uint32_t width, std::uint32_t height,
+                               std::uint64_t seed);
+
+// Box-filter downscale by an integer-free ratio: each output pixel averages
+// the covered source rectangle. Requires 0 < scale <= 1.
+Image resize_box(const Image& src, double scale);
+
+// Bilinear resample to an explicit target size.
+Image resize_bilinear(const Image& src, std::uint32_t width,
+                      std::uint32_t height);
+
+// Binary PPM (P6) encoding (alpha dropped) for writing inspectable output.
+std::vector<std::uint8_t> encode_ppm(const Image& img);
+// Decode a P6 PPM produced by encode_ppm (alpha restored as 255).
+Image decode_ppm(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace prebake::funcs

@@ -1,0 +1,248 @@
+#include "funcs/markdown.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace prebake::funcs {
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Render inline spans: code, bold, italic, links. Escapes everything else.
+std::string render_inline(const std::string& text) {
+  std::string out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    if (text[i] == '`') {
+      const std::size_t end = text.find('`', i + 1);
+      if (end != std::string::npos) {
+        out += "<code>" + html_escape(text.substr(i + 1, end - i - 1)) + "</code>";
+        i = end + 1;
+        continue;
+      }
+    }
+    if (i + 1 < n && text[i] == '*' && text[i + 1] == '*') {
+      std::size_t end = text.find("**", i + 2);
+      // "**bold *inner***": prefer the final pair of a "***" run so the
+      // stray single star stays inside and closes the inner emphasis.
+      while (end != std::string::npos && end + 2 < n && text[end + 2] == '*')
+        ++end;
+      if (end != std::string::npos) {
+        out += "<strong>" + render_inline(text.substr(i + 2, end - i - 2)) +
+               "</strong>";
+        i = end + 2;
+        continue;
+      }
+    }
+    if (text[i] == '*') {
+      const std::size_t end = text.find('*', i + 1);
+      if (end != std::string::npos && end > i + 1) {
+        out += "<em>" + render_inline(text.substr(i + 1, end - i - 1)) + "</em>";
+        i = end + 1;
+        continue;
+      }
+    }
+    if (text[i] == '[') {
+      const std::size_t close = text.find(']', i + 1);
+      if (close != std::string::npos && close + 1 < n && text[close + 1] == '(') {
+        const std::size_t paren = text.find(')', close + 2);
+        if (paren != std::string::npos) {
+          const std::string label = text.substr(i + 1, close - i - 1);
+          const std::string url = text.substr(close + 2, paren - close - 2);
+          out += "<a href=\"" + html_escape(url) + "\">" + render_inline(label) +
+                 "</a>";
+          i = paren + 1;
+          continue;
+        }
+      }
+    }
+    switch (text[i]) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += text[i];
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      if (!current.empty() && current.back() == '\r') current.pop_back();
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+bool is_blank(const std::string& line) {
+  for (char c : line)
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+bool is_hr(const std::string& line) {
+  int dashes = 0;
+  for (char c : line) {
+    if (c == '-') ++dashes;
+    else if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return dashes >= 3;
+}
+
+int heading_level(const std::string& line) {
+  int level = 0;
+  while (level < static_cast<int>(line.size()) && line[level] == '#' && level < 6)
+    ++level;
+  if (level == 0) return 0;
+  if (level >= static_cast<int>(line.size()) || line[level] != ' ') return 0;
+  return level;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_unordered_item(const std::string& line) {
+  const std::string t = trim(line);
+  return t.size() >= 2 && (t[0] == '-' || t[0] == '*') && t[1] == ' ';
+}
+
+bool is_ordered_item(const std::string& line) {
+  const std::string t = trim(line);
+  std::size_t i = 0;
+  while (i < t.size() && std::isdigit(static_cast<unsigned char>(t[i]))) ++i;
+  return i > 0 && i + 1 < t.size() && t[i] == '.' && t[i + 1] == ' ';
+}
+
+std::string item_text(const std::string& line) {
+  const std::string t = trim(line);
+  if (is_unordered_item(line)) return trim(t.substr(2));
+  const std::size_t dot = t.find('.');
+  return trim(t.substr(dot + 2));
+}
+
+}  // namespace
+
+std::string render_markdown(const std::string& markdown) {
+  const std::vector<std::string> lines = split_lines(markdown);
+  std::ostringstream html;
+  std::size_t i = 0;
+  const std::size_t n = lines.size();
+
+  while (i < n) {
+    const std::string& line = lines[i];
+
+    if (is_blank(line)) {
+      ++i;
+      continue;
+    }
+
+    // Fenced code block.
+    if (line.rfind("```", 0) == 0) {
+      const std::string lang = trim(line.substr(3));
+      html << "<pre><code";
+      if (!lang.empty()) html << " class=\"language-" << html_escape(lang) << "\"";
+      html << ">";
+      ++i;
+      while (i < n && lines[i].rfind("```", 0) != 0) {
+        html << html_escape(lines[i]) << "\n";
+        ++i;
+      }
+      if (i < n) ++i;  // closing fence
+      html << "</code></pre>\n";
+      continue;
+    }
+
+    if (const int level = heading_level(line); level > 0) {
+      const std::string text = trim(line.substr(static_cast<std::size_t>(level)));
+      html << "<h" << level << ">" << render_inline(text) << "</h" << level
+           << ">\n";
+      ++i;
+      continue;
+    }
+
+    if (is_hr(line)) {
+      html << "<hr/>\n";
+      ++i;
+      continue;
+    }
+
+    if (line.rfind("> ", 0) == 0 || line == ">") {
+      html << "<blockquote>\n";
+      std::string quoted;
+      while (i < n && (lines[i].rfind("> ", 0) == 0 || lines[i] == ">")) {
+        quoted += lines[i].size() > 2 ? lines[i].substr(2) : "";
+        quoted += "\n";
+        ++i;
+      }
+      html << render_markdown(quoted);  // nested structure inside the quote
+      html << "</blockquote>\n";
+      continue;
+    }
+
+    if (is_unordered_item(line)) {
+      html << "<ul>\n";
+      while (i < n && is_unordered_item(lines[i])) {
+        html << "<li>" << render_inline(item_text(lines[i])) << "</li>\n";
+        ++i;
+      }
+      html << "</ul>\n";
+      continue;
+    }
+
+    if (is_ordered_item(line)) {
+      html << "<ol>\n";
+      while (i < n && is_ordered_item(lines[i])) {
+        html << "<li>" << render_inline(item_text(lines[i])) << "</li>\n";
+        ++i;
+      }
+      html << "</ol>\n";
+      continue;
+    }
+
+    // Paragraph: gather until a blank line or a structural line.
+    std::string para = line;
+    ++i;
+    while (i < n && !is_blank(lines[i]) && heading_level(lines[i]) == 0 &&
+           !is_hr(lines[i]) && lines[i].rfind("```", 0) != 0 &&
+           !is_unordered_item(lines[i]) && !is_ordered_item(lines[i]) &&
+           lines[i].rfind("> ", 0) != 0) {
+      para += " " + lines[i];
+      ++i;
+    }
+    html << "<p>" << render_inline(para) << "</p>\n";
+  }
+
+  return html.str();
+}
+
+}  // namespace prebake::funcs

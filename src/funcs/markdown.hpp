@@ -1,0 +1,20 @@
+// Markdown to HTML renderer — the real logic behind the paper's "Markdown
+// Render" function (which converts a markdown document embedded in the
+// request body into an HTML page).
+//
+// Supported: ATX headings, paragraphs, fenced code blocks, unordered and
+// ordered lists, blockquotes, horizontal rules, and inline emphasis
+// (**bold**, *italic*), inline code, and [text](url) links. All text is
+// HTML-escaped.
+#pragma once
+
+#include <string>
+
+namespace prebake::funcs {
+
+std::string render_markdown(const std::string& markdown);
+
+// Escape <, >, &, " for safe HTML embedding.
+std::string html_escape(const std::string& text);
+
+}  // namespace prebake::funcs

@@ -1,0 +1,175 @@
+#include "openfaas/deployment.hpp"
+
+#include <stdexcept>
+
+#include "criu/dump.hpp"
+
+namespace prebake::openfaas {
+
+Deployment::Deployment(os::Kernel& kernel, rt::RuntimeCosts runtime_costs,
+                       ProviderConfig provider)
+    : kernel_{&kernel},
+      startup_{kernel, std::move(runtime_costs), assets_},
+      provider_{std::move(provider)} {}
+
+FunctionProject Deployment::new_function(const std::string& name,
+                                         const std::string& template_name,
+                                         rt::FunctionSpec business_logic) {
+  const Template& tpl = templates_.get(template_name);  // throws if unknown
+  FunctionProject project;
+  project.name = name;
+  project.template_name = template_name;
+  project.spec = std::move(business_logic);
+  project.spec.name = name;
+  project.spec.runtime_binary = tpl.runtime_binary;
+  projects_[name] = project;
+  return project;
+}
+
+ContainerImage Deployment::build(const FunctionProject& project) {
+  os::Kernel& k = *kernel_;
+  const Template& tpl = templates_.get(project.template_name);
+
+  // Register runtime + classpath artifacts (the docker build context).
+  rt::FunctionSpec spec = project.spec;
+  if (!k.fs().exists(spec.runtime_binary))
+    k.fs().create(spec.runtime_binary, 48ull * 1024 * 1024);
+  spec.classpath_archive = "/build/" + project.name + "/classes.jar";
+  k.fs().create(spec.classpath_archive,
+                std::max<std::uint64_t>(spec.total_class_bytes(), 4096));
+  if (spec.init_io_bytes > 0) {
+    spec.init_io_path = "/build/" + project.name + "/data.bin";
+    k.fs().create(spec.init_io_path, spec.init_io_bytes);
+  }
+
+  ContainerImage image;
+  image.name = project.name;
+  image.base_layer_bytes = tpl.base_layer_bytes;
+  image.function_layer_bytes = spec.total_class_bytes() + spec.init_io_bytes;
+
+  if (tpl.uses_criu) {
+    // Privileged docker build (Buildx) or unprivileged CRIU is required to
+    // checkpoint during the build phase (Section 5.2).
+    if (!provider_.allow_privileged && !provider_.unprivileged_criu)
+      throw std::runtime_error{
+          "build: CRIU template needs a privileged builder (docker buildx "
+          "--allow security.insecure) or unprivileged CRIU"};
+
+    core::PrebakeConfig cfg;
+    cfg.policy = tpl.default_warmup_requests > 0
+                     ? core::SnapshotPolicy::warmup(tpl.default_warmup_requests)
+                     : core::SnapshotPolicy::no_warmup();
+    cfg.store_root = "/build/" + project.name + "/checkpoint/";
+    cfg.unprivileged = provider_.unprivileged_criu;
+    core::Prebaker prebaker{startup_};
+    core::BakedSnapshot baked = prebaker.bake(spec, cfg, rng_.child(1));
+
+    image.has_snapshot = true;
+    image.snapshot_layer_bytes = baked.images.nominal_total();
+    image.snapshot_fs_prefix = baked.fs_prefix;
+    image.snapshot = std::move(baked.images);
+    image.warmup_requests = baked.stats.warmup_requests;
+  }
+
+  // Keep the resolved spec for deployment.
+  projects_[project.name].spec = std::move(spec);
+  return image;
+}
+
+void Deployment::push(ContainerImage image) {
+  // Uploading the image layers (registry write).
+  kernel_->sim().advance(kernel_->costs().disk_write_cost(image.total_bytes()));
+  repository_.push(std::move(image));
+}
+
+void Deployment::deploy(const std::string& name) {
+  const auto it = projects_.find(name);
+  if (it == projects_.end())
+    throw std::out_of_range{"deploy: unknown project " + name};
+  const std::string ref = name + ":latest";
+  if (!repository_.has(ref))
+    throw std::runtime_error{"deploy: image not pushed: " + ref};
+
+  const ContainerImage& image = repository_.pull(ref);
+  if (image.has_snapshot && !provider_.allow_privileged &&
+      !provider_.unprivileged_criu)
+    throw std::runtime_error{
+        "deploy: prebaked functions need privileged containers "
+        "(docker run --privileged) or unprivileged CRIU"};
+
+  deployed_[name] = DeployedFn{it->second, ref};
+}
+
+Deployment::WatchdogReplica* Deployment::find_ready(const std::string& name) {
+  for (auto& r : replicas_)
+    if (r->function == name && !r->busy) return r.get();
+  return nullptr;
+}
+
+Deployment::WatchdogReplica* Deployment::start_replica(const std::string& name) {
+  const auto it = deployed_.find(name);
+  if (it == deployed_.end())
+    throw std::out_of_range{"invoke: function not deployed: " + name};
+  const ContainerImage& image = repository_.pull(it->second.image_ref);
+  const rt::FunctionSpec& spec = it->second.project.spec;
+
+  // Pull the image to the node (cached after the first pull).
+  const std::string node_path = "/nodes/node-1/images/" + image.reference();
+  if (!kernel_->fs().exists(node_path)) {
+    kernel_->fs().create(node_path, image.total_bytes());
+    kernel_->sim().advance(
+        kernel_->costs().disk_write_cost(image.total_bytes()));
+  }
+
+  auto replica = std::make_unique<WatchdogReplica>();
+  replica->function = name;
+  sim::Rng rng = rng_.child(replicas_.size() + 17);
+  if (image.has_snapshot) {
+    // The Watchdog runs `criu restore` on the snapshot inside the image.
+    replica->proc = startup_.start_prebaked(spec, *image.snapshot,
+                                            image.snapshot_fs_prefix,
+                                            std::move(rng));
+  } else {
+    replica->proc = startup_.start_vanilla(spec, std::move(rng));
+  }
+  replicas_.push_back(std::move(replica));
+  return replicas_.back().get();
+}
+
+InvocationRecord Deployment::invoke(const std::string& name,
+                                    const funcs::Request& req,
+                                    funcs::Response* out) {
+  const sim::TimePoint t0 = kernel_->sim().now();
+  InvocationRecord record;
+  record.function = name;
+
+  WatchdogReplica* replica = find_ready(name);
+  if (replica == nullptr) {
+    replica = start_replica(name);
+    record.cold_start = true;
+    record.startup = replica->proc.breakdown.total;
+  }
+
+  replica->busy = true;
+  const funcs::Response res = replica->proc.runtime->handle(req);
+  replica->busy = false;
+
+  record.status = res.status;
+  record.total = kernel_->sim().now() - t0;
+  if (out != nullptr) *out = res;
+  log_.push_back(record);
+  return record;
+}
+
+void Deployment::scale(const std::string& name, std::uint32_t replicas) {
+  while (ready_replicas(name) < replicas) start_replica(name);
+}
+
+std::uint32_t Deployment::ready_replicas(const std::string& name) const {
+  std::uint32_t n = 0;
+  for (const auto& r : replicas_)
+    if (r->function == name && !r->busy) ++n;
+  return n;
+}
+
+}  // namespace prebake::openfaas

@@ -1,0 +1,115 @@
+// The OpenFaaS-style deployment (Section 5): Gateway, FaaS-CLI, Watchdog and
+// FaaS-Provider wired over the simulated kernel and the prebake core.
+//
+// Flow (Figure 9): `faas-cli new` copies a template; `build` starts the
+// function runtime, optionally runs the warm-up post-processing script, and
+// checkpoints the process into the container image; `push` stores the image;
+// `deploy` registers the function with the Gateway. When the FaaS-Provider
+// launches a replica, the Watchdog either fork-execs (plain templates) or
+// runs `criu restore` on the snapshot baked into the image — which requires
+// the provider to allow privileged containers (docker run --privileged /
+// Kubernetes privileged pods), unless the unprivileged
+// CAP_CHECKPOINT_RESTORE mode is enabled.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prebaker.hpp"
+#include "core/startup.hpp"
+#include "openfaas/image_repository.hpp"
+#include "openfaas/template.hpp"
+
+namespace prebake::openfaas {
+
+struct ProviderConfig {
+  // Kubernetes or DockerSwarm ("the FaaS-Provider has implementations for
+  // Kubernetes and DockerSwarm integration").
+  std::string orchestrator = "kubernetes";
+  // Restores are privileged operations; without this (and without
+  // unprivileged CRIU) deploying a CRIU template must fail.
+  bool allow_privileged = false;
+  // Use the CAP_CHECKPOINT_RESTORE-only mode added in recent kernels [11].
+  bool unprivileged_criu = false;
+};
+
+struct FunctionProject {
+  std::string name;
+  std::string template_name;
+  rt::FunctionSpec spec;  // the business logic the developer wrote
+};
+
+struct InvocationRecord {
+  std::string function;
+  bool cold_start = false;
+  sim::Duration startup;
+  sim::Duration total;
+  int status = 0;
+};
+
+class Deployment {
+ public:
+  Deployment(os::Kernel& kernel, rt::RuntimeCosts runtime_costs,
+             ProviderConfig provider);
+
+  TemplateStore& templates() { return templates_; }
+  ImageRepository& repository() { return repository_; }
+
+  // --- faas-cli operations -----------------------------------------------
+  // 1. new: create a function project from a template.
+  FunctionProject new_function(const std::string& name,
+                               const std::string& template_name,
+                               rt::FunctionSpec business_logic);
+  // 2. build: produce a container image; CRIU templates start the runtime,
+  // run the warm-up hook, and checkpoint into the image.
+  ContainerImage build(const FunctionProject& project);
+  // 3. push: store the image in the repository.
+  void push(ContainerImage image);
+  // 4. deploy: make the function invocable through the gateway.
+  void deploy(const std::string& name);
+
+  // --- gateway -------------------------------------------------------------
+  // Synchronous invoke through the gateway (runs on the simulation clock).
+  InvocationRecord invoke(const std::string& name, const funcs::Request& req,
+                          funcs::Response* out = nullptr);
+
+  // Scale to `replicas` ready instances (the Gateway/Prometheus autoscale
+  // action).
+  void scale(const std::string& name, std::uint32_t replicas);
+  std::uint32_t ready_replicas(const std::string& name) const;
+
+  const std::vector<InvocationRecord>& log() const { return log_; }
+
+ private:
+  struct DeployedFn {
+    FunctionProject project;
+    std::string image_ref;
+  };
+  struct WatchdogReplica {
+    std::string function;
+    core::ReplicaProcess proc;
+    bool busy = false;
+  };
+
+  // Watchdog: start one replica from the function's container image.
+  WatchdogReplica* start_replica(const std::string& name);
+  WatchdogReplica* find_ready(const std::string& name);
+
+  os::Kernel* kernel_;
+  funcs::SharedAssets assets_;
+  core::StartupService startup_;
+  ProviderConfig provider_;
+  TemplateStore templates_;
+  ImageRepository repository_;
+  std::map<std::string, FunctionProject> projects_;
+  std::map<std::string, DeployedFn> deployed_;
+  std::vector<std::unique_ptr<WatchdogReplica>> replicas_;
+  std::vector<InvocationRecord> log_;
+  sim::Rng rng_{0xFAA5};
+};
+
+}  // namespace prebake::openfaas

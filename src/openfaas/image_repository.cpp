@@ -1,0 +1,20 @@
+#include "openfaas/image_repository.hpp"
+
+namespace prebake::openfaas {
+
+void ImageRepository::push(ContainerImage image) {
+  images_[image.reference()] = std::move(image);
+}
+
+const ContainerImage& ImageRepository::pull(const std::string& reference) const {
+  const auto it = images_.find(reference);
+  if (it == images_.end())
+    throw std::out_of_range{"ImageRepository: unknown image " + reference};
+  return it->second;
+}
+
+bool ImageRepository::has(const std::string& reference) const {
+  return images_.contains(reference);
+}
+
+}  // namespace prebake::openfaas

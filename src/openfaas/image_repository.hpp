@@ -1,0 +1,48 @@
+// Container Image Repository: where `faas-cli push` stores deployable
+// artifacts. For prebaked functions the CRIU snapshot is a layer inside the
+// container image (Figure 9: "CRIU triggers the process checkpoint and
+// stores the Function Snapshot data inside the Function Container Image").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "criu/image.hpp"
+
+namespace prebake::openfaas {
+
+struct ContainerImage {
+  std::string name;
+  std::string tag = "latest";
+  std::uint64_t base_layer_bytes = 0;      // template layers
+  std::uint64_t function_layer_bytes = 0;  // class archive + data
+  std::uint64_t snapshot_layer_bytes = 0;  // CRIU images (prebaked only)
+  bool has_snapshot = false;
+  // Snapshot images travel inside the container image.
+  std::optional<criu::ImageDir> snapshot;
+  // Where the snapshot layer is unpacked on a node's filesystem at run time.
+  std::string snapshot_fs_prefix;
+  std::uint32_t warmup_requests = 0;
+
+  std::uint64_t total_bytes() const {
+    return base_layer_bytes + function_layer_bytes + snapshot_layer_bytes;
+  }
+  std::string reference() const { return name + ":" + tag; }
+};
+
+class ImageRepository {
+ public:
+  void push(ContainerImage image);
+  const ContainerImage& pull(const std::string& reference) const;
+  bool has(const std::string& reference) const;
+  std::size_t size() const { return images_.size(); }
+
+ private:
+  std::map<std::string, ContainerImage> images_;
+};
+
+}  // namespace prebake::openfaas

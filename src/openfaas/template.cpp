@@ -1,0 +1,35 @@
+#include "openfaas/template.hpp"
+
+namespace prebake::openfaas {
+
+namespace {
+constexpr std::uint64_t kMiB = 1024 * 1024;
+}
+
+TemplateStore::TemplateStore() {
+  put(Template{"java8", "java", "/opt/jvm/bin/java", false, 0, 180 * kMiB});
+  put(Template{"java8-criu", "java", "/opt/jvm/bin/java", true, 0, 208 * kMiB});
+  put(Template{"java8-criu-warm", "java", "/opt/jvm/bin/java", true, 1,
+               208 * kMiB});
+  put(Template{"python3", "python", "/usr/bin/python3", false, 0, 120 * kMiB});
+  put(Template{"python3-criu", "python", "/usr/bin/python3", true, 0,
+               145 * kMiB});
+  put(Template{"go", "go", "/usr/local/bin/handler", false, 0, 24 * kMiB});
+  put(Template{"node12", "javascript", "/usr/bin/node", false, 0, 95 * kMiB});
+}
+
+const Template& TemplateStore::get(const std::string& name) const {
+  const auto it = templates_.find(name);
+  if (it == templates_.end())
+    throw std::out_of_range{"TemplateStore: unknown template " + name};
+  return it->second;
+}
+
+std::vector<std::string> TemplateStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(templates_.size());
+  for (const auto& [name, t] : templates_) out.push_back(name);
+  return out;
+}
+
+}  // namespace prebake::openfaas

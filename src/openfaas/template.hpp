@@ -1,0 +1,46 @@
+// OpenFaaS templates (Section 5.2).
+//
+// A template hides the runtime setup from the user. The CRIU-enabled
+// templates additionally install the checkpoint/restore dependencies and run
+// CRIU commands during build and start ("we created a new CRIU-version
+// template for each language that we wanted to support").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace prebake::openfaas {
+
+struct Template {
+  std::string name;       // e.g. "java8", "java8-criu"
+  std::string language;   // "java", "python", "go", ...
+  std::string runtime_binary;
+  bool uses_criu = false;
+  // Optional post-processing performed during build before the checkpoint
+  // (e.g. warm-up requests): number of warm-up requests the template's build
+  // hook sends. Only meaningful when uses_criu.
+  std::uint32_t default_warmup_requests = 0;
+  // Size of the base layers the template contributes to the image.
+  std::uint64_t base_layer_bytes = 0;
+};
+
+class TemplateStore {
+ public:
+  // Populates the built-in template catalogue.
+  TemplateStore();
+
+  const Template& get(const std::string& name) const;
+  bool has(const std::string& name) const { return templates_.contains(name); }
+  std::vector<std::string> names() const;
+
+  void put(Template t) { templates_[t.name] = std::move(t); }
+
+ private:
+  std::map<std::string, Template> templates_;
+};
+
+}  // namespace prebake::openfaas

@@ -1,0 +1,114 @@
+#include "os/address_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace prebake::os {
+
+std::uint64_t Vma::resident_pages() const {
+  return static_cast<std::uint64_t>(
+      std::count(present.begin(), present.end(), true));
+}
+
+std::uint64_t Vma::dirty_pages() const {
+  return static_cast<std::uint64_t>(std::count(dirty.begin(), dirty.end(), true));
+}
+
+VmaId AddressSpace::map(std::uint64_t length, Prot prot, VmaKind kind,
+                        std::string name, std::shared_ptr<PageSource> source,
+                        bool populate, std::string backing_path) {
+  if (length == 0) throw std::invalid_argument{"AddressSpace::map: zero length"};
+  const std::uint64_t rounded = (length + kPageSize - 1) / kPageSize * kPageSize;
+  Vma vma;
+  vma.id = next_id_++;
+  vma.start = next_addr_;
+  vma.length = rounded;
+  vma.prot = prot;
+  vma.kind = kind;
+  vma.name = std::move(name);
+  vma.backing_path = std::move(backing_path);
+  vma.source = std::move(source);
+  const auto npages = rounded / kPageSize;
+  vma.present.assign(npages, populate);
+  vma.dirty.assign(npages, false);
+  next_addr_ += rounded + kPageSize;  // guard page gap
+  vmas_.push_back(std::move(vma));
+  return vmas_.back().id;
+}
+
+void AddressSpace::unmap(VmaId id) {
+  const auto it = std::find_if(vmas_.begin(), vmas_.end(),
+                               [id](const Vma& v) { return v.id == id; });
+  if (it == vmas_.end()) throw std::invalid_argument{"AddressSpace::unmap: unknown vma"};
+  vmas_.erase(it);
+}
+
+void AddressSpace::clear() { vmas_.clear(); }
+
+const Vma* AddressSpace::find(VmaId id) const {
+  const auto it = std::find_if(vmas_.begin(), vmas_.end(),
+                               [id](const Vma& v) { return v.id == id; });
+  return it == vmas_.end() ? nullptr : &*it;
+}
+
+Vma* AddressSpace::find_mutable(VmaId id) {
+  return const_cast<Vma*>(std::as_const(*this).find(id));
+}
+
+std::uint64_t AddressSpace::touch(VmaId id, std::uint64_t first_page,
+                                  std::uint64_t pages, bool write) {
+  Vma* vma = find_mutable(id);
+  if (vma == nullptr) throw std::invalid_argument{"AddressSpace::touch: unknown vma"};
+  if (write && !has_prot(vma->prot, Prot::kWrite))
+    throw std::logic_error{"AddressSpace::touch: write to read-only vma"};
+  const std::uint64_t end = std::min(first_page + pages, vma->page_count());
+  std::uint64_t newly = 0;
+  for (std::uint64_t p = first_page; p < end; ++p) {
+    if (!vma->present[p]) {
+      vma->present[p] = true;
+      ++newly;
+    }
+    if (write) vma->dirty[p] = true;
+  }
+  return newly;
+}
+
+std::uint64_t AddressSpace::touch_all(VmaId id, bool write) {
+  const Vma* vma = find(id);
+  if (vma == nullptr) throw std::invalid_argument{"AddressSpace::touch_all: unknown vma"};
+  return touch(id, 0, vma->page_count(), write);
+}
+
+void AddressSpace::clear_soft_dirty() {
+  for (Vma& vma : vmas_)
+    std::fill(vma.dirty.begin(), vma.dirty.end(), false);
+}
+
+std::uint64_t AddressSpace::resident_pages() const {
+  std::uint64_t total = 0;
+  for (const Vma& vma : vmas_) total += vma.resident_pages();
+  return total;
+}
+
+std::uint64_t AddressSpace::resident_bytes() const {
+  return resident_pages() * kPageSize;
+}
+
+std::uint64_t AddressSpace::mapped_bytes() const {
+  std::uint64_t total = 0;
+  for (const Vma& vma : vmas_) total += vma.length;
+  return total;
+}
+
+AddressSpace AddressSpace::clone_for_fork() const {
+  // COW semantics: the child shares page sources (physical frames) and keeps
+  // the same residency; descriptors are copied.
+  AddressSpace child;
+  child.vmas_ = vmas_;
+  child.next_id_ = next_id_;
+  child.next_addr_ = next_addr_;
+  return child;
+}
+
+}  // namespace prebake::os

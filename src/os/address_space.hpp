@@ -1,0 +1,92 @@
+// Simulated virtual address space: VMAs made of 4 KiB pages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/page_source.hpp"
+
+namespace prebake::os {
+
+enum class Prot : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExec = 4,
+  kReadWrite = kRead | kWrite,
+  kReadExec = kRead | kExec,
+};
+constexpr Prot operator|(Prot a, Prot b) {
+  return static_cast<Prot>(static_cast<std::uint8_t>(a) |
+                           static_cast<std::uint8_t>(b));
+}
+constexpr bool has_prot(Prot p, Prot bit) {
+  return (static_cast<std::uint8_t>(p) & static_cast<std::uint8_t>(bit)) != 0;
+}
+
+enum class VmaKind : std::uint8_t { kAnon, kFileBacked };
+
+using VmaId = std::uint32_t;
+
+struct Vma {
+  VmaId id = 0;
+  std::uint64_t start = 0;   // virtual address, page aligned
+  std::uint64_t length = 0;  // bytes, page aligned
+  Prot prot = Prot::kReadWrite;
+  VmaKind kind = VmaKind::kAnon;
+  std::string name;          // e.g. "[heap]", "/usr/lib/jvm/libjvm.so"
+  std::string backing_path;  // for kFileBacked
+  std::shared_ptr<PageSource> source;
+  std::vector<bool> present;  // one bit per page
+  std::vector<bool> dirty;    // set on write faults; cleared by soft-dirty reset
+
+  std::uint64_t page_count() const { return length / kPageSize; }
+  std::uint64_t resident_pages() const;
+  std::uint64_t resident_bytes() const { return resident_pages() * kPageSize; }
+  std::uint64_t dirty_pages() const;
+};
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+
+  // Maps a new region at the top of the current layout. `length` is rounded
+  // up to a page multiple. Pages start non-resident unless populate is true.
+  VmaId map(std::uint64_t length, Prot prot, VmaKind kind, std::string name,
+            std::shared_ptr<PageSource> source, bool populate = false,
+            std::string backing_path = {});
+  void unmap(VmaId id);
+  void clear();  // exec() semantics: drop every mapping
+
+  // Fault in `pages` pages of `id` starting at `first_page` (clamped to the
+  // VMA size). Returns the number of pages that were newly made resident.
+  std::uint64_t touch(VmaId id, std::uint64_t first_page, std::uint64_t pages,
+                      bool write = false);
+  // Fault in everything.
+  std::uint64_t touch_all(VmaId id, bool write = false);
+
+  // Soft-dirty tracking (used by CRIU pre-dump / incremental dumps).
+  void clear_soft_dirty();
+
+  const Vma* find(VmaId id) const;
+  Vma* find_mutable(VmaId id);
+  const std::vector<Vma>& vmas() const { return vmas_; }
+
+  std::uint64_t resident_bytes() const;
+  std::uint64_t resident_pages() const;
+  std::uint64_t mapped_bytes() const;
+
+  // Deep copy with fresh VMA identity preserved (used by fork/COW and by the
+  // CRIU restorer when rebuilding a process image).
+  AddressSpace clone_for_fork() const;
+
+ private:
+  std::vector<Vma> vmas_;
+  VmaId next_id_ = 1;
+  std::uint64_t next_addr_ = 0x0000'5555'0000'0000ULL;
+};
+
+}  // namespace prebake::os

@@ -1,0 +1,99 @@
+#include "os/container.hpp"
+
+#include <stdexcept>
+
+namespace prebake::os {
+
+Container& ContainerRuntime::get_mut(ContainerId id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end())
+    throw std::out_of_range{"ContainerRuntime: unknown container " +
+                            std::to_string(id)};
+  return it->second;
+}
+
+const Container& ContainerRuntime::get(ContainerId id) const {
+  return const_cast<ContainerRuntime*>(this)->get_mut(id);
+}
+
+ContainerId ContainerRuntime::create(const std::string& name,
+                                     std::vector<std::string> rootfs_layers,
+                                     std::uint64_t mem_limit_bytes,
+                                     bool privileged) {
+  for (const std::string& layer : rootfs_layers)
+    if (!kernel_->fs().exists(layer))
+      throw std::invalid_argument{"container: missing rootfs layer " + layer};
+
+  kernel_->sim().advance(costs_.namespace_setup);
+  kernel_->sim().advance(costs_.cgroup_setup);
+  kernel_->sim().advance(costs_.network_setup);
+  kernel_->sim().advance(costs_.mount_per_layer *
+                         static_cast<double>(rootfs_layers.size()));
+
+  Container c;
+  c.id = next_id_++;
+  c.name = name;
+  c.rootfs_layers = std::move(rootfs_layers);
+  c.mem_limit_bytes = mem_limit_bytes;
+  c.privileged = privileged;
+  c.state = ContainerState::kRunning;
+  c.ns = Namespaces{c.id, c.id, c.id};  // fresh pid/mnt/net namespaces
+  containers_[c.id] = std::move(c);
+  return next_id_ - 1;
+}
+
+void ContainerRuntime::attach(ContainerId id, Pid pid) {
+  Container& c = get_mut(id);
+  if (c.state != ContainerState::kRunning)
+    throw std::logic_error{"container: not running"};
+  Process& p = kernel_->process(pid);  // throws on unknown pid
+  p.ns() = c.ns;
+  c.pids.push_back(pid);
+}
+
+std::uint64_t ContainerRuntime::memory_usage(ContainerId id) const {
+  const Container& c = get(id);
+  std::uint64_t total = 0;
+  for (const Pid pid : c.pids)
+    if (kernel_->alive(pid))
+      total += kernel_->process(pid).mm().resident_bytes();
+  return total;
+}
+
+std::optional<OomKill> ContainerRuntime::enforce_memory_limit(ContainerId id) {
+  Container& c = get_mut(id);
+  if (c.mem_limit_bytes == 0) return std::nullopt;
+  const std::uint64_t usage = memory_usage(id);
+  if (usage <= c.mem_limit_bytes) return std::nullopt;
+
+  // The OOM killer picks the biggest member, like the kernel's badness
+  // heuristic with equal adjustments.
+  Pid victim = kNoPid;
+  std::uint64_t victim_rss = 0;
+  for (const Pid pid : c.pids) {
+    if (!kernel_->alive(pid)) continue;
+    const std::uint64_t rss = kernel_->process(pid).mm().resident_bytes();
+    if (rss > victim_rss) {
+      victim_rss = rss;
+      victim = pid;
+    }
+  }
+  if (victim == kNoPid) return std::nullopt;
+  kernel_->kill_process(victim);
+  kernel_->reap(victim);
+  return OomKill{id, victim, usage, c.mem_limit_bytes};
+}
+
+void ContainerRuntime::destroy(ContainerId id) {
+  Container& c = get_mut(id);
+  for (const Pid pid : c.pids) {
+    if (kernel_->alive(pid)) {
+      kernel_->kill_process(pid);
+      kernel_->reap(pid);
+    }
+  }
+  kernel_->sim().advance(costs_.teardown);
+  containers_.erase(id);
+}
+
+}  // namespace prebake::os

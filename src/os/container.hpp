@@ -1,0 +1,98 @@
+// Container runtime model: namespaces + cgroups + layered root filesystems.
+//
+// The paper's Section 2 splits cold start into (1) provisioning the
+// execution environment — VMs or containers — and (2) starting the function
+// application, and argues that as containerization gets faster ([16], [19],
+// [23] in the paper) the application start-up this library attacks becomes
+// the dominant term. This model makes term (1) explicit and tunable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+
+namespace prebake::os {
+
+struct ContainerCosts {
+  // Classic docker-style provisioning; SOCK/Firecracker-class runtimes cut
+  // these by an order of magnitude (the ablation sweeps them).
+  sim::Duration namespace_setup = sim::Duration::millis_f(4.0);
+  sim::Duration cgroup_setup = sim::Duration::millis_f(3.0);
+  // veth pair + bridge attach; the classic dominant term.
+  sim::Duration network_setup = sim::Duration::millis_f(90.0);
+  // Overlayfs assembly, charged per rootfs layer.
+  sim::Duration mount_per_layer = sim::Duration::millis_f(1.5);
+  sim::Duration teardown = sim::Duration::millis_f(6.0);
+
+  sim::Duration provisioning_total(std::size_t layers) const {
+    return namespace_setup + cgroup_setup + network_setup +
+           mount_per_layer * static_cast<double>(layers);
+  }
+};
+
+using ContainerId = std::uint64_t;
+
+enum class ContainerState : std::uint8_t { kCreated, kRunning, kStopped };
+
+struct Container {
+  ContainerId id = 0;
+  std::string name;
+  std::vector<std::string> rootfs_layers;  // image layer paths in the fs
+  std::uint64_t mem_limit_bytes = 0;       // cgroup memory.max (0 = unlimited)
+  bool privileged = false;                 // needed for in-container restore
+  ContainerState state = ContainerState::kCreated;
+  Namespaces ns{};
+  std::vector<Pid> pids;  // member processes
+};
+
+// Thrown when a member process pushes the cgroup past memory.max.
+struct OomKill {
+  ContainerId container;
+  Pid victim;
+  std::uint64_t usage;
+  std::uint64_t limit;
+};
+
+class ContainerRuntime {
+ public:
+  ContainerRuntime(Kernel& kernel, ContainerCosts costs = {})
+      : kernel_{&kernel}, costs_{costs} {}
+
+  // Provision a container: charges namespace/cgroup/network/mount costs.
+  // Every rootfs layer must exist in the filesystem.
+  ContainerId create(const std::string& name,
+                     std::vector<std::string> rootfs_layers,
+                     std::uint64_t mem_limit_bytes = 0,
+                     bool privileged = false);
+
+  // Place an existing process into the container (joins its namespaces).
+  void attach(ContainerId id, Pid pid);
+  // cgroup accounting: current resident usage of all member processes.
+  std::uint64_t memory_usage(ContainerId id) const;
+  // Enforce memory.max; returns the OOM kill performed, if any. (The kernel
+  // model doesn't intercept faults, so enforcement is a poll — as the
+  // platform does after replica starts.)
+  std::optional<OomKill> enforce_memory_limit(ContainerId id);
+
+  // Stop and tear down; kills member processes still alive.
+  void destroy(ContainerId id);
+
+  const Container& get(ContainerId id) const;
+  bool exists(ContainerId id) const { return containers_.contains(id); }
+  std::size_t count() const { return containers_.size(); }
+  const ContainerCosts& costs() const { return costs_; }
+
+ private:
+  Container& get_mut(ContainerId id);
+
+  Kernel* kernel_;
+  ContainerCosts costs_;
+  std::map<ContainerId, Container> containers_;
+  ContainerId next_id_ = 1;
+};
+
+}  // namespace prebake::os

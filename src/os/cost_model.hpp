@@ -1,0 +1,81 @@
+// Timing knobs for the simulated kernel.
+//
+// Every syscall, I/O and memory operation in the simulation charges time
+// through this structure, so ablation benches can vary one knob at a time.
+// Defaults are calibrated in exp/calibration.hpp to reproduce the paper's
+// testbed (i5-3470S, Ubuntu 16.04, Linux 4.15, Java 8); see DESIGN.md §5.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace prebake::os {
+
+struct CostModel {
+  // Process lifecycle. The paper's Figure 4 shows CLONE and EXEC are a tiny
+  // fraction of start-up (sub-millisecond) while RTS/APPINIT dominate.
+  sim::Duration clone_call = sim::Duration::micros(300);
+  sim::Duration exec_base = sim::Duration::micros(1500);
+  // Charged per MiB of the binary image mapped at exec time.
+  sim::Duration exec_per_mib = sim::Duration::micros(50);
+  sim::Duration exit_call = sim::Duration::micros(100);
+
+  // Memory.
+  sim::Duration minor_fault = sim::Duration::nanos(800);   // per 4 KiB page
+  // userfaultfd round trip for a lazily restored page (fault -> uffd daemon
+  // -> copy -> resume); much pricier than a minor fault.
+  sim::Duration uffd_fault = sim::Duration::micros(9);
+  double memcpy_gib_per_s = 6.0;                           // parasite pipe, page copies
+
+  // Storage. Cold reads hit the disk; warm reads hit the page cache. The
+  // page-cache bandwidth dominates snapshot restore cost (paper §4.2.1: the
+  // 99.2 MiB Image Resizer snapshot restores slower than the 13 MiB NOOP one).
+  sim::Duration disk_seek = sim::Duration::micros(120);
+  double disk_read_mib_per_s = 450.0;   // SATA SSD-class sequential read
+  double disk_write_mib_per_s = 380.0;
+  double page_cache_gib_per_s = 3.3;    // memcpy-limited buffered read
+
+  // Network (snapshot registry fetches: the "checkpoint/restore as a
+  // service" deployment of Section 7, where images live on a remote store
+  // and a node's first restore pulls them over the wire).
+  sim::Duration network_rtt = sim::Duration::micros(250);
+  double network_mib_per_s = 120.0;  // ~1 Gb/s
+
+  // ptrace / freezer, used by the CRIU engine.
+  sim::Duration ptrace_attach = sim::Duration::micros(60);  // per thread
+  sim::Duration ptrace_peek = sim::Duration::nanos(500);
+  sim::Duration freeze_per_thread = sim::Duration::micros(80);
+  sim::Duration parasite_inject = sim::Duration::micros(450);
+  sim::Duration parasite_cure = sim::Duration::micros(200);
+  // Walking /proc/$pid/pagemap: per resident page examined.
+  sim::Duration pagemap_per_page = sim::Duration::nanos(150);
+
+  // Pipes (parasite -> criu page channel).
+  double pipe_gib_per_s = 4.0;
+
+  sim::Duration memcpy_cost(std::uint64_t bytes) const {
+    return sim::Duration::seconds_f(static_cast<double>(bytes) /
+                                    (memcpy_gib_per_s * 1024.0 * 1024.0 * 1024.0));
+  }
+  sim::Duration pipe_cost(std::uint64_t bytes) const {
+    return sim::Duration::seconds_f(static_cast<double>(bytes) /
+                                    (pipe_gib_per_s * 1024.0 * 1024.0 * 1024.0));
+  }
+  sim::Duration disk_read_cost(std::uint64_t bytes) const {
+    return disk_seek + sim::Duration::seconds_f(static_cast<double>(bytes) /
+                                                (disk_read_mib_per_s * 1024.0 * 1024.0));
+  }
+  sim::Duration disk_write_cost(std::uint64_t bytes) const {
+    return disk_seek + sim::Duration::seconds_f(static_cast<double>(bytes) /
+                                                (disk_write_mib_per_s * 1024.0 * 1024.0));
+  }
+  sim::Duration network_fetch_cost(std::uint64_t bytes) const {
+    return network_rtt + sim::Duration::seconds_f(static_cast<double>(bytes) /
+                                                  (network_mib_per_s * 1024.0 * 1024.0));
+  }
+  sim::Duration page_cache_read_cost(std::uint64_t bytes) const {
+    return sim::Duration::seconds_f(static_cast<double>(bytes) /
+                                    (page_cache_gib_per_s * 1024.0 * 1024.0 * 1024.0));
+  }
+};
+
+}  // namespace prebake::os

@@ -1,0 +1,70 @@
+// Simulated filesystem with an explicit page-cache model.
+//
+// Files either carry real bytes (CRIU image files, rendered outputs) or only
+// a nominal size (binaries, class archives) when the content itself is never
+// inspected. Reads are charged at disk bandwidth on a cold cache and at
+// page-cache bandwidth once cached — the distinction that makes first-restore
+// vs repeated-restore costs differ, as on the paper's testbed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/cost_model.hpp"
+#include "sim/simulation.hpp"
+
+namespace prebake::os {
+
+class FileSystem {
+ public:
+  FileSystem(sim::Simulation& sim, const CostModel& costs)
+      : sim_{&sim}, costs_{&costs} {}
+
+  // Create or truncate a file with synthetic (size-only) content.
+  void create(const std::string& path, std::uint64_t size_bytes);
+  // Create or truncate a file with real bytes.
+  void write(const std::string& path, std::vector<std::uint8_t> bytes);
+  // Append real bytes (charges disk write bandwidth).
+  void append(const std::string& path, const std::uint8_t* data,
+              std::size_t len);
+
+  bool exists(const std::string& path) const;
+  std::uint64_t size_of(const std::string& path) const;
+  // Real bytes, if the file has them (image files do; synthetic ones don't).
+  const std::vector<std::uint8_t>* bytes_of(const std::string& path) const;
+
+  // Charge the cost of reading `bytes` of the file sequentially. Marks the
+  // range cached. `bytes` == 0 means "the whole file". `contention` models N
+  // concurrent streams sharing the device (processor sharing), used by the
+  // concurrent-restore ablation.
+  void charge_read(const std::string& path, std::uint64_t bytes = 0,
+                   double contention = 1.0);
+
+  void remove(const std::string& path);
+  // Drop the page cache (echo 3 > /proc/sys/vm/drop_caches equivalent).
+  void drop_caches();
+  // Mark a file fully cached without charging (e.g. freshly written data).
+  void warm(const std::string& path);
+  bool is_cached(const std::string& path) const;
+
+  std::vector<std::string> list(const std::string& prefix) const;
+
+ private:
+  struct File {
+    std::uint64_t size = 0;
+    std::optional<std::vector<std::uint8_t>> data;
+    bool cached = false;
+  };
+
+  File& require(const std::string& path);
+  const File& require(const std::string& path) const;
+
+  sim::Simulation* sim_;
+  const CostModel* costs_;
+  std::map<std::string, File> files_;
+};
+
+}  // namespace prebake::os

@@ -1,0 +1,265 @@
+#include "os/kernel.hpp"
+
+#include <stdexcept>
+
+namespace prebake::os {
+
+Process& Kernel::require_mut(Pid pid) {
+  const auto it = procs_.find(pid);
+  if (it == procs_.end())
+    throw std::invalid_argument{"Kernel: no such process " + std::to_string(pid)};
+  return *it->second;
+}
+
+Process& Kernel::process(Pid pid) { return require_mut(pid); }
+
+const Process& Kernel::process(Pid pid) const {
+  const auto it = procs_.find(pid);
+  if (it == procs_.end())
+    throw std::invalid_argument{"Kernel: no such process " + std::to_string(pid)};
+  return *it->second;
+}
+
+bool Kernel::alive(Pid pid) const {
+  const auto it = procs_.find(pid);
+  if (it == procs_.end()) return false;
+  const ProcState s = it->second->state();
+  return s != ProcState::kZombie && s != ProcState::kDead;
+}
+
+std::vector<Pid> Kernel::pids() const {
+  std::vector<Pid> out;
+  out.reserve(procs_.size());
+  for (const auto& [pid, p] : procs_) out.push_back(pid);
+  return out;
+}
+
+Pid Kernel::clone_process(Pid parent, const CloneOptions& opts) {
+  sim_->advance(costs_.clone_call);
+
+  Pid child_pid;
+  if (opts.set_child_pid) {
+    // clone_with_pid: writing /proc/sys/kernel/ns_last_pid or clone3 with
+    // set_tid requires CAP_CHECKPOINT_RESTORE (or CAP_SYS_ADMIN) [11].
+    const Process* par = parent == kNoPid ? nullptr : &process(parent);
+    bool privileged = has_cap(opts.caller_caps, Cap::kCheckpointRestore) ||
+                      has_cap(opts.caller_caps, Cap::kSysAdmin);
+    if (par != nullptr)
+      privileged = privileged || par->has(Cap::kCheckpointRestore) ||
+                   par->has(Cap::kSysAdmin);
+    if (!privileged)
+      throw std::runtime_error{
+          "clone: choosing a child pid requires CAP_CHECKPOINT_RESTORE"};
+    if (opts.child_pid <= 0)
+      throw std::invalid_argument{"clone: invalid requested pid"};
+    if (procs_.contains(opts.child_pid))
+      throw std::runtime_error{"clone: requested pid already in use"};
+    child_pid = opts.child_pid;
+  } else {
+    while (procs_.contains(next_pid_)) ++next_pid_;
+    child_pid = next_pid_++;
+  }
+
+  std::string name = "child";
+  auto child = std::make_unique<Process>(child_pid, parent, name);
+  if (parent != kNoPid) {
+    const Process& par = process(parent);
+    child->set_name(par.name() + "-child");
+    child->replace_mm(par.mm().clone_for_fork());
+    child->ns() = par.ns();
+    // File descriptors are inherited across fork.
+    for (const auto& [fd, desc] : par.fds()) child->fds()[fd] = desc;
+  }
+  if (opts.new_pid_ns) child->ns().pid_ns = static_cast<std::uint64_t>(child_pid);
+  if (opts.new_mnt_ns) child->ns().mnt_ns = static_cast<std::uint64_t>(child_pid);
+  if (opts.new_net_ns) child->ns().net_ns = static_cast<std::uint64_t>(child_pid);
+  child->set_state(ProcState::kRunning);
+  child->set_start_time(sim_->now());
+  procs_[child_pid] = std::move(child);
+  return child_pid;
+}
+
+void Kernel::exec(Pid pid, const std::string& binary_path,
+                  std::vector<std::string> argv) {
+  Process& p = require_mut(pid);
+  if (p.state() != ProcState::kRunning)
+    throw std::logic_error{"exec: process not running"};
+  const std::uint64_t bin_size = fs_.size_of(binary_path);  // throws if missing
+
+  sim_->advance(costs_.exec_base);
+  sim_->advance(costs_.exec_per_mib *
+                (static_cast<double>(bin_size) / (1024.0 * 1024.0)));
+  // Reading the binary's first pages from storage.
+  fs_.charge_read(binary_path, std::min<std::uint64_t>(bin_size, 2 * 1024 * 1024));
+
+  p.mm().clear();
+  p.set_name(binary_path.substr(binary_path.find_last_of('/') + 1));
+  p.set_argv(std::move(argv));
+  // Text + rodata mapped file-backed; initial heap and stack anonymous.
+  const auto text = p.mm().map(bin_size, Prot::kReadExec, VmaKind::kFileBacked,
+                               p.name() + ".text",
+                               std::make_shared<PatternSource>(bin_size ^ 0x7e57),
+                               /*populate=*/false, binary_path);
+  p.mm().touch(text, 0, 64);  // demand-page the entry pages
+  p.mm().map(512 * 1024, Prot::kReadWrite, VmaKind::kAnon, "[stack]",
+             std::make_shared<PatternSource>(0x57ac + pid), true);
+  p.mm().map(1024 * 1024, Prot::kReadWrite, VmaKind::kAnon, "[heap]",
+             std::make_shared<PatternSource>(0x4ea9 + pid), false);
+}
+
+void Kernel::exit_process(Pid pid, int code) {
+  Process& p = require_mut(pid);
+  sim_->advance(costs_.exit_call);
+  p.set_exit_code(code);
+  p.set_state(ProcState::kZombie);
+  p.mm().clear();
+}
+
+int Kernel::reap(Pid pid) {
+  Process& p = require_mut(pid);
+  if (p.state() != ProcState::kZombie)
+    throw std::logic_error{"reap: process is not a zombie"};
+  const int code = p.exit_code();
+  procs_.erase(pid);
+  return code;
+}
+
+void Kernel::kill_process(Pid pid) {
+  Process& p = require_mut(pid);
+  if (p.state() == ProcState::kZombie || p.state() == ProcState::kDead) return;
+  p.set_exit_code(137);
+  p.set_state(ProcState::kZombie);
+  p.mm().clear();
+}
+
+VmaId Kernel::mmap(Pid pid, std::uint64_t length, Prot prot, VmaKind kind,
+                   std::string name, std::shared_ptr<PageSource> source,
+                   bool populate, std::string backing_path) {
+  Process& p = require_mut(pid);
+  const VmaId id = p.mm().map(length, prot, kind, std::move(name),
+                              std::move(source), populate, std::move(backing_path));
+  if (populate) {
+    const std::uint64_t pages = (length + kPageSize - 1) / kPageSize;
+    sim_->advance(costs_.minor_fault * static_cast<double>(pages));
+  }
+  return id;
+}
+
+void Kernel::munmap(Pid pid, VmaId id) { require_mut(pid).mm().unmap(id); }
+
+void Kernel::fault_in(Pid pid, VmaId id, std::uint64_t first_page,
+                      std::uint64_t pages, bool write) {
+  Process& p = require_mut(pid);
+  const std::uint64_t newly = p.mm().touch(id, first_page, pages, write);
+  sim_->advance(costs_.minor_fault * static_cast<double>(newly));
+}
+
+void Kernel::fault_in_all(Pid pid, VmaId id, bool write) {
+  Process& p = require_mut(pid);
+  const std::uint64_t newly = p.mm().touch_all(id, write);
+  sim_->advance(costs_.minor_fault * static_cast<double>(newly));
+}
+
+void Kernel::freeze(Pid pid, Cap tracer_caps) {
+  Process& p = require_mut(pid);
+  if (p.state() != ProcState::kRunning)
+    throw std::logic_error{"freeze: process not running"};
+  if (!has_cap(tracer_caps, Cap::kSysPtrace) &&
+      !has_cap(tracer_caps, Cap::kSysAdmin) &&
+      !has_cap(tracer_caps, Cap::kCheckpointRestore))
+    throw std::runtime_error{"freeze: tracer lacks CAP_SYS_PTRACE"};
+  for (Thread& t : p.threads()) {
+    t.state = ThreadState::kStopped;
+    sim_->advance(costs_.freeze_per_thread);
+  }
+  p.set_state(ProcState::kFrozen);
+}
+
+void Kernel::thaw(Pid pid) {
+  Process& p = require_mut(pid);
+  if (p.state() != ProcState::kFrozen)
+    throw std::logic_error{"thaw: process not frozen"};
+  for (Thread& t : p.threads()) t.state = ThreadState::kRunning;
+  p.set_state(ProcState::kRunning);
+}
+
+void Kernel::ptrace_seize(Pid pid, Cap tracer_caps) {
+  Process& p = require_mut(pid);
+  if (!has_cap(tracer_caps, Cap::kSysPtrace) &&
+      !has_cap(tracer_caps, Cap::kSysAdmin) &&
+      !has_cap(tracer_caps, Cap::kCheckpointRestore))
+    throw std::runtime_error{"ptrace_seize: permission denied"};
+  for (Thread& t : p.threads()) {
+    sim_->advance(costs_.ptrace_attach);
+    t.state = ThreadState::kTraced;
+  }
+}
+
+void Kernel::inject_parasite(Pid pid, std::uint64_t blob_bytes) {
+  Process& p = require_mut(pid);
+  if (p.state() != ProcState::kFrozen)
+    throw std::logic_error{"inject_parasite: target must be frozen"};
+  if (p.parasite_present())
+    throw std::logic_error{"inject_parasite: parasite already present"};
+  sim_->advance(costs_.parasite_inject);
+  sim_->advance(costs_.memcpy_cost(blob_bytes));
+  p.mm().map(blob_bytes, Prot::kReadExec, VmaKind::kAnon, "[criu-parasite]",
+             std::make_shared<PatternSource>(0x9a7a517e), true);
+  p.set_parasite_present(true);
+}
+
+void Kernel::cure_parasite(Pid pid) {
+  Process& p = require_mut(pid);
+  if (!p.parasite_present())
+    throw std::logic_error{"cure_parasite: no parasite present"};
+  sim_->advance(costs_.parasite_cure);
+  // Remove the parasite mapping.
+  for (const Vma& vma : p.mm().vmas()) {
+    if (vma.name == "[criu-parasite]") {
+      p.mm().unmap(vma.id);
+      break;
+    }
+  }
+  p.set_parasite_present(false);
+}
+
+std::vector<PagemapRange> Kernel::pagemap(Pid pid) {
+  Process& p = require_mut(pid);
+  std::vector<PagemapRange> out;
+  std::uint64_t resident = 0;
+  for (const Vma& vma : p.mm().vmas()) {
+    std::uint64_t run_start = 0;
+    bool in_run = false;
+    bool run_dirty = false;
+    const std::uint64_t n = vma.page_count();
+    for (std::uint64_t i = 0; i <= n; ++i) {
+      const bool present = i < n && vma.present[i];
+      const bool dirty = i < n && vma.dirty[i];
+      if (present && !in_run) {
+        in_run = true;
+        run_start = i;
+        run_dirty = dirty;
+      } else if (in_run && (!present || dirty != run_dirty)) {
+        out.push_back(PagemapRange{vma.id, run_start, i - run_start, run_dirty});
+        in_run = present;
+        run_start = i;
+        run_dirty = dirty;
+      }
+      if (present) ++resident;
+    }
+  }
+  sim_->advance(costs_.pagemap_per_page * static_cast<double>(resident));
+  return out;
+}
+
+void Kernel::clear_soft_dirty(Pid pid) {
+  require_mut(pid).mm().clear_soft_dirty();
+}
+
+std::uint64_t Kernel::create_pipe() { return next_pipe_++; }
+
+void Kernel::pipe_transfer(std::uint64_t /*pipe_id*/, std::uint64_t bytes) {
+  sim_->advance(costs_.pipe_cost(bytes));
+}
+
+}  // namespace prebake::os

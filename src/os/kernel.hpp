@@ -1,0 +1,116 @@
+// The simulated kernel: the syscall surface used by the runtime model, the
+// FaaS platform, and the CRIU-model checkpoint/restore engine.
+//
+// Every operation charges calibrated time to the owning Simulation clock, so
+// "how long did this process take to become ready" falls out of replaying the
+// same sequence of kernel operations a real start-up performs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/cost_model.hpp"
+#include "os/filesystem.hpp"
+#include "os/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace prebake::os {
+
+struct CloneOptions {
+  bool set_child_pid = false;  // CLONE with a chosen pid (CRIU restore path);
+  Pid child_pid = kNoPid;      // requires CAP_CHECKPOINT_RESTORE or root.
+  bool new_pid_ns = false;
+  bool new_mnt_ns = false;
+  bool new_net_ns = false;
+  // Capabilities of the calling context (used when `parent` is kNoPid or the
+  // privilege does not come from the parent process, e.g. the CRIU restorer).
+  Cap caller_caps = Cap::kNone;
+};
+
+// One entry of the /proc/$pid/pagemap walk: a run of resident pages.
+struct PagemapRange {
+  VmaId vma = 0;
+  std::uint64_t first_page = 0;
+  std::uint64_t pages = 0;
+  bool dirty = false;
+};
+
+class Kernel {
+ public:
+  Kernel(sim::Simulation& sim, CostModel costs = {})
+      : sim_{&sim}, costs_{std::move(costs)}, fs_{sim, costs_} {}
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  sim::Simulation& sim() { return *sim_; }
+  const CostModel& costs() const { return costs_; }
+  CostModel& costs_mutable() { return costs_; }
+  FileSystem& fs() { return fs_; }
+
+  // --- process lifecycle -------------------------------------------------
+  // clone(2): duplicates `parent` (COW address space). Returns the child pid.
+  Pid clone_process(Pid parent, const CloneOptions& opts = {});
+  // execve(2): replaces the image of `pid` with `binary_path` (must exist in
+  // the fs; its size drives the mapping cost). Clears the address space and
+  // maps the binary text/data plus a small initial heap/stack.
+  void exec(Pid pid, const std::string& binary_path,
+            std::vector<std::string> argv);
+  void exit_process(Pid pid, int code);
+  // waitpid(2)-style reap; returns the exit code.
+  int reap(Pid pid);
+  void kill_process(Pid pid);  // SIGKILL: straight to zombie
+
+  Process& process(Pid pid);
+  const Process& process(Pid pid) const;
+  bool alive(Pid pid) const;
+  std::vector<Pid> pids() const;
+  std::size_t process_count() const { return procs_.size(); }
+
+  // --- memory ------------------------------------------------------------
+  // mmap into a process; returns the VMA id. Faulting is charged per page.
+  VmaId mmap(Pid pid, std::uint64_t length, Prot prot, VmaKind kind,
+             std::string name, std::shared_ptr<PageSource> source,
+             bool populate = false, std::string backing_path = {});
+  void munmap(Pid pid, VmaId id);
+  // Touch pages (minor faults charged for newly resident pages).
+  void fault_in(Pid pid, VmaId id, std::uint64_t first_page,
+                std::uint64_t pages, bool write = false);
+  void fault_in_all(Pid pid, VmaId id, bool write = false);
+
+  // --- freezer + ptrace (CRIU building blocks) ----------------------------
+  // Stop all threads (cgroup freezer / PTRACE_INTERRUPT equivalent). Charged
+  // per thread. Requires tracer_caps to include SysPtrace unless self.
+  void freeze(Pid pid, Cap tracer_caps);
+  void thaw(Pid pid);
+  void ptrace_seize(Pid pid, Cap tracer_caps);
+  // Map the parasite blob into the target and start it (the target must be
+  // frozen). Models CRIU's compel infection step.
+  void inject_parasite(Pid pid, std::uint64_t blob_bytes);
+  void cure_parasite(Pid pid);
+
+  // Walk /proc/$pid/pagemap: returns runs of resident pages. Charged per
+  // resident page examined.
+  std::vector<PagemapRange> pagemap(Pid pid);
+  // Reset soft-dirty bits (pre-dump support).
+  void clear_soft_dirty(Pid pid);
+
+  // --- pipes (parasite page channel) --------------------------------------
+  std::uint64_t create_pipe();
+  // Transfer bytes through a pipe (charged at pipe bandwidth).
+  void pipe_transfer(std::uint64_t pipe_id, std::uint64_t bytes);
+
+ private:
+  Process& require_mut(Pid pid);
+
+  sim::Simulation* sim_;
+  CostModel costs_;
+  FileSystem fs_;
+  std::map<Pid, std::unique_ptr<Process>> procs_;
+  Pid next_pid_ = 100;
+  std::uint64_t next_pipe_ = 1;
+};
+
+}  // namespace prebake::os

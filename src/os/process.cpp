@@ -1,0 +1,22 @@
+#include "os/process.hpp"
+
+#include <stdexcept>
+
+namespace prebake::os {
+
+Thread& Process::spawn_thread(Tid tid) {
+  for (const Thread& t : threads_)
+    if (t.tid == tid) throw std::invalid_argument{"Process::spawn_thread: tid in use"};
+  threads_.push_back(Thread{tid, ThreadState::kRunning, {}});
+  return threads_.back();
+}
+
+int Process::install_fd(FdDesc desc) {
+  int fd = 0;
+  while (fds_.contains(fd)) ++fd;
+  desc.fd = fd;
+  fds_[fd] = std::move(desc);
+  return fd;
+}
+
+}  // namespace prebake::os

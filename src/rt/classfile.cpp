@@ -1,0 +1,63 @@
+#include "rt/classfile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace prebake::rt {
+
+std::vector<ClassFile> synth_class_set(const std::string& prefix, int count,
+                                       std::uint64_t total_bytes,
+                                       std::uint64_t seed) {
+  if (count <= 0) throw std::invalid_argument{"synth_class_set: count <= 0"};
+  if (total_bytes < static_cast<std::uint64_t>(count) * 64)
+    throw std::invalid_argument{"synth_class_set: total too small for count"};
+
+  sim::Rng rng{seed};
+  // Right-skewed weights: weight = exp(2 * normal()) gives a lognormal size
+  // mix reminiscent of real jars (many small DTOs, a few generated giants).
+  std::vector<double> weights(static_cast<std::size_t>(count));
+  double sum = 0.0;
+  for (double& w : weights) {
+    w = rng.lognormal_median(1.0, 1.0);
+    sum += w;
+  }
+
+  std::vector<ClassFile> classes(static_cast<std::size_t>(count));
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    classes[i].name = prefix + ".Class" + std::to_string(i);
+    const auto share = static_cast<std::uint64_t>(
+        static_cast<double>(total_bytes) * weights[i] / sum);
+    classes[i].size_bytes = static_cast<std::uint32_t>(std::max<std::uint64_t>(share, 64));
+    assigned += classes[i].size_bytes;
+  }
+  // Fix rounding drift on the last class so the total is exact.
+  auto& last = classes.back();
+  const std::int64_t drift =
+      static_cast<std::int64_t>(total_bytes) - static_cast<std::int64_t>(assigned);
+  const std::int64_t fixed = static_cast<std::int64_t>(last.size_bytes) + drift;
+  last.size_bytes = static_cast<std::uint32_t>(std::max<std::int64_t>(fixed, 64));
+  return classes;
+}
+
+std::uint64_t class_bytes(std::span<const ClassFile> classes) {
+  std::uint64_t total = 0;
+  for (const ClassFile& c : classes) total += c.size_bytes;
+  return total;
+}
+
+std::vector<ClassFile> small_class_set() {
+  return synth_class_set("synthetic.small", 374, 2'800'000, 0x5ca1e5);
+}
+
+std::vector<ClassFile> medium_class_set() {
+  return synth_class_set("synthetic.medium", 574, 9'200'000, 0x3ed1u);
+}
+
+std::vector<ClassFile> big_class_set() {
+  return synth_class_set("synthetic.big", 1574, 41'000'000, 0xb16u);
+}
+
+}  // namespace prebake::rt

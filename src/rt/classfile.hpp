@@ -1,0 +1,36 @@
+// Class files and synthetic class sets.
+//
+// Section 4.2.2 of the paper builds synthetic functions that load a fixed
+// number of classes of varying sizes: small (374 classes, ~2.8 MB), medium
+// (574, ~9.2 MB) and big (1574, ~41 MB). "The loaded classes have different
+// sizes, and that is the reason the growth in the number of classes does not
+// match the size linearly."
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prebake::rt {
+
+struct ClassFile {
+  std::string name;
+  std::uint32_t size_bytes = 0;
+};
+
+// Deterministically generate `count` classes totalling exactly `total_bytes`
+// with a right-skewed size distribution (a few large generated/framework
+// classes, many small ones), as in real classpaths.
+std::vector<ClassFile> synth_class_set(const std::string& prefix, int count,
+                                       std::uint64_t total_bytes,
+                                       std::uint64_t seed);
+
+std::uint64_t class_bytes(std::span<const ClassFile> classes);
+
+// The paper's three synthetic sizes.
+std::vector<ClassFile> small_class_set();   // 374 classes, ~2.8 MB
+std::vector<ClassFile> medium_class_set();  // 574 classes, ~9.2 MB
+std::vector<ClassFile> big_class_set();     // 1574 classes, ~41 MB
+
+}  // namespace prebake::rt

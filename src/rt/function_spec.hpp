@@ -1,0 +1,58 @@
+// Deployable function descriptor: code, dependencies, and calibrated
+// behavioural parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/classfile.hpp"
+#include "sim/time.hpp"
+
+namespace prebake::rt {
+
+struct FunctionSpec {
+  std::string name;
+  // Handler id resolved through funcs::make_handler (real business logic).
+  std::string handler_id = "noop";
+
+  // Classes loaded eagerly during APPINIT (framework, HTTP server).
+  std::vector<ClassFile> init_classes;
+  // Classes loaded lazily on the first invocation (the paper's synthetic
+  // functions load all their classes when invoked, which is why PB-NOWarmup
+  // start-up still grows with code size while PB-Warmup does not).
+  std::vector<ClassFile> request_classes;
+
+  // Where the builder placed the class archive in the simulated filesystem.
+  std::string classpath_archive;
+  // The runtime binary exec'd by the Vanilla path.
+  std::string runtime_binary = "/opt/jvm/bin/java";
+
+  // Application-specific initialization I/O (the Image Resizer reads a 1 MiB
+  // image at start-up: "this translates to perform more I/O operations").
+  std::string init_io_path;
+  std::uint64_t init_io_bytes = 0;
+  // Long-lived buffers allocated during APPINIT (e.g. the decoded bitmap);
+  // they become part of the process footprint and hence the snapshot.
+  std::uint64_t init_extra_resident = 0;
+
+  // Fixed app-init compute beyond class loading (calibrated per function).
+  sim::Duration appinit_compute;
+  // Extra work the runtime performs when it resumes from a snapshot
+  // (socket re-listen, clock resync; calibrated per function).
+  sim::Duration post_restore_residual;
+
+  // Warm-path service time (median) and lognormal noise shape.
+  sim::Duration warm_service_median = sim::Duration::millis(1);
+  double service_sigma = 0.05;
+
+  std::uint64_t memory_seed = 0x9e3779b9;
+
+  std::uint64_t init_class_bytes() const { return class_bytes(init_classes); }
+  std::uint64_t request_class_bytes() const { return class_bytes(request_classes); }
+  std::uint64_t total_class_bytes() const {
+    return init_class_bytes() + request_class_bytes();
+  }
+};
+
+}  // namespace prebake::rt

@@ -1,0 +1,138 @@
+// The managed runtime model ("JesVM") — a JVM-like runtime attached to a
+// simulated process.
+//
+// It reproduces the cold-start phase structure the paper measures with
+// bpftrace (Section 4.2.1): after CLONE and EXEC, the runtime bootstrap (RTS,
+// exec-end to main(); ~70 ms for Java 8 regardless of function) and the
+// application initialization (APPINIT, main() to ready-to-serve). Class
+// loading and JIT compilation are lazy: the first invocation of a function
+// pays for loading/compiling its request classes, which is exactly what the
+// PB-Warmup snapshot policy bakes into the image.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "funcs/handlers.hpp"
+#include "os/kernel.hpp"
+#include "rt/function_spec.hpp"
+#include "sim/rng.hpp"
+
+namespace prebake::rt {
+
+struct RuntimeCosts {
+  // RTS: JVM data structures, GC threads, service threads ("≈70 ms ... no
+  // statistical difference between the RTS phase values for all evaluated
+  // functions" — Section 4.2.1).
+  sim::Duration bootstrap = sim::Duration::millis_f(68.0);
+  // Multiplicative lognormal noise applied per phase.
+  double timing_sigma = 0.004;
+
+  // Class loading: parse + verify + define, per MiB of class files, plus a
+  // fixed per-class linkage overhead. "cold" is the first-ever load path
+  // (vanilla); "warm" is the post-restore path where metadata parsing hits
+  // caches already faulted into related state.
+  sim::Duration classload_per_mib_cold = sim::Duration::millis_f(20.0);
+  sim::Duration classload_per_mib_warm = sim::Duration::millis_f(16.0);
+  sim::Duration per_class_overhead = sim::Duration::micros(18);
+
+  // JIT compilation charged when lazily compiling request classes.
+  sim::Duration jit_per_mib = sim::Duration::millis_f(12.0);
+  // One-time cost of spinning up the lazy application class loader on the
+  // first invocation (opening the jar, building the classpath index); paid
+  // once per replica unless the snapshot already baked it in (PB-Warmup).
+  sim::Duration lazy_loader_init = sim::Duration::millis_f(25.0);
+
+  // Baseline resident footprint after bootstrap (the NOOP snapshot is 13 MB
+  // in the paper; part of that is binary/stack mapped at exec).
+  std::uint64_t heap_base_bytes = 11ull * 1024 * 1024;
+  // Resident metaspace bytes per class-file byte.
+  double metadata_factor = 1.05;
+  // JIT code-cache bytes per class-file byte (populated by warm-up).
+  double code_cache_factor = 1.55;
+
+  // Number of runtime service threads (GC, compiler) besides main.
+  int service_threads = 4;
+
+  // Post-fork fixups in a zygote child (re-seed PRNGs, re-arm timers,
+  // restart service threads — fork only keeps the calling thread).
+  sim::Duration post_fork_fixup = sim::Duration::millis_f(2.5);
+};
+
+// What the runtime knows about its own progress; snapshot policies use this
+// and the restore path re-derives it from the image's stats entry.
+enum class RuntimeProgress : std::uint8_t {
+  kFresh,     // process exec'd, runtime not yet bootstrapped
+  kBooted,    // RTS done
+  kReady,     // APPINIT done, listening
+  kWarmed,    // >= 1 request served (request classes loaded + JITed)
+};
+
+class ManagedRuntime {
+ public:
+  // Attach a fresh runtime to a process that just exec'd `spec.runtime_binary`.
+  ManagedRuntime(os::Kernel& kernel, os::Pid pid, RuntimeCosts costs,
+                 FunctionSpec spec, sim::Rng rng);
+
+  // Re-attach to a process restored from a snapshot: memory already present;
+  // the runtime performs its post-restore fixups (charged) and resumes at
+  // the recorded progress point.
+  static ManagedRuntime attach_restored(os::Kernel& kernel, os::Pid pid,
+                                        RuntimeCosts costs, FunctionSpec spec,
+                                        sim::Rng rng, bool warmed,
+                                        funcs::SharedAssets& assets);
+
+  // Attach to a process forked from a booted zygote (SOCK-style [19]: the
+  // runtime bootstrap already ran in the parent; the child COW-shares that
+  // state and only needs app_init). Charges the post-fork fixup the child
+  // runtime performs (re-seeding PRNGs, re-arming timers).
+  static ManagedRuntime attach_forked(os::Kernel& kernel, os::Pid pid,
+                                      RuntimeCosts costs, FunctionSpec spec,
+                                      sim::Rng rng);
+
+  // RTS phase. Maps and faults the base heap; charges bootstrap time.
+  void bootstrap();
+  // APPINIT phase. Loads init classes, performs init I/O, allocates
+  // long-lived app buffers, binds the HTTP listen socket.
+  void app_init(funcs::SharedAssets& assets);
+
+  // Serve one request through the real handler. The first invocation lazily
+  // loads and JIT-compiles the request classes.
+  funcs::Response handle(const funcs::Request& req);
+
+  RuntimeProgress progress() const { return progress_; }
+  bool warmed() const { return progress_ == RuntimeProgress::kWarmed; }
+  int requests_served() const { return requests_served_; }
+  os::Pid pid() const { return pid_; }
+  const FunctionSpec& spec() const { return spec_; }
+
+  // Phase durations recorded for the Figure 4 breakdown.
+  sim::Duration rts_time() const { return rts_time_; }
+  sim::Duration appinit_time() const { return appinit_time_; }
+  sim::Duration last_service_time() const { return last_service_time_; }
+
+ private:
+  ManagedRuntime(os::Kernel& kernel, os::Pid pid, RuntimeCosts costs,
+                 FunctionSpec spec, sim::Rng rng, RuntimeProgress progress);
+
+  double noise() { return rng_.lognormal_median(1.0, costs_.timing_sigma); }
+  void lazy_first_request(bool restored_warm_path);
+
+  os::Kernel* kernel_;
+  os::Pid pid_;
+  RuntimeCosts costs_;
+  FunctionSpec spec_;
+  sim::Rng rng_;
+  RuntimeProgress progress_ = RuntimeProgress::kFresh;
+  bool restored_ = false;
+  bool booted_ = false;
+  int requests_served_ = 0;
+  std::unique_ptr<funcs::Handler> handler_;
+  funcs::SharedAssets* assets_ = nullptr;
+  sim::Duration rts_time_{};
+  sim::Duration appinit_time_{};
+  sim::Duration last_service_time_{};
+};
+
+}  // namespace prebake::rt

@@ -1,0 +1,65 @@
+// Deterministic random number generation for experiments.
+//
+// Every experiment in this repository is a pure function of its seed; we use
+// our own xoshiro256++ implementation (public-domain algorithm by Blackman &
+// Vigna) rather than std::mt19937 so the stream is identical across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prebake::sim {
+
+// splitmix64 — used to expand a single 64-bit seed into xoshiro state and to
+// derive independent child seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform bits over [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Box-Muller (cached spare kept for determinism).
+  double normal();
+  double normal(double mean, double stddev);
+  // Lognormal such that the *median* of the distribution is exactly
+  // `median` and sigma is the shape parameter of the underlying normal.
+  // Used for multiplicative timing noise: median is preserved, tail is
+  // right-skewed like real start-up latencies (the paper's samples fail the
+  // Shapiro-Wilk normality test; see Section 4.2).
+  double lognormal_median(double median, double sigma);
+  double exponential(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child generator (stable under reordering of other
+  // draws from this generator).
+  Rng child(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace prebake::sim

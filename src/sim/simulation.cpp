@@ -1,0 +1,67 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prebake::sim {
+
+EventId Simulation::schedule_at(TimePoint at, EventFn fn) {
+  if (at < now_)
+    throw std::logic_error{
+        "Simulation::schedule_at: time in the past (at=" +
+        std::to_string(at.nanos_since_origin()) +
+        " now=" + std::to_string(now_.nanos_since_origin()) + ")"};
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id});
+  callbacks_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+EventFn* Simulation::find_callback(EventId id) {
+  const auto it = std::find_if(callbacks_.begin(), callbacks_.end(),
+                               [id](const auto& p) { return p.first == id; });
+  return it == callbacks_.end() ? nullptr : &it->second;
+}
+
+bool Simulation::cancel(EventId id) {
+  const auto it = std::find_if(callbacks_.begin(), callbacks_.end(),
+                               [id](const auto& p) { return p.first == id; });
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  ++cancelled_live_;
+  return true;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = std::find_if(callbacks_.begin(), callbacks_.end(),
+                           [&](const auto& p) { return p.first == ev.id; });
+    if (it == callbacks_.end()) {
+      // Cancelled event; skip its shell.
+      --cancelled_live_;
+      continue;
+    }
+    EventFn fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = std::max(now_, ev.at);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(TimePoint until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (!step()) break;
+  }
+  now_ = std::max(now_, until);
+}
+
+}  // namespace prebake::sim

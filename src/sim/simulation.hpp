@@ -1,0 +1,89 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a virtual clock and a priority queue of events. Code that
+// models a *single* active actor (e.g. a process performing syscalls) charges
+// time to the clock directly through `advance()`; concurrent activity (the
+// FaaS platform's request arrivals, replica lifecycles, autoscaler alerts)
+// schedules callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace prebake::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Charge `d` of busy time to the current actor: the clock moves forward.
+  // Negative durations are a logic error and are clamped to zero.
+  void advance(Duration d) {
+    if (d > Duration{}) now_ += d;
+  }
+
+  // Move the clock back to `t`, which must not be in the future. Only valid
+  // when no event has fired since `t` was read from now(): the caller ran a
+  // synchronous block of work to *measure* its duration and will re-emit the
+  // completion as a scheduled event (e.g. a replica serving a request while
+  // other traffic keeps arriving). Misuse breaks causality, hence the throw.
+  void rewind_to(TimePoint t) {
+    if (t > now_) throw std::logic_error{"Simulation::rewind_to: future time"};
+    now_ = t;
+  }
+
+  // Schedule `fn` at absolute time `at` (must not be in the past). Events at
+  // equal times fire in FIFO order of scheduling. Returns an id usable with
+  // cancel().
+  EventId schedule_at(TimePoint at, EventFn fn);
+  EventId schedule_in(Duration d, EventFn fn) { return schedule_at(now_ + d, fn); }
+
+  // Cancel a pending event. Returns false if it already fired or is unknown.
+  bool cancel(EventId id);
+
+  // Run a single event; returns false when the queue is empty.
+  bool step();
+  // Run until the queue is empty.
+  void run();
+  // Run until the clock reaches `until` (events scheduled at exactly `until`
+  // are executed).
+  void run_until(TimePoint until);
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_live_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    EventId id;
+    // Heap orders by (time, then insertion sequence).
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Callbacks keyed by event id; erased on cancel.
+  std::vector<std::pair<EventId, EventFn>> callbacks_;
+  std::size_t cancelled_live_ = 0;
+
+  EventFn* find_callback(EventId id);
+};
+
+}  // namespace prebake::sim

@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace prebake::sim {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns_));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(ns_) / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns_) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace prebake::sim

@@ -1,0 +1,79 @@
+// Strong time types for the discrete-event simulation.
+//
+// All simulated time is kept as a signed 64-bit count of nanoseconds. The
+// strong Duration/TimePoint wrappers keep callers from mixing simulated time
+// with wall-clock time and from accidentally adding two absolute times.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace prebake::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t us) { return Duration{us * 1000}; }
+  static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  // Fractional constructors for cost models expressed in real units.
+  static constexpr Duration micros_f(double us) {
+    return Duration{static_cast<std::int64_t>(us * 1e3 + (us >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Duration millis_f(double ms) { return micros_f(ms * 1e3); }
+  static constexpr Duration seconds_f(double s) { return micros_f(s * 1e6); }
+
+  constexpr std::int64_t nanos_count() const { return ns_; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * f + 0.5)};
+  }
+  constexpr Duration operator/(double f) const { return *this * (1.0 / f); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string to_string() const;  // e.g. "103.25ms"
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+inline constexpr Duration operator*(double f, Duration d) { return d * f; }
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint origin() { return TimePoint{}; }
+  static constexpr TimePoint from_nanos(std::int64_t n) { return TimePoint{n}; }
+
+  constexpr std::int64_t nanos_since_origin() const { return ns_; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.nanos_count()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.nanos_count()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+  TimePoint& operator+=(Duration d) { ns_ += d.nanos_count(); return *this; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace prebake::sim

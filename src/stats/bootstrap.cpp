@@ -1,0 +1,48 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace prebake::stats {
+
+Interval bootstrap_ci(std::span<const double> sample, const Statistic& stat,
+                      double confidence, int resamples, std::uint64_t seed) {
+  if (sample.empty()) throw std::invalid_argument{"bootstrap_ci: empty sample"};
+  if (resamples < 2) throw std::invalid_argument{"bootstrap_ci: resamples < 2"};
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument{"bootstrap_ci: confidence outside (0,1)"};
+
+  sim::Rng rng{seed};
+  const std::size_t n = sample.size();
+  std::vector<double> resample(n);
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int b = 0; b < resamples; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      resample[i] = sample[idx];
+    }
+    stats.push_back(stat(resample));
+  }
+
+  const double alpha = 1.0 - confidence;
+  Interval iv;
+  iv.lo = percentile(stats, alpha / 2.0);
+  iv.hi = percentile(stats, 1.0 - alpha / 2.0);
+  iv.point = stat(sample);
+  return iv;
+}
+
+Interval bootstrap_median_ci(std::span<const double> sample, double confidence,
+                             int resamples, std::uint64_t seed) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> xs) { return median(xs); },
+      confidence, resamples, seed);
+}
+
+}  // namespace prebake::stats

@@ -1,0 +1,35 @@
+// Bootstrap confidence intervals.
+//
+// Figures 3 and 5 and Table 1 of the paper report 95% confidence intervals
+// for the median computed via the bootstrap (Efron & Tibshirani [6]); this is
+// the same percentile-bootstrap procedure, made deterministic by seeding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace prebake::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  // statistic on the original sample
+  double width() const { return hi - lo; }
+  bool contains(double v) const { return lo <= v && v <= hi; }
+  bool overlaps(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+};
+
+using Statistic = std::function<double(std::span<const double>)>;
+
+// Percentile bootstrap CI for an arbitrary statistic.
+Interval bootstrap_ci(std::span<const double> sample, const Statistic& stat,
+                      double confidence = 0.95, int resamples = 2000,
+                      std::uint64_t seed = 0x9b0074bead5ULL);
+
+// Convenience: CI for the median (the paper's error bars).
+Interval bootstrap_median_ci(std::span<const double> sample,
+                             double confidence = 0.95, int resamples = 2000,
+                             std::uint64_t seed = 0x9b0074bead5ULL);
+
+}  // namespace prebake::stats

@@ -1,0 +1,72 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prebake::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument{"mean: empty sample"};
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) throw std::invalid_argument{"variance: need n >= 2"};
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument{"min: empty sample"};
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument{"max: empty sample"};
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double> sorted(std::span<const double> xs) {
+  std::vector<double> v{xs.begin(), xs.end()};
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 0.5); }
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument{"percentile: empty sample"};
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"percentile: q out of [0,1]"};
+  auto v = sorted(xs);
+  if (v.size() == 1) return v.front();
+  const double h = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  s.min = min(xs);
+  s.p25 = percentile(xs, 0.25);
+  s.median = percentile(xs, 0.50);
+  s.p75 = percentile(xs, 0.75);
+  s.p95 = percentile(xs, 0.95);
+  s.p99 = percentile(xs, 0.99);
+  s.max = max(xs);
+  return s;
+}
+
+}  // namespace prebake::stats

@@ -1,0 +1,32 @@
+// Descriptive statistics used throughout the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace prebake::stats {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance (n-1)
+double stddev(std::span<const double> xs);
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+// Median of an unsorted sample (copies + nth_element).
+double median(std::span<const double> xs);
+
+// Linear-interpolation percentile (type 7, the R default). q in [0, 1].
+double percentile(std::span<const double> xs, double q);
+
+// Returns a sorted copy.
+std::vector<double> sorted(std::span<const double> xs);
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0, stddev = 0, min = 0, p25 = 0, median = 0, p75 = 0, p95 = 0,
+         p99 = 0, max = 0;
+};
+Summary summarize(std::span<const double> xs);
+
+}  // namespace prebake::stats

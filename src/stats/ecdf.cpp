@@ -1,0 +1,55 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prebake::stats {
+
+Ecdf::Ecdf(std::span<const double> sample) : xs_{sample.begin(), sample.end()} {
+  if (xs_.empty()) throw std::invalid_argument{"Ecdf: empty sample"};
+  std::sort(xs_.begin(), xs_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<double>(it - xs_.begin()) / static_cast<double>(xs_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (q <= 0.0 || q > 1.0) throw std::invalid_argument{"Ecdf::quantile: q outside (0,1]"};
+  const auto n = static_cast<double>(xs_.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  idx = std::min(idx, xs_.size() - 1);
+  return xs_[idx];
+}
+
+double ks_distance(const Ecdf& a, const Ecdf& b) {
+  double d = 0.0;
+  for (double x : a.support()) d = std::max(d, std::fabs(a(x) - b(x)));
+  for (double x : b.support()) d = std::max(d, std::fabs(a(x) - b(x)));
+  return d;
+}
+
+KsTestResult ks_test(std::span<const double> xs, std::span<const double> ys) {
+  const Ecdf fa{xs}, fb{ys};
+  KsTestResult res;
+  res.d = ks_distance(fa, fb);
+  const double n1 = static_cast<double>(xs.size());
+  const double n2 = static_cast<double>(ys.size());
+  const double en = std::sqrt(n1 * n2 / (n1 + n2));
+  // Asymptotic Kolmogorov distribution Q(lambda) = 2 sum (-1)^{k-1} e^{-2k^2 lambda^2}.
+  const double lambda = (en + 0.12 + 0.11 / en) * res.d;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    p += 2.0 * sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  res.p_value = std::clamp(p, 0.0, 1.0);
+  return res;
+}
+
+}  // namespace prebake::stats

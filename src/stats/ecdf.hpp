@@ -1,0 +1,38 @@
+// Empirical cumulative distribution functions (Figure 7 of the paper) and the
+// Kolmogorov-Smirnov distance used to check that the Vanilla and Prebaking
+// service-time distributions coincide.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace prebake::stats {
+
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> sample);
+
+  // F(x): fraction of the sample <= x.
+  double operator()(double x) const;
+  // Generalized inverse: smallest sample value v with F(v) >= q, q in (0, 1].
+  double quantile(double q) const;
+
+  std::size_t size() const { return xs_.size(); }
+  const std::vector<double>& support() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;  // sorted
+};
+
+// Two-sample Kolmogorov-Smirnov statistic sup_x |F1(x) - F2(x)|.
+double ks_distance(const Ecdf& a, const Ecdf& b);
+
+struct KsTestResult {
+  double d = 0.0;
+  double p_value = 1.0;  // asymptotic Kolmogorov distribution
+};
+
+// Two-sample KS test with the asymptotic p-value (adequate for n = 200).
+KsTestResult ks_test(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace prebake::stats

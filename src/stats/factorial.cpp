@@ -1,0 +1,54 @@
+#include "stats/factorial.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace prebake::stats {
+
+Factorial2x2 factorial_2x2(std::span<const double> y00,
+                           std::span<const double> y10,
+                           std::span<const double> y01,
+                           std::span<const double> y11) {
+  for (const auto& cell : {y00, y10, y01, y11})
+    if (cell.empty())
+      throw std::invalid_argument{"factorial_2x2: empty cell"};
+
+  const double m00 = mean(y00), m10 = mean(y10), m01 = mean(y01),
+               m11 = mean(y11);
+
+  Factorial2x2 out;
+  out.q0 = (m00 + m10 + m01 + m11) / 4.0;
+  out.qa = (-m00 + m10 - m01 + m11) / 4.0;
+  out.qb = (-m00 - m10 + m01 + m11) / 4.0;
+  out.qab = (m00 - m10 - m01 + m11) / 4.0;
+
+  // Allocation of variation. With unequal replication we weight each cell's
+  // contribution by its own r (the equal-r formulas fall out as a special
+  // case: SSA = 4 r qa^2, etc.).
+  auto sse_of = [](std::span<const double> cell, double cell_mean) {
+    double s = 0;
+    for (double y : cell) s += (y - cell_mean) * (y - cell_mean);
+    return s;
+  };
+  const double sse = sse_of(y00, m00) + sse_of(y10, m10) + sse_of(y01, m01) +
+                     sse_of(y11, m11);
+
+  const double r_avg = static_cast<double>(y00.size() + y10.size() +
+                                           y01.size() + y11.size()) /
+                       4.0;
+  const double ssa = 4.0 * r_avg * out.qa * out.qa;
+  const double ssb = 4.0 * r_avg * out.qb * out.qb;
+  const double ssab = 4.0 * r_avg * out.qab * out.qab;
+  const double sst = ssa + ssb + ssab + sse;
+
+  if (sst > 0.0) {
+    out.frac_a = ssa / sst;
+    out.frac_b = ssb / sst;
+    out.frac_ab = ssab / sst;
+    out.frac_error = sse / sst;
+  }
+  return out;
+}
+
+}  // namespace prebake::stats

@@ -1,0 +1,35 @@
+// 2^2 factorial experiment analysis (Jain, "The Art of Computer Systems
+// Performance Analysis", ch. 17-18). The paper's methodology section states
+// "we conducted a 2^2 factorial experiment" with the start-up method and the
+// function as factors; this computes the effects and the allocation of
+// variation for such designs with replications.
+#pragma once
+
+#include <span>
+
+namespace prebake::stats {
+
+struct Factorial2x2 {
+  // Model: y = q0 + qa*xa + qb*xb + qab*xa*xb + e, with xa, xb in {-1, +1}.
+  double q0 = 0;   // grand mean
+  double qa = 0;   // half the average change when factor A goes low->high
+  double qb = 0;
+  double qab = 0;  // interaction
+
+  // Fraction of the total variation explained by each term (sums to 1 with
+  // frac_error).
+  double frac_a = 0;
+  double frac_b = 0;
+  double frac_ab = 0;
+  double frac_error = 0;
+};
+
+// The four cells are (A-low,B-low), (A-high,B-low), (A-low,B-high),
+// (A-high,B-high); each carries r >= 1 replicated observations (cells may
+// have different r).
+Factorial2x2 factorial_2x2(std::span<const double> y00,
+                           std::span<const double> y10,
+                           std::span<const double> y01,
+                           std::span<const double> y11);
+
+}  // namespace prebake::stats

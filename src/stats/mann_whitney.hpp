@@ -1,0 +1,36 @@
+// Wilcoxon-Mann-Whitney rank-sum test and the Hodges-Lehmann estimate of the
+// median difference, as used in Section 4.2 of the paper to compare Vanilla
+// and Prebaking start-up samples (e.g. the NOOP median difference CI of
+// [40.35, 42.29] ms).
+#pragma once
+
+#include <span>
+
+namespace prebake::stats {
+
+struct MannWhitneyResult {
+  double u = 0.0;        // U statistic for the first sample
+  double z = 0.0;        // normal approximation with tie correction
+  double p_value = 1.0;  // two-sided
+};
+
+// Two-sided test of H0: P(X > Y) == P(Y > X). Uses the normal approximation
+// with average ranks and tie correction (appropriate for the paper's
+// n = 200 per group).
+MannWhitneyResult mann_whitney_u(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+struct ShiftEstimate {
+  double point = 0.0;  // Hodges-Lehmann: median of all pairwise differences
+  double lo = 0.0;     // confidence interval bounds
+  double hi = 0.0;
+};
+
+// Hodges-Lehmann shift estimate for xs - ys with a distribution-free CI based
+// on order statistics of the pairwise differences (Moses' method, normal
+// approximation for the order-statistic index).
+ShiftEstimate hodges_lehmann_shift(std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   double confidence = 0.95);
+
+}  // namespace prebake::stats

@@ -1,0 +1,13 @@
+// Standard normal CDF and quantile function.
+#pragma once
+
+namespace prebake::stats {
+
+// Phi(z): standard normal cumulative distribution function.
+double normal_cdf(double z);
+
+// Phi^{-1}(p): standard normal quantile (Acklam's rational approximation,
+// refined with one Halley step; |relative error| < 1e-9 over (0, 1)).
+double normal_quantile(double p);
+
+}  // namespace prebake::stats

@@ -1,0 +1,116 @@
+#include "stats/shapiro_wilk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/normal.hpp"
+
+namespace prebake::stats {
+
+// Royston's AS R94 approximation (Applied Statistics 44, 1995). Weights are
+// derived from Blom-approximated normal order statistics with polynomial
+// corrections for the two extreme coefficients; the null distribution of the
+// transformed statistic is approximately normal.
+ShapiroWilkResult shapiro_wilk(std::span<const double> sample) {
+  const std::size_t n = sample.size();
+  if (n < 3) throw std::invalid_argument{"shapiro_wilk: need n >= 3"};
+  if (n > 5000) throw std::invalid_argument{"shapiro_wilk: n > 5000 unsupported"};
+
+  std::vector<double> x{sample.begin(), sample.end()};
+  std::sort(x.begin(), x.end());
+  if (x.front() == x.back())
+    throw std::invalid_argument{"shapiro_wilk: sample is constant"};
+
+  const auto nd = static_cast<double>(n);
+  const std::size_t half = n / 2;
+
+  // mu[j], j = 0..half-1: expected value of the (n-j)-th order statistic of a
+  // standard normal sample (the j-th largest; positive). The full m vector is
+  // antisymmetric, so sum m_i^2 = 2 * sum mu_j^2.
+  std::vector<double> mu(half);
+  double summ2 = 0.0;
+  for (std::size_t j = 0; j < half; ++j) {
+    const double rank = nd - static_cast<double>(j);  // n, n-1, ...
+    mu[j] = normal_quantile((rank - 0.375) / (nd + 0.25));
+    summ2 += 2.0 * mu[j] * mu[j];
+  }
+  const double ssumm2 = std::sqrt(summ2);
+  const double u = 1.0 / std::sqrt(nd);
+
+  // Upper-half weights a[j] (j-th largest observation); lower half mirrors
+  // with a sign flip.
+  std::vector<double> a(half);
+  if (n == 3) {
+    a[0] = std::sqrt(0.5);
+  } else {
+    const double an = mu[0] / ssumm2 +
+                      u * (0.221157 +
+                           u * (-0.147981 +
+                                u * (-2.071190 + u * (4.434685 - 2.706056 * u))));
+    double phi;
+    std::size_t start;
+    if (n > 5) {
+      const double an1 =
+          mu[1] / ssumm2 +
+          u * (0.042981 +
+               u * (-0.293762 + u * (-1.752461 + u * (5.682633 - 3.582633 * u))));
+      phi = (summ2 - 2.0 * mu[0] * mu[0] - 2.0 * mu[1] * mu[1]) /
+            (1.0 - 2.0 * an * an - 2.0 * an1 * an1);
+      a[0] = an;
+      a[1] = an1;
+      start = 2;
+    } else {
+      phi = (summ2 - 2.0 * mu[0] * mu[0]) / (1.0 - 2.0 * an * an);
+      a[0] = an;
+      start = 1;
+    }
+    const double sqrt_phi = std::sqrt(phi);
+    for (std::size_t j = start; j < half; ++j) a[j] = mu[j] / sqrt_phi;
+  }
+
+  // W = (sum_i a_i x_(i))^2 / sum_i (x_i - mean)^2, exploiting antisymmetry.
+  double xbar = 0.0;
+  for (double v : x) xbar += v;
+  xbar /= nd;
+  double numer_sqrt = 0.0;
+  for (std::size_t j = 0; j < half; ++j)
+    numer_sqrt += a[j] * (x[n - 1 - j] - x[j]);
+  double denom = 0.0;
+  for (double v : x) denom += (v - xbar) * (v - xbar);
+  double w = numer_sqrt * numer_sqrt / denom;
+  w = std::min(w, 1.0);
+
+  ShapiroWilkResult res;
+  res.w = w;
+
+  if (n == 3) {
+    constexpr double pi6 = 1.90985931710274;    // 6/pi
+    constexpr double stqr = 1.04719755119660;   // asin(sqrt(3/4))
+    double p = pi6 * (std::asin(std::sqrt(w)) - stqr);
+    res.p_value = std::clamp(p, 0.0, 1.0);
+    return res;
+  }
+
+  double z;
+  if (n <= 11) {
+    const double g = -2.273 + 0.459 * nd;
+    const double wt = -std::log(g - std::log1p(-w));
+    const double m =
+        0.5440 + nd * (-0.39978 + nd * (0.025054 - 0.0006714 * nd));
+    const double s =
+        std::exp(1.3822 + nd * (-0.77857 + nd * (0.062767 - 0.0020322 * nd)));
+    z = (wt - m) / s;
+  } else {
+    const double l = std::log(nd);
+    const double wt = std::log1p(-w);
+    const double m = -1.5861 + l * (-0.31082 + l * (-0.083751 + 0.0038915 * l));
+    const double s = std::exp(-0.4803 + l * (-0.082676 + 0.0030302 * l));
+    z = (wt - m) / s;
+  }
+  res.p_value = 1.0 - normal_cdf(z);
+  return res;
+}
+
+}  // namespace prebake::stats

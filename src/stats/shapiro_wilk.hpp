@@ -1,0 +1,19 @@
+// Shapiro-Wilk normality test (Royston's AS R94 approximation).
+//
+// The paper (Section 4.2) applies Shapiro-Wilk to its start-up samples; some
+// fail normality, which motivates the non-parametric Wilcoxon-Mann-Whitney
+// comparison. Valid for 3 <= n <= 5000.
+#pragma once
+
+#include <span>
+
+namespace prebake::stats {
+
+struct ShapiroWilkResult {
+  double w = 0.0;        // W statistic in (0, 1]; near 1 means "normal-looking"
+  double p_value = 1.0;  // probability of a W this small under normality
+};
+
+ShapiroWilkResult shapiro_wilk(std::span<const double> sample);
+
+}  // namespace prebake::stats

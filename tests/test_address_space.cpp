@@ -1,0 +1,153 @@
+#include "os/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace prebake::os {
+namespace {
+
+std::shared_ptr<PatternSource> source(std::uint64_t seed = 1) {
+  return std::make_shared<PatternSource>(seed);
+}
+
+TEST(AddressSpace, MapRoundsUpToPages) {
+  AddressSpace mm;
+  const VmaId id = mm.map(100, Prot::kReadWrite, VmaKind::kAnon, "x", source());
+  EXPECT_EQ(mm.find(id)->length, kPageSize);
+  EXPECT_EQ(mm.find(id)->page_count(), 1u);
+}
+
+TEST(AddressSpace, MapZeroLengthThrows) {
+  AddressSpace mm;
+  EXPECT_THROW(mm.map(0, Prot::kRead, VmaKind::kAnon, "x", source()),
+               std::invalid_argument);
+}
+
+TEST(AddressSpace, MappingsDoNotOverlap) {
+  AddressSpace mm;
+  const VmaId a = mm.map(kPageSize * 4, Prot::kRead, VmaKind::kAnon, "a", source());
+  const VmaId b = mm.map(kPageSize * 4, Prot::kRead, VmaKind::kAnon, "b", source());
+  const Vma* va = mm.find(a);
+  const Vma* vb = mm.find(b);
+  EXPECT_GE(vb->start, va->start + va->length);
+}
+
+TEST(AddressSpace, PopulateMakesResident) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize * 3, Prot::kRead, VmaKind::kAnon, "x",
+                          source(), /*populate=*/true);
+  EXPECT_EQ(mm.find(id)->resident_pages(), 3u);
+  EXPECT_EQ(mm.resident_bytes(), 3 * kPageSize);
+}
+
+TEST(AddressSpace, UnpopulatedStartsEmpty) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize * 3, Prot::kRead, VmaKind::kAnon, "x", source());
+  EXPECT_EQ(mm.find(id)->resident_pages(), 0u);
+}
+
+TEST(AddressSpace, TouchFaultsPagesOnce) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize * 10, Prot::kReadWrite, VmaKind::kAnon, "x", source());
+  EXPECT_EQ(mm.touch(id, 2, 3), 3u);
+  EXPECT_EQ(mm.touch(id, 2, 3), 0u);  // already resident
+  EXPECT_EQ(mm.find(id)->resident_pages(), 3u);
+}
+
+TEST(AddressSpace, TouchClampsToVmaEnd) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize * 4, Prot::kReadWrite, VmaKind::kAnon, "x", source());
+  EXPECT_EQ(mm.touch(id, 2, 100), 2u);
+}
+
+TEST(AddressSpace, WriteTouchSetsDirty) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize * 4, Prot::kReadWrite, VmaKind::kAnon, "x", source());
+  mm.touch(id, 0, 2, /*write=*/true);
+  mm.touch(id, 2, 2, /*write=*/false);
+  EXPECT_EQ(mm.find(id)->dirty_pages(), 2u);
+}
+
+TEST(AddressSpace, WriteToReadOnlyThrows) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize, Prot::kRead, VmaKind::kAnon, "x", source());
+  EXPECT_THROW(mm.touch(id, 0, 1, /*write=*/true), std::logic_error);
+}
+
+TEST(AddressSpace, ClearSoftDirty) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize * 4, Prot::kReadWrite, VmaKind::kAnon, "x", source());
+  mm.touch_all(id, /*write=*/true);
+  EXPECT_EQ(mm.find(id)->dirty_pages(), 4u);
+  mm.clear_soft_dirty();
+  EXPECT_EQ(mm.find(id)->dirty_pages(), 0u);
+  EXPECT_EQ(mm.find(id)->resident_pages(), 4u);  // still resident
+}
+
+TEST(AddressSpace, UnmapRemoves) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize, Prot::kRead, VmaKind::kAnon, "x", source());
+  mm.unmap(id);
+  EXPECT_EQ(mm.find(id), nullptr);
+  EXPECT_THROW(mm.unmap(id), std::invalid_argument);
+}
+
+TEST(AddressSpace, ClearDropsEverything) {
+  AddressSpace mm;
+  mm.map(kPageSize, Prot::kRead, VmaKind::kAnon, "a", source(), true);
+  mm.map(kPageSize, Prot::kRead, VmaKind::kAnon, "b", source(), true);
+  mm.clear();
+  EXPECT_TRUE(mm.vmas().empty());
+  EXPECT_EQ(mm.resident_bytes(), 0u);
+}
+
+TEST(AddressSpace, MappedBytesSumsLengths) {
+  AddressSpace mm;
+  mm.map(kPageSize * 2, Prot::kRead, VmaKind::kAnon, "a", source());
+  mm.map(kPageSize * 3, Prot::kRead, VmaKind::kAnon, "b", source());
+  EXPECT_EQ(mm.mapped_bytes(), 5 * kPageSize);
+}
+
+TEST(AddressSpace, TouchUnknownVmaThrows) {
+  AddressSpace mm;
+  EXPECT_THROW(mm.touch(999, 0, 1), std::invalid_argument);
+  EXPECT_THROW(mm.touch_all(999), std::invalid_argument);
+}
+
+TEST(AddressSpace, CloneForForkPreservesLayout) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize * 4, Prot::kReadWrite, VmaKind::kAnon, "x", source());
+  mm.touch(id, 0, 2, true);
+  const AddressSpace child = mm.clone_for_fork();
+  ASSERT_NE(child.find(id), nullptr);
+  EXPECT_EQ(child.find(id)->resident_pages(), 2u);
+  EXPECT_EQ(child.find(id)->dirty_pages(), 2u);
+  EXPECT_EQ(child.find(id)->start, mm.find(id)->start);
+}
+
+TEST(AddressSpace, CloneSharesPageSources) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize, Prot::kReadWrite, VmaKind::kAnon, "x", source(9));
+  const AddressSpace child = mm.clone_for_fork();
+  EXPECT_EQ(child.find(id)->source.get(), mm.find(id)->source.get());
+}
+
+TEST(AddressSpace, ForkChildIndependentResidency) {
+  AddressSpace mm;
+  const VmaId id = mm.map(kPageSize * 4, Prot::kReadWrite, VmaKind::kAnon, "x", source());
+  AddressSpace child = mm.clone_for_fork();
+  child.touch(id, 0, 4);
+  EXPECT_EQ(child.find(id)->resident_pages(), 4u);
+  EXPECT_EQ(mm.find(id)->resident_pages(), 0u);
+}
+
+TEST(Prot, FlagHelpers) {
+  EXPECT_TRUE(has_prot(Prot::kReadWrite, Prot::kRead));
+  EXPECT_TRUE(has_prot(Prot::kReadWrite, Prot::kWrite));
+  EXPECT_FALSE(has_prot(Prot::kReadExec, Prot::kWrite));
+  EXPECT_TRUE(has_prot(Prot::kRead | Prot::kExec, Prot::kExec));
+}
+
+}  // namespace
+}  // namespace prebake::os

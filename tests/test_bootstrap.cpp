@@ -1,0 +1,93 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace prebake::stats {
+namespace {
+
+std::vector<double> noisy_sample(double center, int n, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = rng.lognormal_median(center, 0.05);
+  return xs;
+}
+
+TEST(Bootstrap, MedianCiContainsSampleMedian) {
+  const auto xs = noisy_sample(100.0, 200, 3);
+  const Interval iv = bootstrap_median_ci(xs);
+  EXPECT_LE(iv.lo, iv.point);
+  EXPECT_GE(iv.hi, iv.point);
+  EXPECT_DOUBLE_EQ(iv.point, median(xs));
+}
+
+TEST(Bootstrap, CiIsNarrowForLargeTightSample) {
+  const auto xs = noisy_sample(100.0, 200, 4);
+  const Interval iv = bootstrap_median_ci(xs);
+  EXPECT_LT(iv.width(), 3.0);
+  EXPECT_GT(iv.width(), 0.0);
+}
+
+TEST(Bootstrap, DeterministicForSameSeed) {
+  const auto xs = noisy_sample(50.0, 100, 5);
+  const Interval a = bootstrap_median_ci(xs, 0.95, 1000, 777);
+  const Interval b = bootstrap_median_ci(xs, 0.95, 1000, 777);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, DifferentSeedsSlightlyDiffer) {
+  const auto xs = noisy_sample(50.0, 100, 5);
+  const Interval a = bootstrap_median_ci(xs, 0.95, 500, 1);
+  const Interval b = bootstrap_median_ci(xs, 0.95, 500, 2);
+  EXPECT_NE(a.lo, b.lo);
+  EXPECT_NEAR(a.lo, b.lo, 1.0);
+}
+
+TEST(Bootstrap, HigherConfidenceIsWider) {
+  const auto xs = noisy_sample(100.0, 80, 6);
+  const Interval narrow = bootstrap_median_ci(xs, 0.80);
+  const Interval wide = bootstrap_median_ci(xs, 0.99);
+  EXPECT_GE(wide.width(), narrow.width());
+}
+
+TEST(Bootstrap, ArbitraryStatistic) {
+  const auto xs = noisy_sample(10.0, 100, 7);
+  const Interval iv = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); });
+  EXPECT_NEAR(iv.point, mean(xs), 1e-12);
+  EXPECT_LT(iv.lo, iv.hi);
+}
+
+TEST(Bootstrap, IntervalHelpers) {
+  const Interval a{1.0, 3.0, 2.0};
+  const Interval b{2.5, 4.0, 3.0};
+  const Interval c{3.5, 5.0, 4.0};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.contains(2.0));
+  EXPECT_FALSE(a.contains(3.5));
+  EXPECT_DOUBLE_EQ(a.width(), 2.0);
+}
+
+TEST(Bootstrap, ValidatesArguments) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(bootstrap_median_ci(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_median_ci(xs, 1.5), std::invalid_argument);
+  EXPECT_THROW(bootstrap_median_ci(xs, 0.95, 1), std::invalid_argument);
+}
+
+TEST(Bootstrap, ConstantSampleDegenerateCi) {
+  const std::vector<double> xs(50, 42.0);
+  const Interval iv = bootstrap_median_ci(xs);
+  EXPECT_DOUBLE_EQ(iv.lo, 42.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 42.0);
+}
+
+}  // namespace
+}  // namespace prebake::stats

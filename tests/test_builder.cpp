@@ -1,0 +1,74 @@
+#include "faas/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+
+namespace prebake::faas {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  BuilderTest()
+      : kernel_{sim_, exp::testbed_costs()},
+        startup_{kernel_, exp::testbed_runtime(), assets_},
+        builder_{kernel_, startup_} {}
+
+  sim::Simulation sim_;
+  os::Kernel kernel_;
+  funcs::SharedAssets assets_;
+  core::StartupService startup_;
+  FunctionBuilder builder_;
+};
+
+TEST_F(BuilderTest, RegistersRuntimeBinaryOnce) {
+  builder_.ensure_runtime_binary("/opt/jvm/bin/java");
+  const std::uint64_t size = kernel_.fs().size_of("/opt/jvm/bin/java");
+  builder_.ensure_runtime_binary("/opt/jvm/bin/java");  // idempotent
+  EXPECT_EQ(kernel_.fs().size_of("/opt/jvm/bin/java"), size);
+  EXPECT_GT(size, 10ull << 20);
+}
+
+TEST_F(BuilderTest, PackagesClasspathArchive) {
+  const BuildResult built =
+      builder_.build(exp::markdown_spec(), std::nullopt, sim::Rng{1});
+  EXPECT_EQ(built.spec.classpath_archive, "/registry/markdown-render/classes.jar");
+  ASSERT_TRUE(kernel_.fs().exists(built.spec.classpath_archive));
+  // Archive carries the class bytes plus jar overhead.
+  EXPECT_GE(kernel_.fs().size_of(built.spec.classpath_archive),
+            built.spec.total_class_bytes());
+  EXPECT_FALSE(built.snapshot.has_value());
+}
+
+TEST_F(BuilderTest, StagesInitIoData) {
+  const BuildResult built =
+      builder_.build(exp::image_resizer_spec(), std::nullopt, sim::Rng{1});
+  ASSERT_FALSE(built.spec.init_io_path.empty());
+  EXPECT_TRUE(kernel_.fs().exists(built.spec.init_io_path));
+  EXPECT_EQ(kernel_.fs().size_of(built.spec.init_io_path),
+            built.spec.init_io_bytes);
+}
+
+TEST_F(BuilderTest, PrebakeConfigProducesSnapshot) {
+  core::PrebakeConfig cfg;
+  cfg.policy = core::SnapshotPolicy::warmup(1);
+  const BuildResult built =
+      builder_.build(exp::noop_spec(), cfg, sim::Rng{1});
+  ASSERT_TRUE(built.snapshot.has_value());
+  EXPECT_EQ(built.snapshot->policy.tag(), "warmup1");
+  EXPECT_GT(built.snapshot->images.nominal_total(), 10ull << 20);
+  // Build time covers the whole bake (start + warm + dump + persist).
+  EXPECT_GT(built.build_time.to_millis(), 100.0);
+}
+
+TEST_F(BuilderTest, TinyFunctionStillGetsAnArchive) {
+  rt::FunctionSpec spec;
+  spec.name = "tiny";
+  spec.handler_id = "noop";
+  const BuildResult built = builder_.build(spec, std::nullopt, sim::Rng{1});
+  EXPECT_TRUE(kernel_.fs().exists(built.spec.classpath_archive));
+  EXPECT_GE(kernel_.fs().size_of(built.spec.classpath_archive), 4096u);
+}
+
+}  // namespace
+}  // namespace prebake::faas

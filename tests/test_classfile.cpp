@@ -1,0 +1,68 @@
+#include "rt/classfile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::rt {
+namespace {
+
+TEST(SynthClassSet, ExactTotalAndCount) {
+  const auto classes = synth_class_set("t", 100, 1'000'000, 7);
+  EXPECT_EQ(classes.size(), 100u);
+  EXPECT_EQ(class_bytes(classes), 1'000'000u);
+}
+
+TEST(SynthClassSet, Deterministic) {
+  const auto a = synth_class_set("t", 50, 500'000, 9);
+  const auto b = synth_class_set("t", 50, 500'000, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].size_bytes, b[i].size_bytes);
+  }
+}
+
+TEST(SynthClassSet, SizesVary) {
+  // "The loaded classes have different sizes."
+  const auto classes = synth_class_set("t", 200, 2'000'000, 11);
+  std::uint32_t lo = classes[0].size_bytes, hi = classes[0].size_bytes;
+  for (const auto& c : classes) {
+    lo = std::min(lo, c.size_bytes);
+    hi = std::max(hi, c.size_bytes);
+  }
+  EXPECT_GT(hi, lo * 4);
+}
+
+TEST(SynthClassSet, NamesAreUniqueAndPrefixed) {
+  const auto classes = synth_class_set("com.example", 10, 10'000, 1);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    EXPECT_EQ(classes[i].name.rfind("com.example.", 0), 0u);
+    for (std::size_t j = i + 1; j < classes.size(); ++j)
+      EXPECT_NE(classes[i].name, classes[j].name);
+  }
+}
+
+TEST(SynthClassSet, ValidatesArguments) {
+  EXPECT_THROW(synth_class_set("t", 0, 1000, 1), std::invalid_argument);
+  EXPECT_THROW(synth_class_set("t", 100, 100, 1), std::invalid_argument);
+}
+
+TEST(PaperSizes, SmallMatchesPaper) {
+  const auto classes = small_class_set();
+  EXPECT_EQ(classes.size(), 374u);  // "small - 374 classes (~2.8MB)"
+  EXPECT_EQ(class_bytes(classes), 2'800'000u);
+}
+
+TEST(PaperSizes, MediumMatchesPaper) {
+  const auto classes = medium_class_set();
+  EXPECT_EQ(classes.size(), 574u);  // "medium - 574 classes (~9.2MB)"
+  EXPECT_EQ(class_bytes(classes), 9'200'000u);
+}
+
+TEST(PaperSizes, BigMatchesPaper) {
+  const auto classes = big_class_set();
+  EXPECT_EQ(classes.size(), 1574u);  // "big - 1574 classes (~41MB)"
+  EXPECT_EQ(class_bytes(classes), 41'000'000u);
+}
+
+}  // namespace
+}  // namespace prebake::rt

@@ -1,0 +1,83 @@
+#include "exp/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::exp {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return CliArgs{static_cast<int>(full.size()), full.data()};
+}
+
+TEST(Cli, PositionalArguments) {
+  const CliArgs args = parse({"startup", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "startup");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Cli, FlagWithSeparateValue) {
+  const CliArgs args = parse({"--function", "noop"});
+  EXPECT_EQ(args.get_or("function", "x"), "noop");
+}
+
+TEST(Cli, FlagWithEqualsValue) {
+  const CliArgs args = parse({"--reps=50"});
+  EXPECT_EQ(args.get_int_or("reps", 0), 50);
+}
+
+TEST(Cli, BareSwitch) {
+  const CliArgs args = parse({"--first-response", "--function", "noop"});
+  EXPECT_TRUE(args.has("first-response"));
+  EXPECT_EQ(args.get("first-response").value(), "");
+}
+
+TEST(Cli, SwitchFollowedByFlag) {
+  const CliArgs args = parse({"--verbose", "--seed", "7"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_int_or("seed", 0), 7);
+}
+
+TEST(Cli, MissingFlagFallsBack) {
+  const CliArgs args = parse({});
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get_or("x", "def"), "def");
+  EXPECT_EQ(args.get_int_or("n", 9), 9);
+  EXPECT_DOUBLE_EQ(args.get_double_or("f", 1.5), 1.5);
+}
+
+TEST(Cli, NumericParsing) {
+  const CliArgs args = parse({"--n=12", "--f=2.5"});
+  EXPECT_EQ(args.get_int_or("n", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double_or("f", 0), 2.5);
+}
+
+TEST(Cli, BadNumberThrows) {
+  const CliArgs args = parse({"--n=abc"});
+  EXPECT_THROW(args.get_int_or("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, DoubleDashSeparator) {
+  const CliArgs args = parse({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(args.has("a"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "--not-a-flag");
+}
+
+TEST(Cli, UnconsumedTracking) {
+  const CliArgs args = parse({"--used=1", "--unused=2"});
+  (void)args.get("used");
+  const auto leftover = args.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "unused");
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const CliArgs args = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(args.get_int_or("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace prebake::exp

@@ -1,0 +1,157 @@
+#include "os/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+#include "faas/platform.hpp"
+
+namespace prebake::os {
+namespace {
+
+class ContainerTest : public ::testing::Test {
+ protected:
+  ContainerTest() : kernel_{sim_}, runtime_{kernel_} {
+    kernel_.fs().create("/images/base.layer", 180ull << 20);
+    kernel_.fs().create("/images/fn.layer", 4ull << 20);
+    kernel_.fs().create("/bin/app", 2ull << 20);
+  }
+
+  Pid spawn() {
+    const Pid pid = kernel_.clone_process(kNoPid);
+    kernel_.exec(pid, "/bin/app", {"/bin/app"});
+    return pid;
+  }
+
+  sim::Simulation sim_;
+  Kernel kernel_;
+  ContainerRuntime runtime_;
+};
+
+TEST_F(ContainerTest, CreateChargesProvisioningCosts) {
+  const double t0 = sim_.now().to_millis();
+  runtime_.create("c1", {"/images/base.layer", "/images/fn.layer"});
+  const double elapsed = sim_.now().to_millis() - t0;
+  EXPECT_NEAR(elapsed,
+              runtime_.costs().provisioning_total(2).to_millis(), 1e-6);
+}
+
+TEST_F(ContainerTest, CreateRequiresLayers) {
+  EXPECT_THROW(runtime_.create("c1", {"/images/missing.layer"}),
+               std::invalid_argument);
+}
+
+TEST_F(ContainerTest, FreshNamespaces) {
+  const ContainerId a = runtime_.create("a", {"/images/base.layer"});
+  const ContainerId b = runtime_.create("b", {"/images/base.layer"});
+  EXPECT_NE(runtime_.get(a).ns, runtime_.get(b).ns);
+  EXPECT_NE(runtime_.get(a).ns.net_ns, 0u);
+}
+
+TEST_F(ContainerTest, AttachJoinsNamespaces) {
+  const ContainerId id = runtime_.create("c", {"/images/base.layer"});
+  const Pid pid = spawn();
+  runtime_.attach(id, pid);
+  EXPECT_EQ(kernel_.process(pid).ns(), runtime_.get(id).ns);
+  EXPECT_EQ(runtime_.get(id).pids.size(), 1u);
+}
+
+TEST_F(ContainerTest, MemoryUsageSumsMembers) {
+  const ContainerId id = runtime_.create("c", {"/images/base.layer"});
+  const Pid a = spawn();
+  const Pid b = spawn();
+  runtime_.attach(id, a);
+  runtime_.attach(id, b);
+  EXPECT_EQ(runtime_.memory_usage(id),
+            kernel_.process(a).mm().resident_bytes() +
+                kernel_.process(b).mm().resident_bytes());
+}
+
+TEST_F(ContainerTest, UnlimitedContainerNeverOoms) {
+  const ContainerId id = runtime_.create("c", {"/images/base.layer"}, 0);
+  const Pid pid = spawn();
+  runtime_.attach(id, pid);
+  EXPECT_FALSE(runtime_.enforce_memory_limit(id).has_value());
+}
+
+TEST_F(ContainerTest, OomKillsTheBiggestMember) {
+  const ContainerId id =
+      runtime_.create("c", {"/images/base.layer"}, 1ull << 20);  // 1 MiB limit
+  const Pid small = spawn();
+  const Pid big = spawn();
+  const VmaId heap = kernel_.mmap(big, 8ull << 20, Prot::kReadWrite,
+                                  VmaKind::kAnon, "[heap]",
+                                  std::make_shared<PatternSource>(1), true);
+  (void)heap;
+  runtime_.attach(id, small);
+  runtime_.attach(id, big);
+
+  const auto oom = runtime_.enforce_memory_limit(id);
+  ASSERT_TRUE(oom.has_value());
+  EXPECT_EQ(oom->victim, big);
+  EXPECT_GT(oom->usage, oom->limit);
+  EXPECT_FALSE(kernel_.alive(big));
+  EXPECT_TRUE(kernel_.alive(small));
+}
+
+TEST_F(ContainerTest, DestroyKillsMembersAndCharges) {
+  const ContainerId id = runtime_.create("c", {"/images/base.layer"});
+  const Pid pid = spawn();
+  runtime_.attach(id, pid);
+  const double t0 = sim_.now().to_millis();
+  runtime_.destroy(id);
+  EXPECT_GT(sim_.now().to_millis(), t0);
+  EXPECT_FALSE(runtime_.exists(id));
+  EXPECT_FALSE(kernel_.alive(pid));
+  EXPECT_THROW(runtime_.get(id), std::out_of_range);
+}
+
+TEST_F(ContainerTest, PrivilegedFlagRecorded) {
+  const ContainerId id =
+      runtime_.create("c", {"/images/base.layer"}, 0, /*privileged=*/true);
+  EXPECT_TRUE(runtime_.get(id).privileged);
+}
+
+TEST(ContainerizedPlatform, ColdStartIncludesProvisioning) {
+  sim::Simulation sim;
+  Kernel kernel{sim, exp::testbed_costs()};
+
+  auto cold_total = [&](bool containerized) {
+    faas::PlatformConfig cfg;
+    cfg.containerized = containerized;
+    faas::Platform platform{kernel, exp::testbed_runtime(), cfg,
+                            containerized ? 11u : 12u};
+    platform.resources().add_node("n", 8ull << 30);
+    platform.deploy(exp::noop_spec(), faas::StartMode::kVanilla);
+    double total = 0;
+    bool done = false;
+    platform.invoke("noop", funcs::Request{},
+                    [&](const funcs::Response&, const faas::RequestMetrics& m) {
+                      total = m.total.to_millis();
+                      done = true;
+                    });
+    while (!done && sim.step()) {
+    }
+    return total;
+  };
+
+  const double bare = cold_total(false);
+  const double contained = cold_total(true);
+  // Container provisioning (~100 ms classic docker) sits on top.
+  EXPECT_GT(contained, bare + 80.0);
+}
+
+TEST(ContainerizedPlatform, PrebakedReplicaGetsPrivilegedContainer) {
+  sim::Simulation sim;
+  Kernel kernel{sim, exp::testbed_costs()};
+  faas::PlatformConfig cfg;
+  cfg.containerized = true;
+  faas::Platform platform{kernel, exp::testbed_runtime(), cfg, 13};
+  platform.resources().add_node("n", 8ull << 30);
+  platform.deploy(exp::noop_spec(), faas::StartMode::kPrebaked,
+                  core::SnapshotPolicy::warmup(1));
+  platform.scale_up("noop", 1);
+  EXPECT_EQ(platform.containers().count(), 1u);
+}
+
+}  // namespace
+}  // namespace prebake::os

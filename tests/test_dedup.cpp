@@ -1,0 +1,107 @@
+#include "criu/dedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prebaker.hpp"
+#include "exp/calibration.hpp"
+#include "faas/builder.hpp"
+
+namespace prebake::criu {
+namespace {
+
+class DedupTest : public ::testing::Test {
+ protected:
+  DedupTest()
+      : kernel_{sim_, exp::testbed_costs()},
+        startup_{kernel_, exp::testbed_runtime(), assets_},
+        builder_{kernel_, startup_} {}
+
+  core::BakedSnapshot bake(const rt::FunctionSpec& spec,
+                           core::SnapshotPolicy policy, std::uint64_t seed) {
+    core::PrebakeConfig cfg;
+    cfg.policy = policy;
+    cfg.store_root = "/snapshots/" + std::to_string(seed) + "/";
+    faas::BuildResult built = builder_.build(spec, cfg, sim::Rng{seed});
+    return std::move(*built.snapshot);
+  }
+
+  sim::Simulation sim_;
+  os::Kernel kernel_;
+  funcs::SharedAssets assets_;
+  core::StartupService startup_;
+  faas::FunctionBuilder builder_;
+};
+
+TEST_F(DedupTest, EmptyIndexStats) {
+  DedupIndex index;
+  EXPECT_EQ(index.stats().total_pages, 0u);
+  EXPECT_EQ(index.stats().unique_pages, 0u);
+  EXPECT_DOUBLE_EQ(index.stats().dedup_ratio(), 1.0);
+  EXPECT_EQ(index.refcount(123), 0u);
+}
+
+TEST_F(DedupTest, FirstSnapshotIsAllFresh) {
+  DedupIndex index;
+  const auto snap = bake(exp::noop_spec(), core::SnapshotPolicy::no_warmup(), 1);
+  const std::uint64_t fresh = index.add(snap.images);
+  EXPECT_EQ(fresh, snap.stats.pages_dumped);
+  EXPECT_EQ(index.stats().unique_pages, index.stats().total_pages);
+}
+
+TEST_F(DedupTest, IdenticalRebakeDedupsCompletely) {
+  DedupIndex index;
+  const auto a = bake(exp::noop_spec(), core::SnapshotPolicy::no_warmup(), 1);
+  const auto b = bake(exp::noop_spec(), core::SnapshotPolicy::no_warmup(), 2);
+  index.add(a.images);
+  const std::uint64_t fresh = index.add(b.images);
+  // Re-bakes of the same function share everything except per-process state
+  // (the stack and the tiny demand-paged text prefix differ by pid).
+  EXPECT_LT(fresh, 300u);
+  EXPECT_GT(index.stats().dedup_ratio(), 1.85);
+}
+
+TEST_F(DedupTest, RuntimeBaseSharedAcrossFunctions) {
+  DedupIndex index;
+  const auto noop = bake(exp::noop_spec(), core::SnapshotPolicy::no_warmup(), 1);
+  index.add(noop.images);
+  const auto md =
+      bake(exp::markdown_spec(), core::SnapshotPolicy::no_warmup(), 2);
+  const std::uint64_t fresh = index.add(md.images);
+  // The JVM base (heap + metaspace after bootstrap) dedups away; only the
+  // markdown-specific state is new.
+  EXPECT_LT(fresh, md.stats.pages_dumped / 3);
+  EXPECT_GT(fresh, 0u);
+}
+
+TEST_F(DedupTest, WarmSnapshotSharesColdBase) {
+  DedupIndex index;
+  const auto cold = bake(exp::noop_spec(), core::SnapshotPolicy::no_warmup(), 1);
+  index.add(cold.images);
+  const auto warm = bake(exp::noop_spec(), core::SnapshotPolicy::warmup(1), 2);
+  const std::uint64_t fresh = index.add(warm.images);
+  // Warm-up only adds lazy metaspace + code cache pages.
+  EXPECT_LT(fresh, warm.stats.pages_dumped / 4);
+}
+
+TEST_F(DedupTest, RefcountsTrackSharing) {
+  DedupIndex index;
+  const auto a = bake(exp::noop_spec(), core::SnapshotPolicy::no_warmup(), 1);
+  index.add(a.images);
+  index.add(a.images);
+  const PagesEntry pages = decode_pages(a.images.get("pages-1.img").bytes);
+  ASSERT_FALSE(pages.digests.empty());
+  EXPECT_EQ(index.refcount(pages.digests.front()), 2u);
+}
+
+TEST_F(DedupTest, SavedBytesArithmetic) {
+  DedupStats s;
+  s.total_pages = 100;
+  s.unique_pages = 40;
+  EXPECT_EQ(s.total_bytes(), 100u * 4096);
+  EXPECT_EQ(s.unique_bytes(), 40u * 4096);
+  EXPECT_EQ(s.saved_bytes(), 60u * 4096);
+  EXPECT_DOUBLE_EQ(s.dedup_ratio(), 2.5);
+}
+
+}  // namespace
+}  // namespace prebake::criu

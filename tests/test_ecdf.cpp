@@ -1,0 +1,111 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace prebake::stats {
+namespace {
+
+TEST(Ecdf, StepFunctionValues) {
+  const Ecdf f{std::vector<double>{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  const Ecdf f{std::vector<double>{1.0, 2.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(f(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(1.9999), 0.25);
+}
+
+TEST(Ecdf, QuantileInverse) {
+  const Ecdf f{std::vector<double>{10.0, 20.0, 30.0, 40.0, 50.0}};
+  EXPECT_DOUBLE_EQ(f.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.01), 10.0);
+}
+
+TEST(Ecdf, QuantileValidation) {
+  const Ecdf f{std::vector<double>{1.0}};
+  EXPECT_THROW(f.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(f.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Ecdf, EmptySampleThrows) {
+  EXPECT_THROW(Ecdf{std::vector<double>{}}, std::invalid_argument);
+}
+
+TEST(Ecdf, MonotoneNondecreasing) {
+  sim::Rng rng{3};
+  std::vector<double> xs(100);
+  for (double& x : xs) x = rng.uniform(0, 100);
+  const Ecdf f{xs};
+  double prev = 0.0;
+  for (double x = -1; x <= 101; x += 0.5) {
+    const double v = f(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(KsDistance, IdenticalSamplesGiveZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_distance(Ecdf{xs}, Ecdf{xs}), 0.0);
+}
+
+TEST(KsDistance, DisjointSamplesGiveOne) {
+  const Ecdf a{std::vector<double>{1.0, 2.0, 3.0}};
+  const Ecdf b{std::vector<double>{10.0, 11.0, 12.0}};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(KsDistance, Symmetric) {
+  sim::Rng rng{4};
+  std::vector<double> xs(50), ys(70);
+  for (double& x : xs) x = rng.normal(0, 1);
+  for (double& y : ys) y = rng.normal(0.3, 1);
+  EXPECT_DOUBLE_EQ(ks_distance(Ecdf{xs}, Ecdf{ys}),
+                   ks_distance(Ecdf{ys}, Ecdf{xs}));
+}
+
+TEST(KsTest, SameDistributionHighP) {
+  sim::Rng rng{5};
+  std::vector<double> xs(200), ys(200);
+  for (double& x : xs) x = rng.normal(5, 1);
+  for (double& y : ys) y = rng.normal(5, 1);
+  const auto res = ks_test(xs, ys);
+  EXPECT_GT(res.p_value, 0.05);
+  EXPECT_LT(res.d, 0.15);
+}
+
+TEST(KsTest, DifferentDistributionLowP) {
+  sim::Rng rng{6};
+  std::vector<double> xs(200), ys(200);
+  for (double& x : xs) x = rng.normal(5, 1);
+  for (double& y : ys) y = rng.normal(6.5, 1);
+  const auto res = ks_test(xs, ys);
+  EXPECT_LT(res.p_value, 1e-6);
+  EXPECT_GT(res.d, 0.3);
+}
+
+TEST(KsTest, PValueInUnitInterval) {
+  sim::Rng rng{7};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> xs(30), ys(30);
+    for (double& x : xs) x = rng.uniform();
+    for (double& y : ys) y = rng.uniform();
+    const auto res = ks_test(xs, ys);
+    EXPECT_GE(res.p_value, 0.0);
+    EXPECT_LE(res.p_value, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace prebake::stats

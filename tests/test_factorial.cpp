@@ -1,0 +1,85 @@
+#include "stats/factorial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace prebake::stats {
+namespace {
+
+TEST(Factorial, RecoversAdditiveModelExactly) {
+  // y = 100 + 20*xa + 5*xb + 2*xa*xb with no noise.
+  const std::vector<double> y00{100 - 20 - 5 + 2};
+  const std::vector<double> y10{100 + 20 - 5 - 2};
+  const std::vector<double> y01{100 - 20 + 5 - 2};
+  const std::vector<double> y11{100 + 20 + 5 + 2};
+  const Factorial2x2 res = factorial_2x2(y00, y10, y01, y11);
+  EXPECT_NEAR(res.q0, 100.0, 1e-12);
+  EXPECT_NEAR(res.qa, 20.0, 1e-12);
+  EXPECT_NEAR(res.qb, 5.0, 1e-12);
+  EXPECT_NEAR(res.qab, 2.0, 1e-12);
+  EXPECT_NEAR(res.frac_error, 0.0, 1e-12);
+}
+
+TEST(Factorial, AllocationSumsToOne) {
+  sim::Rng rng{5};
+  auto cell = [&](double mean_value) {
+    std::vector<double> xs(30);
+    for (double& x : xs) x = rng.normal(mean_value, 2.0);
+    return xs;
+  };
+  const Factorial2x2 res =
+      factorial_2x2(cell(100), cell(140), cell(105), cell(150));
+  EXPECT_NEAR(res.frac_a + res.frac_b + res.frac_ab + res.frac_error, 1.0,
+              1e-9);
+  // Factor A (the 40-45 unit swing) dominates.
+  EXPECT_GT(res.frac_a, 0.8);
+  EXPECT_GT(res.frac_error, 0.0);
+}
+
+TEST(Factorial, PureNoiseIsAllError) {
+  sim::Rng rng{6};
+  auto cell = [&] {
+    std::vector<double> xs(50);
+    for (double& x : xs) x = rng.normal(10.0, 1.0);
+    return xs;
+  };
+  const Factorial2x2 res = factorial_2x2(cell(), cell(), cell(), cell());
+  EXPECT_GT(res.frac_error, 0.9);
+}
+
+TEST(Factorial, InteractionDetected) {
+  // Effect of A exists only when B is high: strong interaction.
+  const std::vector<double> y00{10, 10}, y10{10, 10}, y01{10, 10},
+      y11{50, 50};
+  const Factorial2x2 res = factorial_2x2(y00, y10, y01, y11);
+  EXPECT_NEAR(res.qab, 10.0, 1e-12);
+  EXPECT_GT(res.frac_ab, 0.3);
+}
+
+TEST(Factorial, EmptyCellThrows) {
+  const std::vector<double> ok{1.0};
+  EXPECT_THROW(factorial_2x2({}, ok, ok, ok), std::invalid_argument);
+}
+
+TEST(Factorial, PaperShapedDesign) {
+  // Technique (A: vanilla->prebake) x function (B: noop->resizer), medians
+  // from Figure 3: the technique effect and the interaction are both large
+  // (prebaking saves much more on the resizer), and almost nothing is
+  // unexplained noise.
+  sim::Rng rng{7};
+  auto cell = [&](double median) {
+    std::vector<double> xs(40);
+    for (double& x : xs) x = rng.lognormal_median(median, 0.012);
+    return xs;
+  };
+  const Factorial2x2 res = factorial_2x2(cell(103.3), cell(62.0),
+                                         cell(310.0), cell(87.0));
+  EXPECT_LT(res.qa, 0.0);  // prebaking reduces start-up
+  EXPECT_GT(res.qb, 0.0);  // the resizer starts slower
+  EXPECT_LT(res.qab, 0.0); // and prebaking helps the resizer more
+  EXPECT_LT(res.frac_error, 0.01);
+}
+
+}  // namespace
+}  // namespace prebake::stats

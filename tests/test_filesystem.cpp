@@ -1,0 +1,133 @@
+#include "os/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::os {
+namespace {
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  CostModel costs_;
+  FileSystem fs_{sim_, costs_};
+
+  double elapsed_ms() const { return sim_.now().to_millis(); }
+};
+
+TEST_F(FileSystemTest, CreateAndStat) {
+  fs_.create("/a/b", 1234);
+  EXPECT_TRUE(fs_.exists("/a/b"));
+  EXPECT_EQ(fs_.size_of("/a/b"), 1234u);
+  EXPECT_EQ(fs_.bytes_of("/a/b"), nullptr);  // synthetic content
+}
+
+TEST_F(FileSystemTest, MissingFileThrows) {
+  EXPECT_FALSE(fs_.exists("/nope"));
+  EXPECT_THROW(fs_.size_of("/nope"), std::invalid_argument);
+  EXPECT_THROW(fs_.charge_read("/nope"), std::invalid_argument);
+  EXPECT_THROW(fs_.remove("/nope"), std::invalid_argument);
+}
+
+TEST_F(FileSystemTest, WriteStoresRealBytes) {
+  fs_.write("/data", {1, 2, 3, 4});
+  ASSERT_NE(fs_.bytes_of("/data"), nullptr);
+  EXPECT_EQ(*fs_.bytes_of("/data"), (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(fs_.size_of("/data"), 4u);
+}
+
+TEST_F(FileSystemTest, WriteChargesTime) {
+  fs_.write("/data", std::vector<std::uint8_t>(1024 * 1024, 7));
+  EXPECT_GT(elapsed_ms(), 0.0);
+}
+
+TEST_F(FileSystemTest, AppendGrowsFile) {
+  const std::uint8_t chunk[] = {9, 9};
+  fs_.append("/log", chunk, 2);
+  fs_.append("/log", chunk, 2);
+  EXPECT_EQ(fs_.size_of("/log"), 4u);
+}
+
+TEST_F(FileSystemTest, ColdReadSlowerThanWarm) {
+  fs_.create("/big", 10 * 1024 * 1024);
+  const double t0 = elapsed_ms();
+  fs_.charge_read("/big");
+  const double cold = elapsed_ms() - t0;
+  const double t1 = elapsed_ms();
+  fs_.charge_read("/big");
+  const double warm = elapsed_ms() - t1;
+  EXPECT_GT(cold, warm * 3);
+  EXPECT_GT(warm, 0.0);
+}
+
+TEST_F(FileSystemTest, DropCachesMakesReadsColdAgain) {
+  fs_.create("/big", 10 * 1024 * 1024);
+  fs_.charge_read("/big");
+  EXPECT_TRUE(fs_.is_cached("/big"));
+  fs_.drop_caches();
+  EXPECT_FALSE(fs_.is_cached("/big"));
+  const double t0 = elapsed_ms();
+  fs_.charge_read("/big");
+  EXPECT_GT(elapsed_ms() - t0, 10.0 / 450.0 * 1000.0 * 0.9);  // ~disk speed
+}
+
+TEST_F(FileSystemTest, FreshWriteIsCached) {
+  fs_.write("/w", {1});
+  EXPECT_TRUE(fs_.is_cached("/w"));
+}
+
+TEST_F(FileSystemTest, WarmMarksCachedWithoutCharge) {
+  fs_.create("/f", 1024);
+  const double t0 = elapsed_ms();
+  fs_.warm("/f");
+  EXPECT_EQ(elapsed_ms(), t0);
+  EXPECT_TRUE(fs_.is_cached("/f"));
+}
+
+TEST_F(FileSystemTest, PartialReadChargesLess) {
+  fs_.create("/big", 100 * 1024 * 1024);
+  const double t0 = elapsed_ms();
+  fs_.charge_read("/big", 1024 * 1024);
+  const double partial = elapsed_ms() - t0;
+  fs_.drop_caches();
+  const double t1 = elapsed_ms();
+  fs_.charge_read("/big");
+  const double full = elapsed_ms() - t1;
+  EXPECT_GT(full, partial * 10);
+}
+
+TEST_F(FileSystemTest, ContentionScalesCost) {
+  fs_.create("/f", 8 * 1024 * 1024);
+  fs_.charge_read("/f");  // warm it
+  const double t0 = elapsed_ms();
+  fs_.charge_read("/f", 0, 1.0);
+  const double alone = elapsed_ms() - t0;
+  const double t1 = elapsed_ms();
+  fs_.charge_read("/f", 0, 4.0);
+  const double contended = elapsed_ms() - t1;
+  EXPECT_NEAR(contended, alone * 4.0, alone * 0.01);
+}
+
+TEST_F(FileSystemTest, RemoveDeletes) {
+  fs_.create("/x", 1);
+  fs_.remove("/x");
+  EXPECT_FALSE(fs_.exists("/x"));
+}
+
+TEST_F(FileSystemTest, ListByPrefix) {
+  fs_.create("/snap/a/1.img", 1);
+  fs_.create("/snap/a/2.img", 1);
+  fs_.create("/snap/b/1.img", 1);
+  EXPECT_EQ(fs_.list("/snap/a/").size(), 2u);
+  EXPECT_EQ(fs_.list("/snap/").size(), 3u);
+  EXPECT_TRUE(fs_.list("/none/").empty());
+}
+
+TEST_F(FileSystemTest, CreateTruncatesExisting) {
+  fs_.write("/f", {1, 2, 3});
+  fs_.create("/f", 99);
+  EXPECT_EQ(fs_.size_of("/f"), 99u);
+  EXPECT_EQ(fs_.bytes_of("/f"), nullptr);
+}
+
+}  // namespace
+}  // namespace prebake::os

@@ -1,0 +1,145 @@
+// Randomized robustness suites: generated inputs must never crash parsers or
+// violate output invariants, across many seeds.
+#include <gtest/gtest.h>
+
+#include "criu/image.hpp"
+#include "funcs/http_codec.hpp"
+#include "funcs/handlers.hpp"
+#include "funcs/markdown.hpp"
+#include "sim/rng.hpp"
+
+namespace prebake {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Markdown: random documents render without crashing, and the output never
+// leaks an unescaped angle bracket from input text.
+class MarkdownFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::string random_document(sim::Rng& rng) {
+    static const char* fragments[] = {
+        "# ",      "## ",     "**",    "*",     "`",    "```\n", "- ",
+        "1. ",     "> ",      "---\n", "[",     "]",    "(",     ")",
+        "plain ",  "text ",   "<tag>", "&amp;", "\n",   "\n\n",  "\r\n",
+        "*char*",  "**b**",   "w",     "#",     "``",   "  ",    "\t",
+    };
+    std::string doc;
+    const int pieces = static_cast<int>(rng.uniform_int(5, 200));
+    for (int i = 0; i < pieces; ++i)
+      doc += fragments[rng.uniform_int(
+          0, static_cast<std::int64_t>(std::size(fragments)) - 1)];
+    return doc;
+  }
+};
+
+TEST_P(MarkdownFuzz, NeverCrashesAndEscapesRawHtml) {
+  sim::Rng rng{GetParam()};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string doc = random_document(rng);
+    const std::string html = funcs::render_markdown(doc);
+    // No raw "<tag>" from the input can survive unescaped.
+    EXPECT_EQ(html.find("<tag>"), std::string::npos) << doc;
+    // Output is deterministic.
+    EXPECT_EQ(html, funcs::render_markdown(doc));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkdownFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// HTTP codec: random byte soup must be rejected or parsed, never crash; and
+// encode(decode(x)) == encode(decode(encode(decode(x)))) when it parses.
+class HttpFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HttpFuzz, RandomBytesNeverCrash) {
+  sim::Rng rng{GetParam()};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup;
+    const int len = static_cast<int>(rng.uniform_int(0, 300));
+    for (int i = 0; i < len; ++i) {
+      // Mix printable ASCII with CR/LF and separators to hit parser paths.
+      const int pick = static_cast<int>(rng.uniform_int(0, 9));
+      if (pick < 6)
+        soup += static_cast<char>(rng.uniform_int(32, 126));
+      else if (pick < 8)
+        soup += (pick == 6) ? '\r' : '\n';
+      else
+        soup += (pick == 8) ? ':' : ' ';
+    }
+    (void)funcs::decode_request(soup);
+    (void)funcs::decode_response(soup);
+  }
+}
+
+TEST_P(HttpFuzz, MutatedValidMessagesNeverCrash) {
+  sim::Rng rng{GetParam()};
+  const std::string valid = funcs::encode_request(funcs::sample_request("markdown"));
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = valid;
+    const int flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < flips; ++i) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    const auto parsed = funcs::decode_request(mutated);
+    if (parsed.has_value()) {
+      // If it still parses, re-encoding must be stable (idempotent).
+      const std::string once = funcs::encode_request(*parsed);
+      const auto again = funcs::decode_request(once);
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(funcs::encode_request(*again), once);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpFuzz, ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------------
+// Image decode: random corruption of every image-file type must be caught by
+// the CRC (or parse as the original if untouched) — never crash, never
+// silently return altered state.
+class ImageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImageFuzz, RandomCorruptionCaughtByCrc) {
+  sim::Rng rng{GetParam()};
+  criu::InventoryEntry inv;
+  inv.root_pid = 7;
+  inv.name = "fuzz";
+  inv.argv = {"a", "b"};
+  const auto original = criu::encode_inventory(inv);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    auto img = original;
+    const int flips = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < flips; ++i) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(img.size()) - 1));
+      img[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      const criu::InventoryEntry decoded = criu::decode_inventory(img);
+      // Only reachable if every flip happened to restore the original bytes.
+      EXPECT_EQ(decoded, inv);
+    } catch (const std::runtime_error&) {
+      // Expected: corruption detected.
+    }
+  }
+}
+
+TEST_P(ImageFuzz, RandomTruncationCaught) {
+  sim::Rng rng{GetParam()};
+  const auto original = criu::encode_pagemap({{1, 0, 16}, {2, 4, 8}});
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto keep = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(original.size()) - 1));
+    auto img = original;
+    img.resize(keep);
+    EXPECT_THROW(criu::decode_pagemap(img), std::runtime_error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImageFuzz, ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace prebake

@@ -1,0 +1,149 @@
+#include "funcs/http_codec.hpp"
+
+#include "funcs/handlers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::funcs {
+namespace {
+
+TEST(HttpCodec, RequestRoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.path = "/function/resizer";
+  req.headers["Content-Type"] = "text/markdown";
+  req.headers["X-Trace"] = "abc123";
+  req.body = "# hello\n";
+
+  const std::string wire = encode_request(req);
+  std::size_t consumed = 0;
+  const auto back = decode_request(wire, &consumed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->method, "POST");
+  EXPECT_EQ(back->path, "/function/resizer");
+  EXPECT_EQ(back->headers.at("Content-Type"), "text/markdown");
+  EXPECT_EQ(back->headers.at("X-Trace"), "abc123");
+  EXPECT_EQ(back->body, "# hello\n");
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(HttpCodec, ResponseRoundTrip) {
+  Response res;
+  res.status = 503;
+  res.headers["Retry-After"] = "1";
+  res.body = "no capacity";
+  const auto back = decode_response(encode_response(res));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, 503);
+  EXPECT_EQ(back->headers.at("Retry-After"), "1");
+  EXPECT_EQ(back->body, "no capacity");
+}
+
+TEST(HttpCodec, ContentLengthAlwaysAccurate) {
+  Request req;
+  req.headers["Content-Length"] = "9999";  // caller lies; codec overrides
+  req.body = "four";
+  const std::string wire = encode_request(req);
+  EXPECT_NE(wire.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("9999"), std::string::npos);
+}
+
+TEST(HttpCodec, EmptyBodyAndPath) {
+  Request req;
+  req.method = "GET";
+  req.path = "";
+  const auto back = decode_request(encode_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->path, "/");
+  EXPECT_TRUE(back->body.empty());
+}
+
+TEST(HttpCodec, BinaryBodySurvives) {
+  Response res;
+  res.status = 200;
+  res.body = std::string{"\x00\x01\xFF\r\n\r\nraw", 9};
+  const auto back = decode_response(encode_response(res));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->body, res.body);
+}
+
+TEST(HttpCodec, PipelinedMessagesConsumeExactly) {
+  Request a;
+  a.body = "first";
+  Request b;
+  b.body = "second";
+  const std::string wire = encode_request(a) + encode_request(b);
+  std::size_t consumed = 0;
+  const auto first = decode_request(wire, &consumed);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->body, "first");
+  const auto second = decode_request(wire.substr(consumed));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->body, "second");
+}
+
+TEST(HttpCodec, HeaderWhitespaceTrimmed) {
+  const std::string wire =
+      "GET / HTTP/1.1\r\nX-Pad:   spaced value \t\r\nContent-Length: 0\r\n\r\n";
+  const auto req = decode_request(wire);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->headers.at("X-Pad"), "spaced value");
+}
+
+TEST(HttpCodec, Http10Accepted) {
+  const std::string wire = "GET /x HTTP/1.0\r\nContent-Length: 0\r\n\r\n";
+  EXPECT_TRUE(decode_request(wire).has_value());
+}
+
+TEST(HttpCodec, MalformedRequestLineRejected) {
+  ParseError err;
+  EXPECT_FALSE(decode_request("GARBAGE\r\n\r\n", nullptr, &err).has_value());
+  EXPECT_FALSE(err.message.empty());
+  EXPECT_FALSE(decode_request("GET /\r\n\r\n").has_value());      // no version
+  EXPECT_FALSE(decode_request("GET / SPDY/3\r\n\r\n").has_value());
+}
+
+TEST(HttpCodec, TruncatedInputsRejectedNotCrash) {
+  const std::string full = encode_request(sample_request("markdown"));
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, full.size() / 4,
+                          full.size() / 2, full.size() - 1}) {
+    ParseError err;
+    const auto r = decode_request(full.substr(0, cut), nullptr, &err);
+    EXPECT_FALSE(r.has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(HttpCodec, BadContentLengthRejected) {
+  const std::string wire = "GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n";
+  ParseError err;
+  EXPECT_FALSE(decode_request(wire, nullptr, &err).has_value());
+  EXPECT_EQ(err.message, "bad Content-Length");
+}
+
+TEST(HttpCodec, InvalidHeaderNameRejected) {
+  const std::string wire = "GET / HTTP/1.1\r\nBad Header: x\r\n\r\n";
+  EXPECT_FALSE(decode_request(wire).has_value());
+}
+
+TEST(HttpCodec, BadStatusCodeRejected) {
+  EXPECT_FALSE(decode_response("HTTP/1.1 99 Weird\r\n\r\n").has_value());
+  EXPECT_FALSE(decode_response("HTTP/1.1 abc Bad\r\n\r\n").has_value());
+  EXPECT_FALSE(decode_response("SIP/2.0 200 OK\r\n\r\n").has_value());
+}
+
+TEST(HttpCodec, ReasonPhrases) {
+  EXPECT_STREQ(reason_phrase(200), "OK");
+  EXPECT_STREQ(reason_phrase(404), "Not Found");
+  EXPECT_STREQ(reason_phrase(503), "Service Unavailable");
+  EXPECT_STREQ(reason_phrase(299), "Unknown");
+}
+
+TEST(HttpCodec, LargePayloadRoundTrip) {
+  Request req = sample_request("markdown");  // ~24 KiB body
+  const auto back = decode_request(encode_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->body, req.body);
+}
+
+}  // namespace
+}  // namespace prebake::funcs

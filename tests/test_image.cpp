@@ -1,0 +1,163 @@
+#include "funcs/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::funcs {
+namespace {
+
+TEST(SyntheticImage, DimensionsAndValidity) {
+  const Image img = generate_synthetic_image(64, 32, 1);
+  EXPECT_EQ(img.width, 64u);
+  EXPECT_EQ(img.height, 32u);
+  EXPECT_TRUE(img.valid());
+  EXPECT_EQ(img.rgba.size(), 64u * 32 * 4);
+}
+
+TEST(SyntheticImage, DeterministicForSeed) {
+  const Image a = generate_synthetic_image(32, 32, 9);
+  const Image b = generate_synthetic_image(32, 32, 9);
+  EXPECT_EQ(a.rgba, b.rgba);
+}
+
+TEST(SyntheticImage, DifferentSeedsDiffer) {
+  const Image a = generate_synthetic_image(32, 32, 1);
+  const Image b = generate_synthetic_image(32, 32, 2);
+  EXPECT_NE(a.rgba, b.rgba);
+}
+
+TEST(SyntheticImage, OpaqueAlpha) {
+  const Image img = generate_synthetic_image(16, 16, 3);
+  for (std::uint32_t y = 0; y < img.height; ++y)
+    for (std::uint32_t x = 0; x < img.width; ++x)
+      EXPECT_EQ(img.pixel(x, y)[3], 255);
+}
+
+TEST(SyntheticImage, HasSpatialVariation) {
+  const Image img = generate_synthetic_image(64, 64, 4);
+  bool varies = false;
+  const std::uint8_t* first = img.pixel(0, 0);
+  for (std::uint32_t x = 1; x < img.width && !varies; ++x)
+    if (img.pixel(x, 0)[0] != first[0]) varies = true;
+  EXPECT_TRUE(varies);
+}
+
+TEST(SyntheticImage, ZeroDimensionThrows) {
+  EXPECT_THROW(generate_synthetic_image(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(generate_synthetic_image(10, 0, 1), std::invalid_argument);
+}
+
+TEST(ResizeBox, TenPercentScale) {
+  const Image src = generate_synthetic_image(344, 144, 5);
+  const Image out = resize_box(src, 0.10);
+  EXPECT_EQ(out.width, 34u);
+  EXPECT_EQ(out.height, 14u);
+  EXPECT_TRUE(out.valid());
+}
+
+TEST(ResizeBox, IdentityScale) {
+  const Image src = generate_synthetic_image(20, 20, 6);
+  const Image out = resize_box(src, 1.0);
+  EXPECT_EQ(out.width, 20u);
+  EXPECT_EQ(out.height, 20u);
+  EXPECT_EQ(out.rgba, src.rgba);
+}
+
+TEST(ResizeBox, AveragesUniformRegions) {
+  Image src;
+  src.width = 8;
+  src.height = 8;
+  src.rgba.assign(8 * 8 * 4, 100);
+  const Image out = resize_box(src, 0.5);
+  for (std::uint32_t y = 0; y < out.height; ++y)
+    for (std::uint32_t x = 0; x < out.width; ++x)
+      for (int c = 0; c < 4; ++c) EXPECT_EQ(out.pixel(x, y)[c], 100);
+}
+
+TEST(ResizeBox, ReducesHighFrequencyEnergy) {
+  // A checkerboard averages toward gray when box-filtered down.
+  Image src;
+  src.width = 64;
+  src.height = 64;
+  src.rgba.resize(64 * 64 * 4);
+  for (std::uint32_t y = 0; y < 64; ++y)
+    for (std::uint32_t x = 0; x < 64; ++x) {
+      const std::uint8_t v = ((x + y) % 2 == 0) ? 0 : 255;
+      auto* p = src.pixel(x, y);
+      p[0] = p[1] = p[2] = v;
+      p[3] = 255;
+    }
+  const Image out = resize_box(src, 0.25);
+  for (std::uint32_t y = 0; y < out.height; ++y)
+    for (std::uint32_t x = 0; x < out.width; ++x) {
+      EXPECT_NEAR(out.pixel(x, y)[0], 127, 10);
+    }
+}
+
+TEST(ResizeBox, BadScaleThrows) {
+  const Image src = generate_synthetic_image(8, 8, 1);
+  EXPECT_THROW(resize_box(src, 0.0), std::invalid_argument);
+  EXPECT_THROW(resize_box(src, 1.5), std::invalid_argument);
+}
+
+TEST(ResizeBilinear, TargetDimensions) {
+  const Image src = generate_synthetic_image(100, 60, 7);
+  const Image out = resize_bilinear(src, 37, 23);
+  EXPECT_EQ(out.width, 37u);
+  EXPECT_EQ(out.height, 23u);
+  EXPECT_TRUE(out.valid());
+}
+
+TEST(ResizeBilinear, PreservesCorners) {
+  const Image src = generate_synthetic_image(50, 50, 8);
+  const Image out = resize_bilinear(src, 25, 25);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(out.pixel(0, 0)[c], src.pixel(0, 0)[c]);
+    EXPECT_EQ(out.pixel(24, 24)[c], src.pixel(49, 49)[c]);
+  }
+}
+
+TEST(ResizeBilinear, UniformStaysUniform) {
+  Image src;
+  src.width = 10;
+  src.height = 10;
+  src.rgba.assign(10 * 10 * 4, 42);
+  const Image out = resize_bilinear(src, 7, 3);
+  for (std::uint32_t y = 0; y < out.height; ++y)
+    for (std::uint32_t x = 0; x < out.width; ++x)
+      EXPECT_EQ(out.pixel(x, y)[0], 42);
+}
+
+TEST(ResizeBilinear, ZeroTargetThrows) {
+  const Image src = generate_synthetic_image(8, 8, 1);
+  EXPECT_THROW(resize_bilinear(src, 0, 5), std::invalid_argument);
+}
+
+TEST(Ppm, EncodeDecodeRoundTrip) {
+  const Image src = generate_synthetic_image(33, 17, 11);
+  const Image back = decode_ppm(encode_ppm(src));
+  EXPECT_EQ(back.width, src.width);
+  EXPECT_EQ(back.height, src.height);
+  EXPECT_EQ(back.rgba, src.rgba);  // alpha is 255 everywhere
+}
+
+TEST(Ppm, HeaderFormat) {
+  const Image src = generate_synthetic_image(5, 4, 12);
+  const auto ppm = encode_ppm(src);
+  const std::string head(ppm.begin(), ppm.begin() + 11);
+  EXPECT_EQ(head.substr(0, 3), "P6\n");
+  EXPECT_NE(head.find("5 4"), std::string::npos);
+}
+
+TEST(Ppm, DecodeRejectsGarbage) {
+  EXPECT_THROW(decode_ppm(std::vector<std::uint8_t>{'X', 'Y'}),
+               std::invalid_argument);
+}
+
+TEST(Ppm, DecodeRejectsTruncated) {
+  auto ppm = encode_ppm(generate_synthetic_image(10, 10, 13));
+  ppm.resize(ppm.size() / 2);
+  EXPECT_THROW(decode_ppm(ppm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prebake::funcs

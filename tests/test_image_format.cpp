@@ -1,0 +1,155 @@
+#include "criu/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::criu {
+namespace {
+
+InventoryEntry sample_inventory() {
+  InventoryEntry e;
+  e.root_pid = 321;
+  e.name = "java";
+  e.argv = {"/opt/jvm/bin/java", "-jar", "fn.jar"};
+  e.n_threads = 5;
+  e.ns = os::Namespaces{7, 8, 9};
+  e.caps = 3;
+  return e;
+}
+
+TEST(ImageFormat, InventoryRoundTrip) {
+  const InventoryEntry e = sample_inventory();
+  EXPECT_EQ(decode_inventory(encode_inventory(e)), e);
+}
+
+TEST(ImageFormat, CoreRoundTrip) {
+  std::vector<CoreEntry> cores;
+  for (int i = 0; i < 3; ++i) {
+    CoreEntry c;
+    c.tid = 100 + i;
+    for (std::size_t r = 0; r < c.regs.size(); ++r)
+      c.regs[r] = static_cast<std::uint64_t>(i) * 100 + r;
+    cores.push_back(c);
+  }
+  EXPECT_EQ(decode_core(encode_core(cores)), cores);
+}
+
+TEST(ImageFormat, MmRoundTrip) {
+  std::vector<VmaEntry> vmas;
+  VmaEntry v;
+  v.id = 4;
+  v.start = 0x555500000000ULL;
+  v.length = 64 * 4096;
+  v.prot = 3;
+  v.kind = 1;
+  v.name = "[jvm-heap]";
+  v.backing_path = "/opt/jvm/libjvm.so";
+  v.source_kind = SourceKind::kPattern;
+  v.pattern_seed = 0xABC;
+  v.pattern_version = 2;
+  vmas.push_back(v);
+  v.id = 5;
+  v.source_kind = SourceKind::kBuffer;
+  vmas.push_back(v);
+  EXPECT_EQ(decode_mm(encode_mm(vmas)), vmas);
+}
+
+TEST(ImageFormat, PagemapRoundTrip) {
+  const std::vector<PagemapEntry> es{{1, 0, 16}, {1, 20, 4}, {2, 0, 100}};
+  EXPECT_EQ(decode_pagemap(encode_pagemap(es)), es);
+}
+
+TEST(ImageFormat, PagesDigestRoundTrip) {
+  PagesEntry e;
+  e.mode = PayloadMode::kDigest;
+  e.digests = {1, 2, 3, 0xFFFFFFFFFFFFFFFFULL};
+  EXPECT_EQ(decode_pages(encode_pages(e)), e);
+}
+
+TEST(ImageFormat, PagesFullRoundTrip) {
+  PagesEntry e;
+  e.mode = PayloadMode::kFull;
+  e.digests = {42};
+  e.raw.assign(os::kPageSize, 0x5A);
+  EXPECT_EQ(decode_pages(encode_pages(e)), e);
+}
+
+TEST(ImageFormat, FilesRoundTrip) {
+  const std::vector<FileEntry> es{{0, 0, "/dev/null", 0},
+                                  {3, 3, "tcp://0.0.0.0:8080", 0},
+                                  {5, 1, "", 77}};
+  EXPECT_EQ(decode_files(encode_files(es)), es);
+}
+
+TEST(ImageFormat, StatsRoundTrip) {
+  StatsEntry e;
+  e.pages_dumped = 3300;
+  e.payload_bytes = 3300 * 4096;
+  e.metadata_bytes = 12345;
+  e.dump_duration_ns = 987654321;
+  e.warmup_requests = 1;
+  EXPECT_EQ(decode_stats(encode_stats(e)), e);
+}
+
+TEST(ImageFormat, CorruptionDetected) {
+  auto img = encode_inventory(sample_inventory());
+  img[img.size() / 2] ^= 0x01;
+  EXPECT_THROW(decode_inventory(img), std::runtime_error);
+}
+
+TEST(ImageFormat, TruncationDetected) {
+  auto img = encode_inventory(sample_inventory());
+  img.resize(img.size() - 3);
+  EXPECT_THROW(decode_inventory(img), std::runtime_error);
+}
+
+TEST(ImageFormat, WrongTypeRejected) {
+  const auto img = encode_pagemap({{1, 0, 1}});
+  EXPECT_THROW(decode_inventory(img), std::runtime_error);
+}
+
+TEST(ImageFormat, TooSmallRejected) {
+  EXPECT_THROW(decode_stats(std::vector<std::uint8_t>{1, 2, 3}),
+               std::runtime_error);
+}
+
+TEST(ImageDir, PutGetAndNames) {
+  ImageDir dir;
+  dir.put("a.img", {1, 2, 3});
+  dir.put("b.img", {4, 5}, 1000);
+  EXPECT_TRUE(dir.has("a.img"));
+  EXPECT_EQ(dir.get("a.img").bytes.size(), 3u);
+  EXPECT_EQ(dir.get("a.img").nominal_size, 3u);
+  EXPECT_EQ(dir.get("b.img").nominal_size, 1000u);
+  EXPECT_EQ(dir.names().size(), 2u);
+}
+
+TEST(ImageDir, MissingFileThrows) {
+  ImageDir dir;
+  EXPECT_THROW(dir.get("nope.img"), std::runtime_error);
+}
+
+TEST(ImageDir, Totals) {
+  ImageDir dir;
+  dir.put("a.img", std::vector<std::uint8_t>(10), 100);
+  dir.put("b.img", std::vector<std::uint8_t>(20));
+  EXPECT_EQ(dir.nominal_total(), 120u);
+  EXPECT_EQ(dir.real_total(), 30u);
+}
+
+TEST(ImageDir, ValidateAcceptsRealImages) {
+  ImageDir dir;
+  dir.put("inventory.img", encode_inventory(sample_inventory()));
+  dir.put("pagemap.img", encode_pagemap({{1, 0, 4}}));
+  EXPECT_NO_THROW(dir.validate());
+}
+
+TEST(ImageDir, ValidateCatchesCorruption) {
+  ImageDir dir;
+  auto img = encode_inventory(sample_inventory());
+  img[5] ^= 0xFF;
+  dir.put("inventory.img", std::move(img));
+  EXPECT_THROW(dir.validate(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prebake::criu

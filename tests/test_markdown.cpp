@@ -1,0 +1,160 @@
+#include "funcs/markdown.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::funcs {
+namespace {
+
+TEST(HtmlEscape, EscapesSpecials) {
+  EXPECT_EQ(html_escape("a < b & c > \"d\""),
+            "a &lt; b &amp; c &gt; &quot;d&quot;");
+}
+
+TEST(HtmlEscape, PassesPlainText) {
+  EXPECT_EQ(html_escape("hello world"), "hello world");
+}
+
+TEST(Markdown, Heading) {
+  EXPECT_EQ(render_markdown("# Title"), "<h1>Title</h1>\n");
+  EXPECT_EQ(render_markdown("### Sub"), "<h3>Sub</h3>\n");
+  EXPECT_EQ(render_markdown("###### Deep"), "<h6>Deep</h6>\n");
+}
+
+TEST(Markdown, HashWithoutSpaceIsNotHeading) {
+  EXPECT_EQ(render_markdown("#tag"), "<p>#tag</p>\n");
+}
+
+TEST(Markdown, Paragraph) {
+  EXPECT_EQ(render_markdown("hello world"), "<p>hello world</p>\n");
+}
+
+TEST(Markdown, ParagraphJoinsLines) {
+  EXPECT_EQ(render_markdown("line one\nline two"),
+            "<p>line one line two</p>\n");
+}
+
+TEST(Markdown, BlankLineSeparatesParagraphs) {
+  EXPECT_EQ(render_markdown("one\n\ntwo"), "<p>one</p>\n<p>two</p>\n");
+}
+
+TEST(Markdown, Bold) {
+  EXPECT_EQ(render_markdown("a **bold** word"),
+            "<p>a <strong>bold</strong> word</p>\n");
+}
+
+TEST(Markdown, Italic) {
+  EXPECT_EQ(render_markdown("an *italic* word"),
+            "<p>an <em>italic</em> word</p>\n");
+}
+
+TEST(Markdown, NestedEmphasis) {
+  EXPECT_EQ(render_markdown("**bold *and italic***"),
+            "<p><strong>bold <em>and italic</em></strong></p>\n");
+}
+
+TEST(Markdown, InlineCode) {
+  EXPECT_EQ(render_markdown("run `make all` now"),
+            "<p>run <code>make all</code> now</p>\n");
+}
+
+TEST(Markdown, InlineCodeEscapesHtml) {
+  EXPECT_EQ(render_markdown("`a < b`"), "<p><code>a &lt; b</code></p>\n");
+}
+
+TEST(Markdown, Link) {
+  EXPECT_EQ(render_markdown("see [docs](https://x.io/a?b=1)"),
+            "<p>see <a href=\"https://x.io/a?b=1\">docs</a></p>\n");
+}
+
+TEST(Markdown, UnclosedLinkFallsThrough) {
+  EXPECT_EQ(render_markdown("just [a bracket"), "<p>just [a bracket</p>\n");
+}
+
+TEST(Markdown, FencedCodeBlock) {
+  EXPECT_EQ(render_markdown("```\nx = 1\ny = 2\n```"),
+            "<pre><code>x = 1\ny = 2\n</code></pre>\n");
+}
+
+TEST(Markdown, FencedCodeBlockWithLanguage) {
+  EXPECT_EQ(render_markdown("```bash\nls -la\n```"),
+            "<pre><code class=\"language-bash\">ls -la\n</code></pre>\n");
+}
+
+TEST(Markdown, CodeBlockPreservesMarkdownSyntax) {
+  const std::string html = render_markdown("```\n# not a heading\n```");
+  EXPECT_NE(html.find("# not a heading"), std::string::npos);
+  EXPECT_EQ(html.find("<h1>"), std::string::npos);
+}
+
+TEST(Markdown, UnorderedList) {
+  EXPECT_EQ(render_markdown("- one\n- two"),
+            "<ul>\n<li>one</li>\n<li>two</li>\n</ul>\n");
+}
+
+TEST(Markdown, StarListMarker) {
+  EXPECT_EQ(render_markdown("* item"), "<ul>\n<li>item</li>\n</ul>\n");
+}
+
+TEST(Markdown, OrderedList) {
+  EXPECT_EQ(render_markdown("1. first\n2. second"),
+            "<ol>\n<li>first</li>\n<li>second</li>\n</ol>\n");
+}
+
+TEST(Markdown, ListItemsRenderInline) {
+  EXPECT_EQ(render_markdown("- **bold** item"),
+            "<ul>\n<li><strong>bold</strong> item</li>\n</ul>\n");
+}
+
+TEST(Markdown, Blockquote) {
+  EXPECT_EQ(render_markdown("> quoted text"),
+            "<blockquote>\n<p>quoted text</p>\n</blockquote>\n");
+}
+
+TEST(Markdown, BlockquoteWithNestedStructure) {
+  const std::string html = render_markdown("> # Quoted heading\n> body");
+  EXPECT_NE(html.find("<blockquote>"), std::string::npos);
+  EXPECT_NE(html.find("<h1>Quoted heading</h1>"), std::string::npos);
+}
+
+TEST(Markdown, HorizontalRule) {
+  EXPECT_EQ(render_markdown("---"), "<hr/>\n");
+  EXPECT_EQ(render_markdown("-----"), "<hr/>\n");
+}
+
+TEST(Markdown, TwoDashesIsParagraph) {
+  EXPECT_EQ(render_markdown("--"), "<p>--</p>\n");
+}
+
+TEST(Markdown, EscapesHtmlInText) {
+  EXPECT_EQ(render_markdown("<script>alert(1)</script>"),
+            "<p>&lt;script&gt;alert(1)&lt;/script&gt;</p>\n");
+}
+
+TEST(Markdown, EmptyInputGivesEmptyOutput) {
+  EXPECT_EQ(render_markdown(""), "");
+  EXPECT_EQ(render_markdown("\n\n\n"), "");
+}
+
+TEST(Markdown, CrlfLineEndings) {
+  EXPECT_EQ(render_markdown("# Title\r\nbody\r\n"),
+            "<h1>Title</h1>\n<p>body</p>\n");
+}
+
+TEST(Markdown, MixedDocument) {
+  const std::string doc =
+      "# Doc\n\nIntro *text*.\n\n- a\n- b\n\n```\ncode\n```\n\n> quote\n";
+  const std::string html = render_markdown(doc);
+  EXPECT_NE(html.find("<h1>Doc</h1>"), std::string::npos);
+  EXPECT_NE(html.find("<em>text</em>"), std::string::npos);
+  EXPECT_NE(html.find("<ul>"), std::string::npos);
+  EXPECT_NE(html.find("<pre><code>"), std::string::npos);
+  EXPECT_NE(html.find("<blockquote>"), std::string::npos);
+}
+
+TEST(Markdown, DeterministicOutput) {
+  const std::string doc = "# A\n\n- x\n- y\n";
+  EXPECT_EQ(render_markdown(doc), render_markdown(doc));
+}
+
+}  // namespace
+}  // namespace prebake::funcs

@@ -1,0 +1,169 @@
+// Section 5 integration: the faas-cli new/build/push/deploy flow with CRIU
+// templates, privileged-build gating, and watchdog restore.
+#include "openfaas/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+
+namespace prebake::openfaas {
+namespace {
+
+class OpenFaasTest : public ::testing::Test {
+ protected:
+  OpenFaasTest() : kernel_{sim_, exp::testbed_costs()} {}
+
+  Deployment make_deployment(ProviderConfig provider) {
+    return Deployment{kernel_, exp::testbed_runtime(), provider};
+  }
+
+  static ProviderConfig privileged() {
+    ProviderConfig p;
+    p.allow_privileged = true;
+    return p;
+  }
+
+  // Full pipeline for one function.
+  static void pipeline(Deployment& d, const std::string& name,
+                       const std::string& tpl, rt::FunctionSpec spec) {
+    const FunctionProject project = d.new_function(name, tpl, std::move(spec));
+    ContainerImage image = d.build(project);
+    d.push(std::move(image));
+    d.deploy(name);
+  }
+
+  sim::Simulation sim_;
+  os::Kernel kernel_;
+};
+
+TEST_F(OpenFaasTest, TemplateCatalogueHasCriuVariants) {
+  TemplateStore store;
+  EXPECT_TRUE(store.has("java8"));
+  EXPECT_TRUE(store.has("java8-criu"));
+  EXPECT_TRUE(store.has("java8-criu-warm"));
+  EXPECT_TRUE(store.has("python3-criu"));
+  EXPECT_FALSE(store.get("java8").uses_criu);
+  EXPECT_TRUE(store.get("java8-criu").uses_criu);
+  EXPECT_EQ(store.get("java8-criu-warm").default_warmup_requests, 1u);
+  EXPECT_THROW(store.get("cobol"), std::out_of_range);
+}
+
+TEST_F(OpenFaasTest, NewFunctionAdoptsTemplateRuntime) {
+  Deployment d = make_deployment(privileged());
+  const FunctionProject p =
+      d.new_function("md", "java8", exp::markdown_spec());
+  EXPECT_EQ(p.spec.runtime_binary, "/opt/jvm/bin/java");
+  EXPECT_EQ(p.spec.name, "md");
+}
+
+TEST_F(OpenFaasTest, NewFunctionUnknownTemplateThrows) {
+  Deployment d = make_deployment(privileged());
+  EXPECT_THROW(d.new_function("x", "nope", exp::noop_spec()),
+               std::out_of_range);
+}
+
+TEST_F(OpenFaasTest, PlainBuildHasNoSnapshotLayer) {
+  Deployment d = make_deployment(ProviderConfig{});
+  const FunctionProject p = d.new_function("fn", "java8", exp::noop_spec());
+  const ContainerImage image = d.build(p);
+  EXPECT_FALSE(image.has_snapshot);
+  EXPECT_EQ(image.snapshot_layer_bytes, 0u);
+  EXPECT_GT(image.function_layer_bytes, 0u);
+}
+
+TEST_F(OpenFaasTest, CriuBuildEmbedsSnapshotInImage) {
+  Deployment d = make_deployment(privileged());
+  const FunctionProject p = d.new_function("fn", "java8-criu", exp::noop_spec());
+  const ContainerImage image = d.build(p);
+  EXPECT_TRUE(image.has_snapshot);
+  EXPECT_GT(image.snapshot_layer_bytes, 10ull * 1024 * 1024);
+  ASSERT_TRUE(image.snapshot.has_value());
+  EXPECT_NO_THROW(image.snapshot->validate());
+}
+
+TEST_F(OpenFaasTest, CriuBuildNeedsPrivilegedBuilder) {
+  // Section 5.2: "usual docker build does not allow the execution of
+  // privileged operations" — Buildx or unprivileged CRIU is required.
+  Deployment d = make_deployment(ProviderConfig{});
+  const FunctionProject p = d.new_function("fn", "java8-criu", exp::noop_spec());
+  EXPECT_THROW(d.build(p), std::runtime_error);
+}
+
+TEST_F(OpenFaasTest, UnprivilegedCriuModeWorksWithoutPrivilegedBuilder) {
+  ProviderConfig provider;
+  provider.unprivileged_criu = true;  // CAP_CHECKPOINT_RESTORE world [11]
+  Deployment d = make_deployment(provider);
+  const FunctionProject p = d.new_function("fn", "java8-criu", exp::noop_spec());
+  EXPECT_NO_THROW(d.build(p));
+}
+
+TEST_F(OpenFaasTest, DeployRequiresPush) {
+  Deployment d = make_deployment(privileged());
+  d.new_function("fn", "java8", exp::noop_spec());
+  EXPECT_THROW(d.deploy("fn"), std::runtime_error);
+  EXPECT_THROW(d.deploy("ghost"), std::out_of_range);
+}
+
+TEST_F(OpenFaasTest, FullPipelineVanillaInvokes) {
+  Deployment d = make_deployment(ProviderConfig{});
+  pipeline(d, "md", "java8", exp::markdown_spec());
+  funcs::Response res;
+  const InvocationRecord rec =
+      d.invoke("md", funcs::sample_request("markdown"), &res);
+  EXPECT_EQ(rec.status, 200);
+  EXPECT_TRUE(rec.cold_start);
+  EXPECT_NE(res.body.find("<h1>"), std::string::npos);
+}
+
+TEST_F(OpenFaasTest, FullPipelinePrebakedColdStartIsFaster) {
+  Deployment d = make_deployment(privileged());
+  pipeline(d, "plain", "java8", exp::noop_spec());
+  pipeline(d, "baked", "java8-criu-warm", exp::noop_spec());
+
+  const InvocationRecord plain = d.invoke("plain", funcs::Request{});
+  const InvocationRecord baked = d.invoke("baked", funcs::Request{});
+  EXPECT_TRUE(plain.cold_start);
+  EXPECT_TRUE(baked.cold_start);
+  EXPECT_LT(baked.startup.to_millis(), plain.startup.to_millis());
+}
+
+TEST_F(OpenFaasTest, WarmReplicaReused) {
+  Deployment d = make_deployment(privileged());
+  pipeline(d, "fn", "java8-criu", exp::noop_spec());
+  const InvocationRecord first = d.invoke("fn", funcs::Request{});
+  const InvocationRecord second = d.invoke("fn", funcs::Request{});
+  EXPECT_TRUE(first.cold_start);
+  EXPECT_FALSE(second.cold_start);
+  EXPECT_EQ(d.log().size(), 2u);
+}
+
+TEST_F(OpenFaasTest, ScaleCreatesReadyReplicas) {
+  Deployment d = make_deployment(privileged());
+  pipeline(d, "fn", "java8-criu", exp::noop_spec());
+  d.scale("fn", 4);
+  EXPECT_EQ(d.ready_replicas("fn"), 4u);
+}
+
+TEST_F(OpenFaasTest, PushChargesRegistryUpload) {
+  Deployment d = make_deployment(ProviderConfig{});
+  const FunctionProject p = d.new_function("fn", "java8", exp::noop_spec());
+  ContainerImage image = d.build(p);
+  const double t0 = sim_.now().to_millis();
+  d.push(std::move(image));
+  EXPECT_GT(sim_.now().to_millis(), t0);
+  EXPECT_TRUE(d.repository().has("fn:latest"));
+}
+
+TEST_F(OpenFaasTest, GoTemplateHasSmallBaseLayer) {
+  TemplateStore store;
+  EXPECT_LT(store.get("go").base_layer_bytes,
+            store.get("java8").base_layer_bytes);
+}
+
+TEST_F(OpenFaasTest, InvokeUndeployedThrows) {
+  Deployment d = make_deployment(ProviderConfig{});
+  EXPECT_THROW(d.invoke("ghost", funcs::Request{}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prebake::openfaas

@@ -1,0 +1,95 @@
+#include "os/page_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+namespace prebake::os {
+namespace {
+
+using PageBuf = std::array<std::uint8_t, kPageSize>;
+
+PageBuf fill_page(const PageSource& src, std::uint64_t idx) {
+  PageBuf buf{};
+  src.fill(idx, std::span<std::uint8_t, kPageSize>{buf});
+  return buf;
+}
+
+TEST(BufferSource, RoundTripsBytes) {
+  std::vector<std::uint8_t> bytes(kPageSize * 2);
+  std::iota(bytes.begin(), bytes.end(), 0);
+  const BufferSource src{bytes};
+  const PageBuf p0 = fill_page(src, 0);
+  EXPECT_EQ(p0[0], 0);
+  EXPECT_EQ(p0[255], 255);
+  const PageBuf p1 = fill_page(src, 1);
+  EXPECT_EQ(p1[0], bytes[kPageSize]);
+}
+
+TEST(BufferSource, PartialLastPageZeroPadded) {
+  std::vector<std::uint8_t> bytes(100, 0xAB);
+  const BufferSource src{std::move(bytes)};
+  const PageBuf p = fill_page(src, 0);
+  EXPECT_EQ(p[99], 0xAB);
+  EXPECT_EQ(p[100], 0x00);
+  EXPECT_EQ(p[kPageSize - 1], 0x00);
+}
+
+TEST(BufferSource, PagePastEndIsZero) {
+  const BufferSource src{std::vector<std::uint8_t>(10, 0xFF)};
+  const PageBuf p = fill_page(src, 5);
+  for (std::uint8_t b : p) EXPECT_EQ(b, 0);
+}
+
+TEST(BufferSource, MutableBytesVisible) {
+  BufferSource src{std::vector<std::uint8_t>(kPageSize, 0)};
+  src.bytes()[7] = 0x42;
+  EXPECT_EQ(fill_page(src, 0)[7], 0x42);
+}
+
+TEST(PatternSource, DeterministicForSameSeed) {
+  const PatternSource a{123}, b{123};
+  EXPECT_EQ(fill_page(a, 9), fill_page(b, 9));
+}
+
+TEST(PatternSource, DifferentPagesDiffer) {
+  const PatternSource src{123};
+  EXPECT_NE(fill_page(src, 0), fill_page(src, 1));
+}
+
+TEST(PatternSource, DifferentSeedsDiffer) {
+  EXPECT_NE(fill_page(PatternSource{1}, 0), fill_page(PatternSource{2}, 0));
+}
+
+TEST(PatternSource, VersionChangesContents) {
+  PatternSource src{55};
+  const PageBuf before = fill_page(src, 3);
+  src.bump_version();
+  EXPECT_NE(before, fill_page(src, 3));
+  EXPECT_EQ(src.version(), 1u);
+}
+
+TEST(PatternSource, DigestMatchesMaterializedHash) {
+  const PatternSource src{77};
+  const PageBuf p = fill_page(src, 4);
+  EXPECT_EQ(src.page_digest(4),
+            hash_page_bytes(std::span<const std::uint8_t, kPageSize>{p}));
+}
+
+TEST(HashPage, SensitiveToSingleBit) {
+  PageBuf a{}, b{};
+  b[1000] = 1;
+  EXPECT_NE(hash_page_bytes(std::span<const std::uint8_t, kPageSize>{a}),
+            hash_page_bytes(std::span<const std::uint8_t, kPageSize>{b}));
+}
+
+TEST(BufferSource, DigestDiffersAcrossContent) {
+  const BufferSource a{std::vector<std::uint8_t>(kPageSize, 1)};
+  const BufferSource b{std::vector<std::uint8_t>(kPageSize, 2)};
+  EXPECT_NE(a.page_digest(0), b.page_digest(0));
+}
+
+}  // namespace
+}  // namespace prebake::os

@@ -1,0 +1,65 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace prebake::exp {
+namespace {
+
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable t{{"a", "long-header"}};
+  t.add_row({"x", "1"});
+  t.add_row({"longer-cell", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a           | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-cell | 2           |"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 6);  // 3 rules + header + 2 rows
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, Milliseconds) {
+  EXPECT_EQ(fmt_ms(12.345), "12.35 ms");
+  EXPECT_EQ(fmt_ms(12.345, 1), "12.3 ms");
+}
+
+TEST(Format, Interval) {
+  stats::Interval iv{1.25, 2.75, 2.0};
+  EXPECT_EQ(fmt_interval(iv), "(1.25; 2.75)");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.4), "40.00%");
+  EXPECT_EQ(fmt_percent(1.932, 1), "193.2%");
+}
+
+TEST(Format, Mib) {
+  EXPECT_EQ(fmt_mib(15ull * 1024 * 1024), "15.0 MiB");
+  EXPECT_EQ(fmt_mib(1536ull * 1024), "1.5 MiB");
+}
+
+TEST(AsciiBar, ScalesToWidth) {
+  EXPECT_EQ(ascii_bar(10, 10, 10), "##########");
+  EXPECT_EQ(ascii_bar(5, 10, 10), "#####     ");
+  EXPECT_EQ(ascii_bar(0, 10, 10), "          ");
+}
+
+TEST(AsciiBar, ClampsOverflow) {
+  EXPECT_EQ(ascii_bar(20, 10, 10), "##########");
+  EXPECT_EQ(ascii_bar(5, 0, 4).size(), 4u);  // degenerate max handled
+}
+
+TEST(RenderEcdf, PrintsRequestedQuantiles) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<double> qs{0.5, 0.9};
+  const std::string s = render_ecdf(xs, qs);
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_NE(s.find("p90"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prebake::exp

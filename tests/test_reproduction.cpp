@@ -1,0 +1,215 @@
+// Reproduction gates: the emergent numbers of the calibrated testbed must
+// track the paper's reported results (Figures 3-7, Table 1). These tests use
+// fewer repetitions than the benches (medians converge fast); tolerances are
+// a few percent.
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+#include "exp/scenario.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/mann_whitney.hpp"
+
+namespace prebake::exp {
+namespace {
+
+double median_startup(const rt::FunctionSpec& spec, Technique tech,
+                      bool first_response, int reps = 40) {
+  ScenarioConfig cfg;
+  cfg.spec = spec;
+  cfg.technique = tech;
+  cfg.repetitions = reps;
+  cfg.measure_first_response = first_response;
+  cfg.seed = 42;
+  return stats::median(run_startup_scenario(cfg).startup_ms);
+}
+
+TEST(ReproFig3, NoopVanillaAndPrebaked) {
+  const double vanilla = median_startup(noop_spec(), Technique::kVanilla, false);
+  const double prebaked =
+      median_startup(noop_spec(), Technique::kPrebakeNoWarmup, false);
+  EXPECT_NEAR(vanilla, 103.3, 4.0);
+  EXPECT_NEAR(prebaked, 62.0, 3.0);
+  // "the prebaking technique decreases the start-up delay by 40%".
+  EXPECT_NEAR(1.0 - prebaked / vanilla, 0.40, 0.04);
+}
+
+TEST(ReproFig3, MarkdownRenderImproves47Percent) {
+  const double vanilla =
+      median_startup(markdown_spec(), Technique::kVanilla, false);
+  const double prebaked =
+      median_startup(markdown_spec(), Technique::kPrebakeNoWarmup, false);
+  EXPECT_NEAR(vanilla, 100.0, 4.0);   // "reduced from 100ms"
+  EXPECT_NEAR(prebaked, 53.0, 3.0);   // "to 53ms"
+  EXPECT_NEAR(1.0 - prebaked / vanilla, 0.47, 0.04);
+}
+
+TEST(ReproFig3, ImageResizerImproves71Percent) {
+  const double vanilla =
+      median_startup(image_resizer_spec(), Technique::kVanilla, false);
+  const double prebaked =
+      median_startup(image_resizer_spec(), Technique::kPrebakeNoWarmup, false);
+  EXPECT_NEAR(vanilla, 310.0, 10.0);  // "decreased from 310ms"
+  EXPECT_NEAR(prebaked, 87.0, 4.0);   // "to 87ms"
+  EXPECT_NEAR(1.0 - prebaked / vanilla, 0.71, 0.03);
+}
+
+TEST(ReproFig3, MedianDifferenceSignificantByMannWhitney) {
+  ScenarioConfig cfg;
+  cfg.spec = noop_spec();
+  cfg.technique = Technique::kVanilla;
+  cfg.repetitions = 60;
+  const auto vanilla = run_startup_scenario(cfg).startup_ms;
+  cfg.technique = Technique::kPrebakeNoWarmup;
+  const auto prebaked = run_startup_scenario(cfg).startup_ms;
+
+  const auto test = stats::mann_whitney_u(vanilla, prebaked);
+  EXPECT_LT(test.p_value, 1e-9);  // medians differ, 95% confidence easily
+
+  // Paper: NOOP median difference within [40.35, 42.29] ms.
+  const auto shift = stats::hodges_lehmann_shift(vanilla, prebaked);
+  EXPECT_GT(shift.point, 37.0);
+  EXPECT_LT(shift.point, 45.0);
+}
+
+TEST(ReproFig4, VanillaRtsIsAbout70MsForAllFunctions) {
+  for (const auto& spec : {noop_spec(), markdown_spec(), image_resizer_spec()}) {
+    ScenarioConfig cfg;
+    cfg.spec = spec;
+    cfg.technique = Technique::kVanilla;
+    cfg.repetitions = 10;
+    const auto result = run_startup_scenario(cfg);
+    for (const auto& b : result.breakdowns)
+      EXPECT_NEAR(b.rts_time.to_millis(), 70.0, 5.0) << spec.name;
+  }
+}
+
+TEST(ReproFig4, PrebakeRtsIsZeroAndAppinitDominates) {
+  ScenarioConfig cfg;
+  cfg.spec = image_resizer_spec();
+  cfg.technique = Technique::kPrebakeNoWarmup;
+  cfg.repetitions = 10;
+  const auto result = run_startup_scenario(cfg);
+  for (const auto& b : result.breakdowns) {
+    EXPECT_EQ(b.rts_time.to_millis(), 0.0);
+    EXPECT_EQ(b.clone_time.to_millis(), 0.0);
+    EXPECT_GT(b.appinit_stacked() / b.total, 0.99);
+  }
+}
+
+TEST(ReproFig4, SnapshotSizesMatchPaperOrdering) {
+  // Paper: NOOP 13 MB, Markdown 14 MB, Image Resizer 99.2 MB.
+  auto snapshot_bytes = [](const rt::FunctionSpec& spec) {
+    ScenarioConfig cfg;
+    cfg.spec = spec;
+    cfg.technique = Technique::kPrebakeNoWarmup;
+    cfg.repetitions = 1;
+    return run_startup_scenario(cfg).snapshot_nominal_bytes;
+  };
+  const double mb = 1e6;
+  const double noop = static_cast<double>(snapshot_bytes(noop_spec())) / mb;
+  const double md = static_cast<double>(snapshot_bytes(markdown_spec())) / mb;
+  const double rz =
+      static_cast<double>(snapshot_bytes(image_resizer_spec())) / mb;
+  EXPECT_NEAR(noop, 13.0, 4.0);
+  EXPECT_NEAR(md, 14.0, 4.0);
+  EXPECT_NEAR(rz, 99.2, 12.0);
+  EXPECT_LT(noop, md);
+  EXPECT_LT(md, rz);
+}
+
+TEST(ReproFig5, VanillaStartupGrowsWithFunctionSize) {
+  const double small =
+      median_startup(synthetic_spec(SynthSize::kSmall), Technique::kVanilla, true);
+  const double medium =
+      median_startup(synthetic_spec(SynthSize::kMedium), Technique::kVanilla, true);
+  const double big =
+      median_startup(synthetic_spec(SynthSize::kBig), Technique::kVanilla, true);
+  EXPECT_NEAR(small, 219.8, 7.0);
+  EXPECT_NEAR(medium, 456.0, 14.0);
+  EXPECT_NEAR(big, 1621.0, 40.0);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, big);
+}
+
+TEST(ReproTable1, AllNineMediansTrackThePaper) {
+  struct Row {
+    SynthSize size;
+    double vanilla, nowarmup, warmup;
+  };
+  // Table 1 midpoints (ms).
+  const Row rows[] = {
+      {SynthSize::kSmall, 219.8, 172.5, 54.4},
+      {SynthSize::kMedium, 456.0, 360.9, 63.7},
+      {SynthSize::kBig, 1621.0, 1340.4, 84.0},
+  };
+  for (const Row& row : rows) {
+    const rt::FunctionSpec spec = synthetic_spec(row.size);
+    const double vanilla = median_startup(spec, Technique::kVanilla, true, 30);
+    const double nowarmup =
+        median_startup(spec, Technique::kPrebakeNoWarmup, true, 30);
+    const double warmup =
+        median_startup(spec, Technique::kPrebakeWarmup, true, 30);
+    // Within 3% for the small/big anchors; the paper's medium PB-Warmup
+    // point sits off its own size trend, so allow 8% there (see
+    // EXPERIMENTS.md).
+    EXPECT_NEAR(vanilla, row.vanilla, row.vanilla * 0.03) << synth_size_name(row.size);
+    EXPECT_NEAR(nowarmup, row.nowarmup, row.nowarmup * 0.03) << synth_size_name(row.size);
+    EXPECT_NEAR(warmup, row.warmup, row.warmup * 0.08) << synth_size_name(row.size);
+    // Ordering invariant: warmup < nowarmup < vanilla.
+    EXPECT_LT(warmup, nowarmup);
+    EXPECT_LT(nowarmup, vanilla);
+  }
+}
+
+TEST(ReproFig6, SpeedupRatiosMatchHeadlineNumbers) {
+  const double small_vanilla =
+      median_startup(synthetic_spec(SynthSize::kSmall), Technique::kVanilla, true, 30);
+  const double small_nowarm = median_startup(
+      synthetic_spec(SynthSize::kSmall), Technique::kPrebakeNoWarmup, true, 30);
+  const double small_warm = median_startup(
+      synthetic_spec(SynthSize::kSmall), Technique::kPrebakeWarmup, true, 30);
+  const double big_vanilla =
+      median_startup(synthetic_spec(SynthSize::kBig), Technique::kVanilla, true, 30);
+  const double big_nowarm = median_startup(
+      synthetic_spec(SynthSize::kBig), Technique::kPrebakeNoWarmup, true, 30);
+  const double big_warm = median_startup(
+      synthetic_spec(SynthSize::kBig), Technique::kPrebakeWarmup, true, 30);
+
+  // "from 127.45% to 403.96%, for a small, synthetic function".
+  EXPECT_NEAR(small_vanilla / small_nowarm * 100.0, 127.45, 6.0);
+  EXPECT_NEAR(small_vanilla / small_warm * 100.0, 403.96, 20.0);
+  // "for a bigger, synthetic function ... from 121.07% to 1932.49%".
+  EXPECT_NEAR(big_vanilla / big_nowarm * 100.0, 121.07, 5.0);
+  EXPECT_NEAR(big_vanilla / big_warm * 100.0, 1932.49, 100.0);
+}
+
+TEST(ReproFig7, ServiceTimeDistributionsCoincide) {
+  for (const auto& spec : {noop_spec(), markdown_spec()}) {
+    const auto vanilla =
+        run_service_scenario(spec, Technique::kVanilla, 200, 7);
+    const auto prebaked =
+        run_service_scenario(spec, Technique::kPrebakeNoWarmup, 200, 8);
+    // Drop the first (lazy-loading) request from both, as both pay it.
+    std::vector<double> v{vanilla.service_ms.begin() + 1, vanilla.service_ms.end()};
+    std::vector<double> p{prebaked.service_ms.begin() + 1, prebaked.service_ms.end()};
+    const auto ks = stats::ks_test(v, p);
+    EXPECT_GT(ks.p_value, 0.05) << spec.name;  // ECDFs "pretty much coincide"
+    EXPECT_LT(std::abs(stats::median(v) - stats::median(p)),
+              stats::median(v) * 0.03)
+        << spec.name;
+  }
+}
+
+TEST(ReproFig7, ResponsesAreByteIdenticalAcrossTechniques) {
+  const auto vanilla =
+      run_service_scenario(markdown_spec(), Technique::kVanilla, 20, 7);
+  const auto prebaked =
+      run_service_scenario(markdown_spec(), Technique::kPrebakeNoWarmup, 20, 7);
+  ASSERT_EQ(vanilla.response_bodies.size(), prebaked.response_bodies.size());
+  for (std::size_t i = 0; i < vanilla.response_bodies.size(); ++i)
+    EXPECT_EQ(vanilla.response_bodies[i], prebaked.response_bodies[i]);
+}
+
+}  // namespace
+}  // namespace prebake::exp

@@ -1,0 +1,79 @@
+#include "faas/resource_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::faas {
+namespace {
+
+constexpr std::uint64_t GiB = 1024ull * 1024 * 1024;
+
+TEST(ResourceManager, AddAndQueryNodes) {
+  ResourceManager rm;
+  const NodeId a = rm.add_node("n1", 8 * GiB);
+  EXPECT_EQ(rm.node(a).name, "n1");
+  EXPECT_EQ(rm.node(a).mem_capacity, 8 * GiB);
+  EXPECT_EQ(rm.total_mem_capacity(), 8 * GiB);
+  EXPECT_EQ(rm.total_mem_used(), 0u);
+}
+
+TEST(ResourceManager, UnknownNodeThrows) {
+  ResourceManager rm;
+  EXPECT_THROW(rm.node(42), std::out_of_range);
+}
+
+TEST(ResourceManager, PlaceUsesCapacity) {
+  ResourceManager rm;
+  const NodeId a = rm.add_node("n1", 1 * GiB);
+  const auto placed = rm.place(256 * 1024 * 1024);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, a);
+  EXPECT_EQ(rm.node(a).replicas, 1u);
+  EXPECT_EQ(rm.node(a).mem_free(), 768ull * 1024 * 1024);
+}
+
+TEST(ResourceManager, PlaceFailsWhenFull) {
+  ResourceManager rm;
+  rm.add_node("n1", 100);
+  EXPECT_FALSE(rm.place(101).has_value());
+  EXPECT_TRUE(rm.place(100).has_value());
+  EXPECT_FALSE(rm.place(1).has_value());
+}
+
+TEST(ResourceManager, WorstFitSpreadsLoad) {
+  ResourceManager rm;
+  const NodeId a = rm.add_node("n1", 10 * GiB);
+  const NodeId b = rm.add_node("n2", 10 * GiB);
+  const auto p1 = rm.place(1 * GiB);
+  const auto p2 = rm.place(1 * GiB);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_NE(*p1, *p2);  // second replica goes to the emptier node
+  EXPECT_EQ(rm.node(a).replicas + rm.node(b).replicas, 2u);
+}
+
+TEST(ResourceManager, ReleaseReturnsCapacity) {
+  ResourceManager rm;
+  const NodeId a = rm.add_node("n1", 1 * GiB);
+  rm.place(512 * 1024 * 1024);
+  rm.release(a, 512 * 1024 * 1024);
+  EXPECT_EQ(rm.node(a).mem_used, 0u);
+  EXPECT_EQ(rm.node(a).replicas, 0u);
+}
+
+TEST(ResourceManager, ReleaseUnderflowThrows) {
+  ResourceManager rm;
+  const NodeId a = rm.add_node("n1", 1 * GiB);
+  EXPECT_THROW(rm.release(a, 1), std::logic_error);
+}
+
+TEST(ResourceManager, TotalsAcrossNodes) {
+  ResourceManager rm;
+  rm.add_node("n1", 4 * GiB);
+  rm.add_node("n2", 8 * GiB);
+  rm.place(1 * GiB);
+  rm.place(2 * GiB);
+  EXPECT_EQ(rm.total_mem_capacity(), 12 * GiB);
+  EXPECT_EQ(rm.total_mem_used(), 3 * GiB);
+}
+
+}  // namespace
+}  // namespace prebake::faas

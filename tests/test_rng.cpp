@@ -1,0 +1,155 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace prebake::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{7};
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{9};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of 2, 3, 4, 5 hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{9};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{11};
+  const int n = 100'000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng{12};
+  const int n = 50'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianPreserved) {
+  Rng rng{13};
+  const int n = 20'001;
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.lognormal_median(100.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 100.0, 2.5);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{14};
+  for (int i = 0; i < 1'000; ++i)
+    EXPECT_GT(rng.lognormal_median(5.0, 2.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{15};
+  const int n = 100'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ChildStreamsIndependentOfParentDraws) {
+  Rng a{21};
+  Rng b{21};
+  (void)a.next_u64();  // advance parent a only
+  Rng child_a = a.child(5);
+  Rng child_b = b.child(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+}
+
+TEST(Rng, ChildStreamsDifferByStreamId) {
+  Rng root{21};
+  Rng c1 = root.child(1), c2 = root.child(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c1.next_u64() == c2.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{31};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng{31};
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t s1 = 1234, s2 = 1234;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace prebake::sim

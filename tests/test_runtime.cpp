@@ -1,0 +1,251 @@
+#include "rt/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+
+namespace prebake::rt {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : kernel_{sim_, exp::testbed_costs()} {
+    kernel_.fs().create("/opt/jvm/bin/java", 48ull * 1024 * 1024);
+  }
+
+  FunctionSpec spec_with_classes() {
+    FunctionSpec spec;
+    spec.name = "fn";
+    spec.handler_id = "noop";
+    spec.init_classes = synth_class_set("init", 50, 500'000, 1);
+    spec.request_classes = synth_class_set("req", 80, 900'000, 2);
+    spec.classpath_archive = "/registry/fn/classes.jar";
+    kernel_.fs().create(spec.classpath_archive, 1'400'000);
+    return spec;
+  }
+
+  os::Pid exec_process() {
+    const os::Pid pid = kernel_.clone_process(os::kNoPid);
+    kernel_.exec(pid, "/opt/jvm/bin/java", {"java"});
+    return pid;
+  }
+
+  ManagedRuntime fresh_runtime(const FunctionSpec& spec, os::Pid pid) {
+    return ManagedRuntime{kernel_, pid, exp::testbed_runtime(), spec,
+                          sim::Rng{7}};
+  }
+
+  sim::Simulation sim_;
+  os::Kernel kernel_;
+  funcs::SharedAssets assets_;
+};
+
+TEST_F(RuntimeTest, LifecyclePhasesProgress) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  EXPECT_EQ(rt.progress(), RuntimeProgress::kFresh);
+  rt.bootstrap();
+  EXPECT_EQ(rt.progress(), RuntimeProgress::kBooted);
+  rt.app_init(assets_);
+  EXPECT_EQ(rt.progress(), RuntimeProgress::kReady);
+  (void)rt.handle(funcs::Request{});
+  EXPECT_EQ(rt.progress(), RuntimeProgress::kWarmed);
+}
+
+TEST_F(RuntimeTest, PhaseOrderEnforced) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  EXPECT_THROW(rt.app_init(assets_), std::logic_error);
+  EXPECT_THROW(rt.handle(funcs::Request{}), std::logic_error);
+  rt.bootstrap();
+  EXPECT_THROW(rt.bootstrap(), std::logic_error);
+}
+
+TEST_F(RuntimeTest, BootstrapTakesAbout70Ms) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  rt.bootstrap();
+  EXPECT_NEAR(rt.rts_time().to_millis(), 70.0, 5.0);
+}
+
+TEST_F(RuntimeTest, BootstrapGrowsFootprintAndThreads) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  const std::uint64_t before = kernel_.process(pid).mm().resident_bytes();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  rt.bootstrap();
+  EXPECT_GT(kernel_.process(pid).mm().resident_bytes(),
+            before + 10ull * 1024 * 1024);
+  EXPECT_EQ(kernel_.process(pid).threads().size(), 5u);  // main + 4 services
+}
+
+TEST_F(RuntimeTest, AppInitLoadsInitClassesAndListens) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  rt.bootstrap();
+  const std::uint64_t before = kernel_.process(pid).mm().resident_bytes();
+  rt.app_init(assets_);
+  EXPECT_GT(kernel_.process(pid).mm().resident_bytes(), before);
+  EXPECT_GT(rt.appinit_time().to_millis(), 5.0);
+  bool listening = false;
+  for (const auto& [fd, desc] : kernel_.process(pid).fds())
+    if (desc.kind == os::FdKind::kSocket) listening = true;
+  EXPECT_TRUE(listening);
+}
+
+TEST_F(RuntimeTest, FirstRequestIsSlowLaterRequestsFast) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  rt.bootstrap();
+  rt.app_init(assets_);
+
+  const sim::TimePoint t0 = sim_.now();
+  (void)rt.handle(funcs::Request{});
+  const double first_ms = (sim_.now() - t0).to_millis();
+
+  const sim::TimePoint t1 = sim_.now();
+  (void)rt.handle(funcs::Request{});
+  const double second_ms = (sim_.now() - t1).to_millis();
+
+  // First request pays lazy class loading + JIT (Section 4.2.2).
+  EXPECT_GT(first_ms, second_ms * 5);
+}
+
+TEST_F(RuntimeTest, FirstRequestGrowsCodeCache) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  rt.bootstrap();
+  rt.app_init(assets_);
+  const std::uint64_t before = kernel_.process(pid).mm().resident_bytes();
+  (void)rt.handle(funcs::Request{});
+  EXPECT_GT(kernel_.process(pid).mm().resident_bytes(), before);
+  bool has_code_cache = false;
+  for (const os::Vma& vma : kernel_.process(pid).mm().vmas())
+    if (vma.name == "[code-cache]") has_code_cache = true;
+  EXPECT_TRUE(has_code_cache);
+}
+
+TEST_F(RuntimeTest, RequestsCountAndResponsesFlow) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  rt.bootstrap();
+  rt.app_init(assets_);
+  for (int i = 0; i < 5; ++i) {
+    const funcs::Response res = rt.handle(funcs::Request{});
+    EXPECT_TRUE(res.ok());
+  }
+  EXPECT_EQ(rt.requests_served(), 5);
+  EXPECT_GT(rt.last_service_time().to_millis(), 0.0);
+}
+
+TEST_F(RuntimeTest, AttachRestoredReadySkipsBootstrap) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = ManagedRuntime::attach_restored(
+      kernel_, pid, exp::testbed_runtime(), spec, sim::Rng{3},
+      /*warmed=*/false, assets_);
+  EXPECT_EQ(rt.progress(), RuntimeProgress::kReady);
+  EXPECT_THROW(rt.bootstrap(), std::logic_error);
+  const funcs::Response res = rt.handle(funcs::Request{});
+  EXPECT_TRUE(res.ok());
+}
+
+TEST_F(RuntimeTest, AttachRestoredWarmedFirstRequestIsFast) {
+  const FunctionSpec spec = spec_with_classes();
+
+  const os::Pid cold_pid = exec_process();
+  ManagedRuntime cold = ManagedRuntime::attach_restored(
+      kernel_, cold_pid, exp::testbed_runtime(), spec, sim::Rng{3},
+      /*warmed=*/false, assets_);
+  const sim::TimePoint t0 = sim_.now();
+  (void)cold.handle(funcs::Request{});
+  const double cold_first = (sim_.now() - t0).to_millis();
+
+  const os::Pid warm_pid = exec_process();
+  ManagedRuntime warm = ManagedRuntime::attach_restored(
+      kernel_, warm_pid, exp::testbed_runtime(), spec, sim::Rng{3},
+      /*warmed=*/true, assets_);
+  const sim::TimePoint t1 = sim_.now();
+  (void)warm.handle(funcs::Request{});
+  const double warm_first = (sim_.now() - t1).to_millis();
+
+  // The PB-Warmup snapshot already contains loaded + JITed code.
+  EXPECT_GT(cold_first, warm_first * 10);
+}
+
+TEST_F(RuntimeTest, RestoredColdPathCheaperThanVanillaColdPath) {
+  const FunctionSpec spec = spec_with_classes();
+
+  const os::Pid vanilla_pid = exec_process();
+  ManagedRuntime vanilla = fresh_runtime(spec, vanilla_pid);
+  vanilla.bootstrap();
+  vanilla.app_init(assets_);
+  const sim::TimePoint t0 = sim_.now();
+  (void)vanilla.handle(funcs::Request{});
+  const double vanilla_first = (sim_.now() - t0).to_millis();
+
+  const os::Pid restored_pid = exec_process();
+  ManagedRuntime restored = ManagedRuntime::attach_restored(
+      kernel_, restored_pid, exp::testbed_runtime(), spec, sim::Rng{3},
+      /*warmed=*/false, assets_);
+  const sim::TimePoint t1 = sim_.now();
+  (void)restored.handle(funcs::Request{});
+  const double restored_first = (sim_.now() - t1).to_millis();
+
+  // Post-restore lazy loading uses the warm path (Table 1: PB-NOWarmup is
+  // consistently below Vanilla).
+  EXPECT_LT(restored_first, vanilla_first);
+}
+
+TEST_F(RuntimeTest, WarmupFlagCountsAsServedRequest) {
+  const FunctionSpec spec = spec_with_classes();
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = ManagedRuntime::attach_restored(
+      kernel_, pid, exp::testbed_runtime(), spec, sim::Rng{3},
+      /*warmed=*/true, assets_);
+  EXPECT_TRUE(rt.warmed());
+  EXPECT_GE(rt.requests_served(), 1);
+}
+
+TEST_F(RuntimeTest, InitIoChargesFilesystemRead) {
+  FunctionSpec spec = spec_with_classes();
+  spec.init_io_path = "/registry/fn/photo.bin";
+  spec.init_io_bytes = 1024 * 1024;
+  kernel_.fs().create(spec.init_io_path, spec.init_io_bytes);
+
+  const os::Pid pid = exec_process();
+  ManagedRuntime rt = fresh_runtime(spec, pid);
+  rt.bootstrap();
+  rt.app_init(assets_);
+  EXPECT_TRUE(kernel_.fs().is_cached(spec.init_io_path));
+}
+
+TEST_F(RuntimeTest, ExtraResidentGrowsSnapshotFootprint) {
+  FunctionSpec lean = spec_with_classes();
+  FunctionSpec fat = spec_with_classes();
+  fat.init_extra_resident = 64ull * 1024 * 1024;
+
+  const os::Pid lean_pid = exec_process();
+  ManagedRuntime lean_rt = fresh_runtime(lean, lean_pid);
+  lean_rt.bootstrap();
+  lean_rt.app_init(assets_);
+
+  const os::Pid fat_pid = exec_process();
+  ManagedRuntime fat_rt = fresh_runtime(fat, fat_pid);
+  fat_rt.bootstrap();
+  fat_rt.app_init(assets_);
+
+  EXPECT_GE(kernel_.process(fat_pid).mm().resident_bytes(),
+            kernel_.process(lean_pid).mm().resident_bytes() +
+                64ull * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace prebake::rt

@@ -1,0 +1,90 @@
+// Cross-runtime profiles (the Section 7 future-work extension).
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+#include "exp/scenario.hpp"
+#include "stats/descriptive.hpp"
+
+namespace prebake::exp {
+namespace {
+
+double median_ms(RuntimeKind kind, int code_mb, Technique tech) {
+  ScenarioConfig cfg;
+  cfg.spec = cross_runtime_spec(kind, code_mb);
+  cfg.runtime = runtime_profile(kind);
+  cfg.technique = tech;
+  cfg.repetitions = 10;
+  cfg.measure_first_response = true;
+  cfg.seed = 3;
+  return stats::median(run_startup_scenario(cfg).startup_ms);
+}
+
+TEST(RuntimeProfiles, NamesResolve) {
+  EXPECT_STREQ(runtime_kind_name(RuntimeKind::kJava8), "java8");
+  EXPECT_STREQ(runtime_kind_name(RuntimeKind::kNode12), "node12");
+  EXPECT_STREQ(runtime_kind_name(RuntimeKind::kPython3), "python3");
+}
+
+TEST(RuntimeProfiles, JavaProfileIsTheTestbed) {
+  const rt::RuntimeCosts java = runtime_profile(RuntimeKind::kJava8);
+  const rt::RuntimeCosts testbed = testbed_runtime();
+  EXPECT_EQ(java.bootstrap.nanos_count(), testbed.bootstrap.nanos_count());
+  EXPECT_EQ(java.jit_per_mib.nanos_count(), testbed.jit_per_mib.nanos_count());
+}
+
+TEST(RuntimeProfiles, BootstrapOrdering) {
+  // JVM > V8 > CPython bootstrap (the paper measured ~70 ms for Java 8).
+  EXPECT_GT(runtime_profile(RuntimeKind::kJava8).bootstrap,
+            runtime_profile(RuntimeKind::kNode12).bootstrap);
+  EXPECT_GT(runtime_profile(RuntimeKind::kNode12).bootstrap,
+            runtime_profile(RuntimeKind::kPython3).bootstrap);
+}
+
+TEST(RuntimeProfiles, PythonHasNoJit) {
+  const rt::RuntimeCosts py = runtime_profile(RuntimeKind::kPython3);
+  EXPECT_EQ(py.jit_per_mib.nanos_count(), 0);
+  EXPECT_EQ(py.code_cache_factor, 0.0);
+}
+
+TEST(RuntimeProfiles, CrossRuntimeSpecBinaries) {
+  EXPECT_EQ(cross_runtime_spec(RuntimeKind::kJava8, 3).runtime_binary,
+            "/opt/jvm/bin/java");
+  EXPECT_EQ(cross_runtime_spec(RuntimeKind::kNode12, 3).runtime_binary,
+            "/usr/bin/node");
+  EXPECT_EQ(cross_runtime_spec(RuntimeKind::kPython3, 3).runtime_binary,
+            "/usr/bin/python3");
+}
+
+TEST(RuntimeProfiles, PrebakeWinsOnEveryRuntime) {
+  for (const RuntimeKind kind :
+       {RuntimeKind::kJava8, RuntimeKind::kNode12, RuntimeKind::kPython3}) {
+    const double vanilla = median_ms(kind, 3, Technique::kVanilla);
+    const double nowarm = median_ms(kind, 3, Technique::kPrebakeNoWarmup);
+    const double warm = median_ms(kind, 3, Technique::kPrebakeWarmup);
+    EXPECT_LT(nowarm, vanilla) << runtime_kind_name(kind);
+    EXPECT_LT(warm, nowarm) << runtime_kind_name(kind);
+  }
+}
+
+TEST(RuntimeProfiles, JvmGainsMostFromWarmup) {
+  // The JVM pays bootstrap + lazy load + JIT; CPython only the first two.
+  const double java_ratio = median_ms(RuntimeKind::kJava8, 8, Technique::kVanilla) /
+                            median_ms(RuntimeKind::kJava8, 8, Technique::kPrebakeWarmup);
+  const double py_ratio = median_ms(RuntimeKind::kPython3, 8, Technique::kVanilla) /
+                          median_ms(RuntimeKind::kPython3, 8, Technique::kPrebakeWarmup);
+  EXPECT_GT(java_ratio, py_ratio);
+}
+
+TEST(RuntimeProfiles, PythonReplicaRunsWithoutCodeCache) {
+  // No zero-length mappings, no JIT cost, and requests still work.
+  ScenarioConfig cfg;
+  cfg.spec = cross_runtime_spec(RuntimeKind::kPython3, 2);
+  cfg.runtime = runtime_profile(RuntimeKind::kPython3);
+  cfg.technique = Technique::kPrebakeWarmup;
+  cfg.repetitions = 3;
+  cfg.measure_first_response = true;
+  EXPECT_NO_THROW(run_startup_scenario(cfg));
+}
+
+}  // namespace
+}  // namespace prebake::exp

@@ -1,0 +1,117 @@
+#include "stats/shapiro_wilk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stats/normal.hpp"
+
+namespace prebake::stats {
+namespace {
+
+std::vector<double> normal_sample(int n, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = rng.normal(50.0, 4.0);
+  return xs;
+}
+
+TEST(ShapiroWilk, AcceptsNormalSample) {
+  const auto xs = normal_sample(200, 7);
+  const auto res = shapiro_wilk(xs);
+  EXPECT_GT(res.w, 0.98);
+  EXPECT_GT(res.p_value, 0.05);
+}
+
+TEST(ShapiroWilk, RejectsExponentialSample) {
+  sim::Rng rng{11};
+  std::vector<double> xs(200);
+  for (double& x : xs) x = rng.exponential(3.0);
+  const auto res = shapiro_wilk(xs);
+  EXPECT_LT(res.w, 0.95);
+  EXPECT_LT(res.p_value, 0.001);
+}
+
+TEST(ShapiroWilk, RejectsUniformSampleAtLargeN) {
+  sim::Rng rng{12};
+  std::vector<double> xs(500);
+  for (double& x : xs) x = rng.uniform();
+  EXPECT_LT(shapiro_wilk(xs).p_value, 0.01);
+}
+
+TEST(ShapiroWilk, RejectsBimodalSample) {
+  sim::Rng rng{13};
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(12.0, 1.0));
+  EXPECT_LT(shapiro_wilk(xs).p_value, 1e-6);
+}
+
+TEST(ShapiroWilk, RejectsLognormalStartupLikeSample) {
+  // Start-up latencies are right-skewed — the paper's motivation for using
+  // the non-parametric Wilcoxon-Mann-Whitney test.
+  sim::Rng rng{14};
+  std::vector<double> xs(200);
+  for (double& x : xs) x = rng.lognormal_median(100.0, 0.5);
+  EXPECT_LT(shapiro_wilk(xs).p_value, 0.001);
+}
+
+TEST(ShapiroWilk, WIsNearOneForPerfectlyNormalQuantiles) {
+  // Deterministic "ideal" normal sample: the quantile function evaluated on
+  // an equally spaced grid, i.e. exactly normal-shaped data.
+  std::vector<double> xs;
+  const int n = 99;
+  for (int i = 1; i <= n; ++i)
+    xs.push_back(50.0 +
+                 4.0 * normal_quantile(static_cast<double>(i) / (n + 1)));
+  const auto res = shapiro_wilk(xs);
+  EXPECT_GT(res.w, 0.995);
+  EXPECT_GT(res.p_value, 0.5);
+}
+
+TEST(ShapiroWilk, SmallSampleN3) {
+  const auto res = shapiro_wilk(std::vector<double>{1.0, 2.0, 3.1});
+  EXPECT_GT(res.w, 0.9);
+  EXPECT_GE(res.p_value, 0.0);
+  EXPECT_LE(res.p_value, 1.0);
+}
+
+TEST(ShapiroWilk, SmallSampleRangeN4To11) {
+  for (int n = 4; n <= 11; ++n) {
+    const auto xs = normal_sample(n, static_cast<std::uint64_t>(n));
+    const auto res = shapiro_wilk(xs);
+    EXPECT_GT(res.w, 0.5) << "n=" << n;
+    EXPECT_GE(res.p_value, 0.0) << "n=" << n;
+    EXPECT_LE(res.p_value, 1.0) << "n=" << n;
+  }
+}
+
+TEST(ShapiroWilk, WStaysInUnitInterval) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto res = shapiro_wilk(normal_sample(50, seed));
+    EXPECT_GT(res.w, 0.0);
+    EXPECT_LE(res.w, 1.0);
+  }
+}
+
+TEST(ShapiroWilk, TooSmallThrows) {
+  EXPECT_THROW(shapiro_wilk(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(ShapiroWilk, ConstantSampleThrows) {
+  EXPECT_THROW(shapiro_wilk(std::vector<double>(10, 3.0)),
+               std::invalid_argument);
+}
+
+TEST(ShapiroWilk, ScaleAndShiftInvariant) {
+  const auto xs = normal_sample(150, 99);
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = 1000.0 + 0.001 * xs[i];
+  EXPECT_NEAR(shapiro_wilk(xs).w, shapiro_wilk(ys).w, 1e-9);
+}
+
+}  // namespace
+}  // namespace prebake::stats

@@ -1,0 +1,147 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prebake::sim {
+namespace {
+
+TEST(Simulation, StartsAtOrigin) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+TEST(Simulation, AdvanceMovesClock) {
+  Simulation sim;
+  sim.advance(Duration::millis(5));
+  EXPECT_EQ(sim.now().to_millis(), 5.0);
+}
+
+TEST(Simulation, AdvanceIgnoresNegative) {
+  Simulation sim;
+  sim.advance(Duration::millis(5));
+  sim.advance(Duration::millis(-3));
+  EXPECT_EQ(sim.now().to_millis(), 5.0);
+}
+
+TEST(Simulation, EventFiresAtScheduledTime) {
+  Simulation sim;
+  TimePoint fired;
+  sim.schedule_in(Duration::millis(10), [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired.to_millis(), 10.0);
+  EXPECT_EQ(sim.now().to_millis(), 10.0);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_in(Duration::millis(20), [&] { order.push_back(2); });
+  sim.schedule_in(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_in(Duration::millis(30), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, TiesFireInFifoOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_in(Duration::millis(10), [&, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_in(Duration::millis(1), chain);
+  };
+  sim.schedule_in(Duration::millis(1), chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now().to_millis(), 5.0);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.advance(Duration::millis(10));
+  EXPECT_THROW(sim.schedule_at(TimePoint::origin() + Duration::millis(5), [] {}),
+               std::logic_error);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_in(Duration::millis(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelUnknownReturnsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulation, CancelAfterFireReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_in(Duration::millis(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, StepExecutesExactlyOne) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_in(Duration::millis(1), [&] { ++count; });
+  sim.schedule_in(Duration::millis(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_in(Duration::millis(5), [&] { fired.push_back(5); });
+  sim.schedule_in(Duration::millis(10), [&] { fired.push_back(10); });
+  sim.schedule_in(Duration::millis(15), [&] { fired.push_back(15); });
+  sim.run_until(TimePoint::origin() + Duration::millis(10));
+  EXPECT_EQ(fired, (std::vector<int>{5, 10}));
+  EXPECT_EQ(sim.now().to_millis(), 10.0);
+  sim.run();
+  EXPECT_EQ(fired.back(), 15);
+}
+
+TEST(Simulation, PendingEventsCount) {
+  Simulation sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  const EventId a = sim.schedule_in(Duration::millis(1), [] {});
+  sim.schedule_in(Duration::millis(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, AdvanceInsideEventMovesClockForward) {
+  Simulation sim;
+  sim.schedule_in(Duration::millis(5), [&] { sim.advance(Duration::millis(3)); });
+  sim.schedule_in(Duration::millis(6), [&] {
+    // Fires after the previous event's busy time.
+    EXPECT_GE(sim.now().to_millis(), 8.0);
+  });
+  sim.run();
+  EXPECT_EQ(sim.now().to_millis(), 8.0);
+}
+
+}  // namespace
+}  // namespace prebake::sim

@@ -1,0 +1,193 @@
+// StartupService: the Vanilla vs Prebaked start paths and their breakdowns.
+#include "core/startup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prebaker.hpp"
+#include "exp/calibration.hpp"
+#include "faas/builder.hpp"
+
+namespace prebake::core {
+namespace {
+
+class StartupTest : public ::testing::Test {
+ protected:
+  StartupTest()
+      : kernel_{sim_, exp::testbed_costs()},
+        startup_{kernel_, exp::testbed_runtime(), assets_},
+        builder_{kernel_, startup_} {}
+
+  rt::FunctionSpec build(const rt::FunctionSpec& spec) {
+    return builder_.build(spec, std::nullopt, sim::Rng{1}).spec;
+  }
+
+  BakedSnapshot bake(const rt::FunctionSpec& spec, SnapshotPolicy policy) {
+    PrebakeConfig cfg;
+    cfg.policy = policy;
+    faas::BuildResult built =
+        builder_.build(spec, cfg, sim::Rng{2});
+    baked_spec_ = built.spec;
+    return std::move(*built.snapshot);
+  }
+
+  sim::Simulation sim_;
+  os::Kernel kernel_;
+  funcs::SharedAssets assets_;
+  StartupService startup_;
+  faas::FunctionBuilder builder_;
+  rt::FunctionSpec baked_spec_;
+};
+
+TEST_F(StartupTest, VanillaBreakdownHasAllPhases) {
+  const rt::FunctionSpec spec = build(exp::noop_spec());
+  ReplicaProcess rep = startup_.start_vanilla(spec, sim::Rng{3});
+  const StartupBreakdown& b = rep.breakdown;
+  EXPECT_GT(b.clone_time.to_millis(), 0.0);
+  EXPECT_GT(b.exec_time.to_millis(), 0.0);
+  EXPECT_GT(b.rts_time.to_millis(), 50.0);
+  EXPECT_GT(b.appinit_time.to_millis(), 0.0);
+  EXPECT_EQ(b.restore_time.to_millis(), 0.0);
+  EXPECT_NEAR(b.total.to_millis(),
+              (b.clone_time + b.exec_time + b.rts_time + b.appinit_time)
+                  .to_millis(),
+              1e-6);
+}
+
+TEST_F(StartupTest, CloneAndExecAreTinyFraction) {
+  // Figure 4: "CLONE and EXEC phases contribute with a tiny fraction."
+  const rt::FunctionSpec spec = build(exp::noop_spec());
+  ReplicaProcess rep = startup_.start_vanilla(spec, sim::Rng{3});
+  const double tiny =
+      (rep.breakdown.clone_time + rep.breakdown.exec_time).to_millis();
+  // First-ever exec reads the binary cold from disk, so allow a little
+  // more than the warmed steady state measured in Figure 4.
+  EXPECT_LT(tiny / rep.breakdown.total.to_millis(), 0.10);
+}
+
+TEST_F(StartupTest, VanillaReplicaServesRequests) {
+  const rt::FunctionSpec spec = build(exp::markdown_spec());
+  ReplicaProcess rep = startup_.start_vanilla(spec, sim::Rng{3});
+  const funcs::Response res =
+      rep.runtime->handle(funcs::sample_request("markdown"));
+  EXPECT_TRUE(res.ok());
+  EXPECT_NE(res.body.find("<h1>"), std::string::npos);
+}
+
+TEST_F(StartupTest, PrebakedBreakdownHasZeroRts) {
+  const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::no_warmup());
+  ReplicaProcess rep = startup_.start_prebaked(baked_spec_, snap.images,
+                                               snap.fs_prefix, sim::Rng{4});
+  // "Prebaking brings the RTS down to 0 ms."
+  EXPECT_EQ(rep.breakdown.rts_time.to_millis(), 0.0);
+  EXPECT_EQ(rep.breakdown.clone_time.to_millis(), 0.0);
+  EXPECT_EQ(rep.breakdown.exec_time.to_millis(), 0.0);
+  EXPECT_GT(rep.breakdown.restore_time.to_millis(), 0.0);
+  EXPECT_GT(rep.breakdown.appinit_stacked().to_millis(), 0.0);
+}
+
+TEST_F(StartupTest, PrebakedFasterThanVanilla) {
+  const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::no_warmup());
+  ReplicaProcess vanilla = startup_.start_vanilla(baked_spec_, sim::Rng{5});
+  ReplicaProcess prebaked = startup_.start_prebaked(
+      baked_spec_, snap.images, snap.fs_prefix, sim::Rng{5});
+  EXPECT_LT(prebaked.breakdown.total.to_millis(),
+            vanilla.breakdown.total.to_millis());
+}
+
+TEST_F(StartupTest, PrebakedReplicaServesIdenticalResponses) {
+  const BakedSnapshot snap =
+      bake(exp::markdown_spec(), SnapshotPolicy::no_warmup());
+  ReplicaProcess vanilla = startup_.start_vanilla(baked_spec_, sim::Rng{6});
+  ReplicaProcess prebaked = startup_.start_prebaked(
+      baked_spec_, snap.images, snap.fs_prefix, sim::Rng{6});
+  const funcs::Request req = funcs::sample_request("markdown");
+  EXPECT_EQ(vanilla.runtime->handle(req).body, prebaked.runtime->handle(req).body);
+}
+
+TEST_F(StartupTest, WarmSnapshotKnowsItsWarm) {
+  const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::warmup(1));
+  ReplicaProcess rep = startup_.start_prebaked(baked_spec_, snap.images,
+                                               snap.fs_prefix, sim::Rng{7});
+  EXPECT_TRUE(rep.runtime->warmed());
+}
+
+TEST_F(StartupTest, NoWarmupSnapshotIsNotWarm) {
+  const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::no_warmup());
+  ReplicaProcess rep = startup_.start_prebaked(baked_spec_, snap.images,
+                                               snap.fs_prefix, sim::Rng{7});
+  EXPECT_FALSE(rep.runtime->warmed());
+}
+
+TEST_F(StartupTest, ReclaimKillsProcess) {
+  const rt::FunctionSpec spec = build(exp::noop_spec());
+  ReplicaProcess rep = startup_.start_vanilla(spec, sim::Rng{8});
+  const os::Pid pid = rep.pid;
+  startup_.reclaim(rep);
+  EXPECT_EQ(rep.pid, os::kNoPid);
+  EXPECT_FALSE(kernel_.alive(pid));
+  // Idempotent.
+  startup_.reclaim(rep);
+}
+
+TEST_F(StartupTest, ZygoteForkSkipsExecAndBootstrap) {
+  const rt::FunctionSpec spec = build(exp::noop_spec());
+  ReplicaProcess rep = startup_.start_zygote_fork(spec, sim::Rng{9});
+  EXPECT_GT(rep.breakdown.clone_time.to_millis(), 0.0);
+  EXPECT_EQ(rep.breakdown.exec_time.to_millis(), 0.0);
+  EXPECT_EQ(rep.breakdown.rts_time.to_millis(), 0.0);
+  EXPECT_GT(rep.breakdown.appinit_time.to_millis(), 0.0);
+  // Replica serves real requests.
+  EXPECT_TRUE(rep.runtime->handle(funcs::Request{}).ok());
+  startup_.reclaim(rep);
+}
+
+TEST_F(StartupTest, ZygoteForkFasterThanVanillaByAboutBootstrap) {
+  const rt::FunctionSpec spec = build(exp::noop_spec());
+  ReplicaProcess zygote = startup_.start_zygote_fork(spec, sim::Rng{9});
+  ReplicaProcess vanilla = startup_.start_vanilla(spec, sim::Rng{9});
+  const double saved =
+      vanilla.breakdown.total.to_millis() - zygote.breakdown.total.to_millis();
+  EXPECT_NEAR(saved, 71.0, 10.0);  // exec + ~70 ms RTS, minus fork fixups
+}
+
+TEST_F(StartupTest, ZygoteIsReusedAcrossForks) {
+  const rt::FunctionSpec spec = build(exp::noop_spec());
+  const std::size_t before = kernel_.process_count();
+  ReplicaProcess a = startup_.start_zygote_fork(spec, sim::Rng{1});
+  // First fork creates the zygote (+1) and the replica (+1).
+  EXPECT_EQ(kernel_.process_count(), before + 2);
+  ReplicaProcess b = startup_.start_zygote_fork(spec, sim::Rng{2});
+  // Second fork reuses the zygote.
+  EXPECT_EQ(kernel_.process_count(), before + 3);
+  startup_.reclaim(a);
+  startup_.reclaim(b);
+}
+
+TEST_F(StartupTest, ZygoteChildHasRuntimeThreadsAndCowMemory) {
+  const rt::FunctionSpec spec = build(exp::noop_spec());
+  ReplicaProcess rep = startup_.start_zygote_fork(spec, sim::Rng{9});
+  const os::Process& child = kernel_.process(rep.pid);
+  EXPECT_EQ(child.threads().size(), 5u);  // main + restarted services
+  // COW: the booted heap is already resident in the child.
+  bool heap_found = false;
+  for (const os::Vma& vma : child.mm().vmas())
+    if (vma.name == "[jvm-heap]" && vma.resident_pages() > 0) heap_found = true;
+  EXPECT_TRUE(heap_found);
+}
+
+TEST_F(StartupTest, ManyReplicasFromOneSnapshot) {
+  const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::no_warmup());
+  std::vector<ReplicaProcess> reps;
+  for (int i = 0; i < 5; ++i)
+    reps.push_back(startup_.start_prebaked(baked_spec_, snap.images,
+                                           snap.fs_prefix,
+                                           sim::Rng{static_cast<std::uint64_t>(i)}));
+  for (auto& rep : reps) {
+    EXPECT_TRUE(kernel_.alive(rep.pid));
+    EXPECT_TRUE(rep.runtime->handle(funcs::Request{}).ok());
+  }
+  for (auto& rep : reps) startup_.reclaim(rep);
+}
+
+}  // namespace
+}  // namespace prebake::core

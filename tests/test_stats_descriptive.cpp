@@ -1,0 +1,92 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prebake::stats {
+namespace {
+
+const std::vector<double> kSample{4.0, 1.0, 3.0, 2.0, 5.0};
+
+TEST(Descriptive, Mean) { EXPECT_DOUBLE_EQ(mean(kSample), 3.0); }
+
+TEST(Descriptive, MeanEmptyThrows) {
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, Variance) {
+  EXPECT_DOUBLE_EQ(variance(kSample), 2.5);  // sample variance of 1..5
+}
+
+TEST(Descriptive, VarianceNeedsTwo) {
+  EXPECT_THROW(variance(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Descriptive, Stddev) {
+  EXPECT_NEAR(stddev(kSample), 1.5811388, 1e-6);
+}
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min(kSample), 1.0);
+  EXPECT_DOUBLE_EQ(max(kSample), 5.0);
+}
+
+TEST(Descriptive, MedianOdd) { EXPECT_DOUBLE_EQ(median(kSample), 3.0); }
+
+TEST(Descriptive, MedianEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Descriptive, MedianSingleton) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Descriptive, PercentileEndpoints) {
+  EXPECT_DOUBLE_EQ(percentile(kSample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 1.0), 5.0);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  // Type-7: p25 of {1,2,3,4,5} = 2.0, p10 = 1.4.
+  EXPECT_DOUBLE_EQ(percentile(kSample, 0.25), 2.0);
+  EXPECT_NEAR(percentile(kSample, 0.10), 1.4, 1e-12);
+}
+
+TEST(Descriptive, PercentileRejectsBadQ) {
+  EXPECT_THROW(percentile(kSample, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile(kSample, 1.1), std::invalid_argument);
+}
+
+TEST(Descriptive, SortedDoesNotMutate) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  const auto s = sorted(v);
+  EXPECT_EQ(s, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(v, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Descriptive, SummaryFields) {
+  const Summary s = summarize(kSample);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_GT(s.p95, s.p75);
+}
+
+TEST(Descriptive, SummaryEmptyIsZero) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Descriptive, SummarySingleton) {
+  const Summary s = summarize(std::vector<double>{2.5});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace prebake::stats

@@ -1,0 +1,57 @@
+#include "stats/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prebake::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-10);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+}
+
+TEST(NormalCdf, Tails) {
+  EXPECT_LT(normal_cdf(-8.0), 1e-14);
+  EXPECT_GT(normal_cdf(8.0), 1.0 - 1e-14);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-8);
+}
+
+TEST(NormalQuantile, RoundTripWithCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, ExtremeTails) {
+  EXPECT_NEAR(normal_quantile(1e-10), -6.3613409, 1e-4);
+  EXPECT_NEAR(normal_quantile(1.0 - 1e-10), 6.3613409, 1e-4);
+}
+
+TEST(NormalQuantile, BoundaryBehaviour) {
+  EXPECT_EQ(normal_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_quantile(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_THROW(normal_quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.1), std::invalid_argument);
+}
+
+TEST(NormalQuantile, Monotone) {
+  double prev = normal_quantile(0.01);
+  for (double p = 0.02; p < 1.0; p += 0.01) {
+    const double q = normal_quantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace prebake::stats

@@ -1,0 +1,108 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prebake::sim {
+namespace {
+
+TEST(Duration, DefaultIsZero) {
+  EXPECT_EQ(Duration{}.nanos_count(), 0);
+}
+
+TEST(Duration, FactoryUnits) {
+  EXPECT_EQ(Duration::nanos(5).nanos_count(), 5);
+  EXPECT_EQ(Duration::micros(5).nanos_count(), 5'000);
+  EXPECT_EQ(Duration::millis(5).nanos_count(), 5'000'000);
+  EXPECT_EQ(Duration::seconds(5).nanos_count(), 5'000'000'000);
+}
+
+TEST(Duration, FractionalFactories) {
+  EXPECT_EQ(Duration::micros_f(1.5).nanos_count(), 1'500);
+  EXPECT_EQ(Duration::millis_f(0.25).nanos_count(), 250'000);
+  EXPECT_EQ(Duration::seconds_f(0.001).nanos_count(), 1'000'000);
+}
+
+TEST(Duration, FractionalRoundsToNearest) {
+  EXPECT_EQ(Duration::micros_f(0.0004).nanos_count(), 0);
+  EXPECT_EQ(Duration::micros_f(0.0006).nanos_count(), 1);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(3);
+  const Duration b = Duration::millis(1);
+  EXPECT_EQ((a + b).to_millis(), 4.0);
+  EXPECT_EQ((a - b).to_millis(), 2.0);
+  EXPECT_EQ((-a).to_millis(), -3.0);
+}
+
+TEST(Duration, ScalarMultiply) {
+  const Duration a = Duration::millis(10);
+  EXPECT_DOUBLE_EQ((a * 2.5).to_millis(), 25.0);
+  EXPECT_DOUBLE_EQ((2.5 * a).to_millis(), 25.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).to_millis(), 5.0);
+}
+
+TEST(Duration, RatioOfDurations) {
+  EXPECT_DOUBLE_EQ(Duration::millis(10) / Duration::millis(4), 2.5);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::millis(1);
+  d += Duration::millis(2);
+  EXPECT_EQ(d.to_millis(), 3.0);
+  d -= Duration::millis(1);
+  EXPECT_EQ(d.to_millis(), 2.0);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GE(Duration::micros(1000), Duration::millis(1));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+}
+
+TEST(Duration, UnitConversions) {
+  const Duration d = Duration::micros(1500);
+  EXPECT_DOUBLE_EQ(d.to_micros(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.to_millis(), 1.5);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 0.0015);
+}
+
+TEST(Duration, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::nanos(12).to_string(), "12ns");
+  EXPECT_EQ(Duration::micros(12).to_string(), "12.00us");
+  EXPECT_EQ(Duration::millis(12).to_string(), "12.00ms");
+  EXPECT_EQ(Duration::seconds(12).to_string(), "12.000s");
+}
+
+TEST(TimePoint, OriginIsZero) {
+  EXPECT_EQ(TimePoint::origin().nanos_since_origin(), 0);
+}
+
+TEST(TimePoint, PlusDuration) {
+  const TimePoint t = TimePoint::origin() + Duration::millis(5);
+  EXPECT_EQ(t.to_millis(), 5.0);
+  EXPECT_EQ((t - Duration::millis(2)).to_millis(), 3.0);
+}
+
+TEST(TimePoint, DifferenceIsDuration) {
+  const TimePoint a = TimePoint::origin() + Duration::millis(8);
+  const TimePoint b = TimePoint::origin() + Duration::millis(3);
+  EXPECT_EQ((a - b).to_millis(), 5.0);
+  EXPECT_EQ((b - a).to_millis(), -5.0);
+}
+
+TEST(TimePoint, Comparisons) {
+  const TimePoint a = TimePoint::origin() + Duration::millis(1);
+  const TimePoint b = TimePoint::origin() + Duration::millis(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, TimePoint::from_nanos(1'000'000));
+}
+
+TEST(TimePoint, CompoundAdd) {
+  TimePoint t = TimePoint::origin();
+  t += Duration::seconds(1);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace prebake::sim

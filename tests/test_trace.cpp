@@ -1,0 +1,132 @@
+#include "faas/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+
+namespace prebake::faas {
+namespace {
+
+TEST(TraceCsv, ParseBasic) {
+  const auto events = parse_trace_csv("0,noop\n12.5,markdown\n3,noop\n");
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by offset.
+  EXPECT_EQ(events[0].at.to_millis(), 0.0);
+  EXPECT_EQ(events[1].at.to_millis(), 3.0);
+  EXPECT_EQ(events[2].at.to_millis(), 12.5);
+  EXPECT_EQ(events[2].function, "markdown");
+}
+
+TEST(TraceCsv, CommentsAndBlanksIgnored) {
+  const auto events =
+      parse_trace_csv("# header\n\n  \n5,fn # trailing comment\r\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].function, "fn");
+}
+
+TEST(TraceCsv, WhitespaceAroundNameTrimmed) {
+  const auto events = parse_trace_csv("1,  spaced-name \n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].function, "spaced-name");
+}
+
+TEST(TraceCsv, MalformedLinesThrowWithLineNumber) {
+  try {
+    parse_trace_csv("0,ok\nnocomma\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_trace_csv("abc,fn\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace_csv("-5,fn\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace_csv("5,\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace_csv("5x,fn\n"), std::invalid_argument);
+}
+
+TEST(TraceCsv, FormatParseRoundTrip) {
+  std::vector<TraceEvent> events{
+      {sim::Duration::millis_f(0.25), "a"},
+      {sim::Duration::millis(100), "b"},
+      {sim::Duration::seconds(2), "a"},
+  };
+  const auto back = parse_trace_csv(format_trace_csv(events));
+  EXPECT_EQ(back, events);
+}
+
+TEST(TraceGen, PoissonCountNearExpectation) {
+  const auto events =
+      generate_poisson_trace("fn", 50.0, sim::Duration::seconds(20), 7);
+  // Expect ~1000 events; 4 sigma ~ 126.
+  EXPECT_GT(events.size(), 870u);
+  EXPECT_LT(events.size(), 1130u);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].at, events[i - 1].at);
+}
+
+TEST(TraceGen, PoissonDeterministicPerSeed) {
+  const auto a = generate_poisson_trace("fn", 5, sim::Duration::seconds(10), 3);
+  const auto b = generate_poisson_trace("fn", 5, sim::Duration::seconds(10), 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceGen, PoissonValidation) {
+  EXPECT_THROW(generate_poisson_trace("fn", 0.0, sim::Duration::seconds(1), 1),
+               std::invalid_argument);
+}
+
+TEST(TraceGen, DiurnalPeaksWherePhaseSaysSo) {
+  // Period 100 s, trough at t=0, peak at t=50 s.
+  const auto events = generate_diurnal_trace(
+      "fn", 1.0, 60.0, sim::Duration::seconds(100), sim::Duration::seconds(100),
+      11);
+  std::size_t trough = 0, peak = 0;
+  for (const TraceEvent& e : events) {
+    const double s = e.at.to_seconds();
+    if (s < 20.0 || s > 80.0) ++trough;
+    if (s >= 30.0 && s <= 70.0) ++peak;
+  }
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(TraceGen, DiurnalValidation) {
+  EXPECT_THROW(generate_diurnal_trace("fn", 5.0, 1.0, sim::Duration::seconds(1),
+                                      sim::Duration::seconds(1), 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_diurnal_trace("fn", 1.0, 2.0, sim::Duration{},
+                                      sim::Duration::seconds(1), 1),
+               std::invalid_argument);
+}
+
+TEST(TraceReplay, RunsAgainstPlatform) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  Platform platform{kernel, exp::testbed_runtime(), PlatformConfig{}, 17};
+  platform.resources().add_node("n", 8ull << 30);
+  platform.deploy(exp::noop_spec(), StartMode::kVanilla);
+  platform.deploy(exp::markdown_spec(), StartMode::kVanilla);
+
+  // Spacing wider than a cold start, so each function needs exactly one
+  // replica (tighter spacing would legitimately scale out mid-start-up).
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 10; ++i)
+    events.push_back({sim::Duration::millis(500 * i),
+                      i % 2 == 0 ? "noop" : "markdown-render"});
+  const TraceReplayResult result = replay_trace(platform, events);
+  EXPECT_EQ(result.responses_ok, 10u);
+  EXPECT_EQ(result.responses_rejected, 0u);
+  EXPECT_EQ(result.metrics.size(), 10u);
+  // Two functions, two cold starts.
+  EXPECT_EQ(platform.stats().cold_starts, 2u);
+}
+
+TEST(TraceReplay, UndeployedFunctionRejectedUpFront) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  Platform platform{kernel, exp::testbed_runtime(), PlatformConfig{}, 18};
+  platform.resources().add_node("n", 8ull << 30);
+  const std::vector<TraceEvent> events{{sim::Duration::millis(1), "ghost"}};
+  EXPECT_THROW(replay_trace(platform, events), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prebake::faas

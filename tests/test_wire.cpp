@@ -1,0 +1,102 @@
+#include "criu/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "criu/crc32.hpp"
+
+namespace prebake::criu {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (standard CRC-32 check value).
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  // Empty input -> 0.
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, SeedChaining) {
+  const std::uint8_t a[] = {'a', 'b'};
+  const std::uint8_t b[] = {'c', 'd'};
+  const std::uint8_t all[] = {'a', 'b', 'c', 'd'};
+  EXPECT_EQ(crc32(b, crc32(a)), crc32(all));
+}
+
+TEST(Crc32, SensitiveToOrder) {
+  const std::uint8_t ab[] = {'a', 'b'};
+  const std::uint8_t ba[] = {'b', 'a'};
+  EXPECT_NE(crc32(ab), crc32(ba));
+}
+
+TEST(Wire, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Wire, StringRoundTrip) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string("with\0nul", 8));
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string("with\0nul", 8));
+}
+
+TEST(Wire, RawRoundTrip) {
+  Writer w;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  w.raw(payload);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.raw(5), payload);
+}
+
+TEST(Wire, ShortReadThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r{w.bytes()};
+  (void)r.u8();
+  EXPECT_THROW(r.u32(), std::runtime_error);
+}
+
+TEST(Wire, TruncatedStringThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  Reader r{w.bytes()};
+  EXPECT_THROW(r.str(), std::runtime_error);
+}
+
+TEST(Wire, RemainingCountsDown) {
+  Writer w;
+  w.u64(1);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace prebake::criu

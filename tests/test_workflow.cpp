@@ -1,0 +1,134 @@
+#include "faas/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+
+namespace prebake::faas {
+namespace {
+
+constexpr std::uint64_t GiB = 1024ull * 1024 * 1024;
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  WorkflowTest()
+      : kernel_{sim_, exp::testbed_costs()},
+        platform_{kernel_, exp::testbed_runtime(), PlatformConfig{}, 31},
+        engine_{platform_} {
+    platform_.resources().add_node("n", 8 * GiB);
+    platform_.deploy(exp::markdown_spec(), StartMode::kVanilla);
+    platform_.deploy(exp::noop_spec(), StartMode::kVanilla);
+  }
+
+  funcs::Response run_sync(const std::string& wf, funcs::Request req,
+                           WorkflowMetrics* out_metrics = nullptr) {
+    funcs::Response out;
+    bool done = false;
+    engine_.run(wf, std::move(req),
+                [&](const funcs::Response& res, const WorkflowMetrics& m) {
+                  out = res;
+                  if (out_metrics != nullptr) *out_metrics = m;
+                  done = true;
+                });
+    while (!done && sim_.step()) {
+    }
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  sim::Simulation sim_;
+  os::Kernel kernel_;
+  Platform platform_;
+  WorkflowEngine engine_;
+};
+
+TEST_F(WorkflowTest, RegisterValidatesStages) {
+  EXPECT_THROW(engine_.register_workflow({"empty", {}}), std::invalid_argument);
+  EXPECT_THROW(engine_.register_workflow({"bad", {"ghost"}}), std::out_of_range);
+  engine_.register_workflow({"ok", {"noop"}});
+  EXPECT_TRUE(engine_.has("ok"));
+  EXPECT_FALSE(engine_.has("nope"));
+  EXPECT_THROW(engine_.get("nope"), std::out_of_range);
+}
+
+TEST_F(WorkflowTest, SingleStageBehavesLikeInvoke) {
+  engine_.register_workflow({"render", {"markdown-render"}});
+  WorkflowMetrics metrics;
+  const funcs::Response res =
+      run_sync("render", funcs::sample_request("markdown"), &metrics);
+  EXPECT_TRUE(res.ok());
+  EXPECT_NE(res.body.find("<h1>"), std::string::npos);
+  EXPECT_EQ(metrics.stages.size(), 1u);
+  EXPECT_EQ(metrics.cold_starts, 1u);
+}
+
+TEST_F(WorkflowTest, DataFlowsBetweenStages) {
+  engine_.register_workflow({"render-then-ack", {"markdown-render", "noop"}});
+  WorkflowMetrics metrics;
+  const funcs::Response res =
+      run_sync("render-then-ack", funcs::sample_request("markdown"), &metrics);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.body, "OK");  // final stage is the NOOP ack
+  ASSERT_EQ(metrics.stages.size(), 2u);
+  EXPECT_EQ(metrics.stages[0].function, "markdown-render");
+  EXPECT_EQ(metrics.stages[1].function, "noop");
+  EXPECT_GE(metrics.total.nanos_count(),
+            (metrics.stages[0].total + metrics.stages[1].total).nanos_count());
+}
+
+TEST_F(WorkflowTest, FailureAbortsChain) {
+  engine_.register_workflow({"fail-fast", {"markdown-render", "noop"}});
+  WorkflowMetrics metrics;
+  funcs::Request empty;  // markdown rejects an empty body with 400
+  const funcs::Response res = run_sync("fail-fast", empty, &metrics);
+  EXPECT_EQ(res.status, 400);
+  EXPECT_EQ(metrics.stages.size(), 1u);  // noop never ran
+}
+
+TEST_F(WorkflowTest, ColdStartsCompoundAcrossStages) {
+  engine_.register_workflow({"chain", {"markdown-render", "noop"}});
+  WorkflowMetrics cold;
+  run_sync("chain", funcs::sample_request("markdown"), &cold);
+  EXPECT_EQ(cold.cold_starts, 2u);  // both stages started replicas
+
+  WorkflowMetrics warm;
+  run_sync("chain", funcs::sample_request("markdown"), &warm);
+  EXPECT_EQ(warm.cold_starts, 0u);
+  EXPECT_LT(warm.total.to_millis(), cold.total.to_millis() / 5);
+}
+
+TEST_F(WorkflowTest, SameFunctionTwiceReusesTheReplica) {
+  engine_.register_workflow({"double-render", {"markdown-render", "markdown-render"}});
+  WorkflowMetrics metrics;
+  const funcs::Response res =
+      run_sync("double-render", funcs::sample_request("markdown"), &metrics);
+  EXPECT_TRUE(res.ok());
+  // The replica is released before the chained invoke, so one replica
+  // serves both stages: exactly one cold start.
+  EXPECT_EQ(metrics.cold_starts, 1u);
+  EXPECT_EQ(platform_.replica_count("markdown-render"), 1u);
+}
+
+TEST_F(WorkflowTest, PrebakedStagesCutPipelineColdStart) {
+  rt::FunctionSpec pb = exp::markdown_spec();
+  pb.name = "md-prebaked";
+  platform_.deploy(pb, StartMode::kPrebaked, core::SnapshotPolicy::warmup(1));
+  rt::FunctionSpec pb2 = exp::noop_spec();
+  pb2.name = "noop-prebaked";
+  platform_.deploy(pb2, StartMode::kPrebaked, core::SnapshotPolicy::warmup(1));
+
+  engine_.register_workflow({"vanilla-chain", {"markdown-render", "noop"}});
+  engine_.register_workflow({"prebaked-chain", {"md-prebaked", "noop-prebaked"}});
+
+  WorkflowMetrics vanilla;
+  run_sync("vanilla-chain", funcs::sample_request("markdown"), &vanilla);
+  WorkflowMetrics prebaked;
+  run_sync("prebaked-chain", funcs::sample_request("markdown"), &prebaked);
+
+  EXPECT_EQ(vanilla.cold_starts, 2u);
+  EXPECT_EQ(prebaked.cold_starts, 2u);
+  EXPECT_LT(prebaked.total.to_millis(), vanilla.total.to_millis() * 0.75);
+}
+
+}  // namespace
+}  // namespace prebake::faas

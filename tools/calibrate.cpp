@@ -1,0 +1,64 @@
+// Developer tool: prints the emergent start-up medians for every function ×
+// technique next to the paper's targets, so cost-model constants can be
+// re-fit after substrate changes. Not part of the benchmark suite.
+#include <cstdio>
+
+#include "exp/calibration.hpp"
+#include "exp/scenario.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace prebake;
+
+namespace {
+
+void report(const char* label, const rt::FunctionSpec& spec,
+            exp::Technique tech, bool first_response, double target_ms,
+            int reps = 60) {
+  exp::ScenarioConfig cfg;
+  cfg.spec = spec;
+  cfg.technique = tech;
+  cfg.repetitions = reps;
+  cfg.measure_first_response = first_response;
+  cfg.seed = 42;
+  const exp::ScenarioResult res = exp::run_startup_scenario(cfg);
+  const double med = stats::median(res.startup_ms);
+  const auto& b = res.breakdowns.front();
+  std::printf(
+      "%-28s %-12s med=%8.2f ms  target=%8.2f ms  (clone=%.2f exec=%.2f "
+      "rts=%.2f appinit=%.2f restore=%.2f snap=%.1fMiB)\n",
+      label, exp::technique_name(tech), med, target_ms,
+      b.clone_time.to_millis(), b.exec_time.to_millis(),
+      b.rts_time.to_millis(), b.appinit_time.to_millis(),
+      b.restore_time.to_millis(),
+      static_cast<double>(res.snapshot_nominal_bytes) / (1024.0 * 1024.0));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== real functions (startup to ready) ===\n");
+  report("noop", exp::noop_spec(), exp::Technique::kVanilla, false, 103.3);
+  report("noop", exp::noop_spec(), exp::Technique::kPrebakeNoWarmup, false, 62.0);
+  report("markdown", exp::markdown_spec(), exp::Technique::kVanilla, false, 100.0);
+  report("markdown", exp::markdown_spec(), exp::Technique::kPrebakeNoWarmup, false, 53.0);
+  report("image-resizer", exp::image_resizer_spec(), exp::Technique::kVanilla, false, 310.0);
+  report("image-resizer", exp::image_resizer_spec(), exp::Technique::kPrebakeNoWarmup, false, 87.0);
+
+  std::printf("=== synthetic (startup to first response) ===\n");
+  struct Target {
+    exp::SynthSize size;
+    double vanilla, nowarm, warm;
+  };
+  const Target targets[] = {
+      {exp::SynthSize::kSmall, 219.8, 172.5, 54.4},
+      {exp::SynthSize::kMedium, 456.0, 360.9, 63.7},
+      {exp::SynthSize::kBig, 1621.0, 1340.4, 84.0},
+  };
+  for (const Target& t : targets) {
+    const rt::FunctionSpec spec = exp::synthetic_spec(t.size);
+    report(spec.name.c_str(), spec, exp::Technique::kVanilla, true, t.vanilla);
+    report(spec.name.c_str(), spec, exp::Technique::kPrebakeNoWarmup, true, t.nowarm);
+    report(spec.name.c_str(), spec, exp::Technique::kPrebakeWarmup, true, t.warm);
+  }
+  return 0;
+}

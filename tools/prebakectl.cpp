@@ -1,0 +1,277 @@
+// prebakectl — command-line front end for the experiment harness.
+//
+//   prebakectl list
+//   prebakectl startup --function markdown --technique pb-warmup
+//               [--reps N] [--seed S] [--first-response] [--csv FILE]
+//   prebakectl service --function image-resizer --technique vanilla --requests 100
+//   prebakectl bake-info --function noop [--warmup 1]
+//
+// Functions: noop | markdown | image-resizer | synthetic-{small,medium,big}
+// Techniques: vanilla | pb-nowarmup | pb-warmup
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "core/prebaker.hpp"
+#include "exp/calibration.hpp"
+#include "exp/cli.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "faas/builder.hpp"
+#include "faas/trace.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace prebake;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: prebakectl <list|startup|service|bake-info|trace> [flags]\n"
+               "  startup   --function F --technique T [--reps N] [--seed S]"
+               " [--first-response]\n"
+               "  service   --function F --technique T [--requests N]\n"
+               "  bake-info --function F [--warmup N]\n"
+               "  trace generate --out FILE [--function F] [--rate HZ]"
+               " [--duration-s S] [--diurnal] [--peak HZ] [--period-s S]\n"
+               "  trace replay --in FILE [--mode vanilla|prebaked]\n"
+               "functions:  noop markdown image-resizer synthetic-small"
+               " synthetic-medium synthetic-big\n"
+               "techniques: vanilla pb-nowarmup pb-warmup zygote\n");
+  return 2;
+}
+
+rt::FunctionSpec resolve_function(const std::string& name) {
+  if (name == "noop") return exp::noop_spec();
+  if (name == "markdown") return exp::markdown_spec();
+  if (name == "image-resizer") return exp::image_resizer_spec();
+  if (name == "synthetic-small") return exp::synthetic_spec(exp::SynthSize::kSmall);
+  if (name == "synthetic-medium") return exp::synthetic_spec(exp::SynthSize::kMedium);
+  if (name == "synthetic-big") return exp::synthetic_spec(exp::SynthSize::kBig);
+  throw std::invalid_argument{"unknown function: " + name};
+}
+
+exp::Technique resolve_technique(const std::string& name) {
+  if (name == "vanilla") return exp::Technique::kVanilla;
+  if (name == "pb-nowarmup") return exp::Technique::kPrebakeNoWarmup;
+  if (name == "pb-warmup") return exp::Technique::kPrebakeWarmup;
+  if (name == "zygote") return exp::Technique::kZygoteFork;
+  throw std::invalid_argument{"unknown technique: " + name};
+}
+
+int cmd_trace(const exp::CliArgs& args) {
+  if (args.positional().size() < 2)
+    throw std::invalid_argument{"trace: expected 'generate' or 'replay'"};
+  const std::string& sub = args.positional()[1];
+
+  if (sub == "generate") {
+    const std::string out = args.get_or("out", "trace.csv");
+    const std::string function = args.get_or("function", "markdown-render");
+    const double rate = args.get_double_or("rate", 2.0);
+    const auto duration =
+        sim::Duration::seconds_f(args.get_double_or("duration-s", 300.0));
+    const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+    std::vector<faas::TraceEvent> events;
+    if (args.has("diurnal")) {
+      events = faas::generate_diurnal_trace(
+          function, rate, args.get_double_or("peak", rate * 8),
+          sim::Duration::seconds_f(args.get_double_or("period-s", 120.0)),
+          duration, seed);
+    } else {
+      events = faas::generate_poisson_trace(function, rate, duration, seed);
+    }
+    std::ofstream file{out};
+    if (!file) throw std::runtime_error{"cannot write " + out};
+    file << faas::format_trace_csv(events);
+    std::printf("wrote %zu events to %s\n", events.size(), out.c_str());
+    return 0;
+  }
+
+  if (sub == "replay") {
+    const std::string in = args.get_or("in", "trace.csv");
+    std::ifstream file{in};
+    if (!file) throw std::runtime_error{"cannot read " + in};
+    const std::string text{std::istreambuf_iterator<char>{file}, {}};
+    const auto events = faas::parse_trace_csv(text);
+    if (events.empty()) throw std::runtime_error{"empty trace"};
+
+    sim::Simulation sim;
+    os::Kernel kernel{sim, exp::testbed_costs()};
+    faas::Platform platform{kernel, exp::testbed_runtime(),
+                            faas::PlatformConfig{}, 99};
+    platform.resources().add_node("n", 32ull << 30);
+    const bool prebaked = args.get_or("mode", "prebaked") == "prebaked";
+    // Deploy every function the trace references.
+    std::set<std::string> deployed;
+    for (const auto& e : events) {
+      if (!deployed.insert(e.function).second) continue;
+      rt::FunctionSpec spec = resolve_function(
+          e.function == "markdown-render" ? "markdown" : e.function);
+      spec.name = e.function;
+      platform.deploy(std::move(spec),
+                      prebaked ? faas::StartMode::kPrebaked
+                               : faas::StartMode::kVanilla,
+                      core::SnapshotPolicy::warmup(1));
+    }
+    const auto result = faas::replay_trace(platform, events);
+    std::vector<double> totals;
+    for (const auto& m : result.metrics) totals.push_back(m.total.to_millis());
+    std::printf("%s: %llu ok, %llu rejected, %llu cold starts\n",
+                prebaked ? "prebaked" : "vanilla",
+                static_cast<unsigned long long>(result.responses_ok),
+                static_cast<unsigned long long>(result.responses_rejected),
+                static_cast<unsigned long long>(platform.stats().cold_starts));
+    std::printf("latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+                stats::percentile(totals, 0.5), stats::percentile(totals, 0.95),
+                stats::percentile(totals, 0.99), stats::max(totals));
+    return 0;
+  }
+  throw std::invalid_argument{"trace: unknown subcommand " + sub};
+}
+
+int cmd_list() {
+  std::printf("functions:\n");
+  for (const char* f : {"noop", "markdown", "image-resizer", "synthetic-small",
+                        "synthetic-medium", "synthetic-big"}) {
+    const rt::FunctionSpec spec = resolve_function(f);
+    std::printf("  %-18s handler=%-15s init=%zu cls / req=%zu cls (%.1f MB)\n",
+                f, spec.handler_id.c_str(), spec.init_classes.size(),
+                spec.request_classes.size(),
+                static_cast<double>(spec.request_class_bytes()) / 1e6);
+  }
+  std::printf("techniques: vanilla pb-nowarmup pb-warmup zygote\n");
+  return 0;
+}
+
+int cmd_startup(const exp::CliArgs& args) {
+  exp::ScenarioConfig cfg;
+  cfg.spec = resolve_function(args.get_or("function", "noop"));
+  cfg.technique = resolve_technique(args.get_or("technique", "vanilla"));
+  cfg.repetitions = static_cast<int>(args.get_int_or("reps", 200));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  cfg.measure_first_response =
+      args.has("first-response") || cfg.spec.name.rfind("synthetic", 0) == 0;
+
+  const exp::ScenarioResult result = exp::run_startup_scenario(cfg);
+  const auto ci = stats::bootstrap_median_ci(result.startup_ms);
+  const auto summary = stats::summarize(result.startup_ms);
+
+  std::printf("%s / %s, %d repetitions (seed %llu)\n", cfg.spec.name.c_str(),
+              exp::technique_name(cfg.technique), cfg.repetitions,
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("  median  %s  95%% CI %s\n", exp::fmt_ms(ci.point).c_str(),
+              exp::fmt_interval(ci).c_str());
+  std::printf("  mean %.2f ms  sd %.2f  min %.2f  p95 %.2f  max %.2f\n",
+              summary.mean, summary.stddev, summary.min, summary.p95,
+              summary.max);
+  if (result.snapshot_nominal_bytes > 0)
+    std::printf("  snapshot %s, baked in %.1f ms\n",
+                exp::fmt_mib(result.snapshot_nominal_bytes).c_str(),
+                result.bake_time_ms);
+  const auto& b = result.breakdowns.front();
+  std::printf("  phases: clone %.2f | exec %.2f | rts %.2f | appinit %.2f | "
+              "restore %.2f (ms)\n",
+              b.clone_time.to_millis(), b.exec_time.to_millis(),
+              b.rts_time.to_millis(), b.appinit_time.to_millis(),
+              b.restore_time.to_millis());
+
+  // Raw per-repetition samples for external plotting.
+  if (const auto csv = args.get("csv"); csv.has_value() && !csv->empty()) {
+    std::ofstream file{*csv};
+    if (!file) throw std::runtime_error{"cannot write " + *csv};
+    file << "rep,startup_ms,clone_ms,exec_ms,rts_ms,appinit_ms,restore_ms\n";
+    for (std::size_t i = 0; i < result.breakdowns.size(); ++i) {
+      const auto& bd = result.breakdowns[i];
+      char line[256];
+      std::snprintf(line, sizeof line, "%zu,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+                    i, result.startup_ms[i], bd.clone_time.to_millis(),
+                    bd.exec_time.to_millis(), bd.rts_time.to_millis(),
+                    bd.appinit_time.to_millis(), bd.restore_time.to_millis());
+      file << line;
+    }
+    std::printf("  wrote %zu samples to %s\n", result.startup_ms.size(),
+                csv->c_str());
+  }
+  return 0;
+}
+
+int cmd_service(const exp::CliArgs& args) {
+  const rt::FunctionSpec spec = resolve_function(args.get_or("function", "noop"));
+  const exp::Technique tech =
+      resolve_technique(args.get_or("technique", "vanilla"));
+  const int requests = static_cast<int>(args.get_int_or("requests", 200));
+  const auto result = exp::run_service_scenario(
+      spec, tech, requests, static_cast<std::uint64_t>(args.get_int_or("seed", 42)));
+
+  std::printf("%s / %s: startup %.2f ms, %d requests\n", spec.name.c_str(),
+              exp::technique_name(tech), result.startup_ms, requests);
+  const double quantiles[] = {0.05, 0.25, 0.5, 0.75, 0.95, 0.99};
+  std::printf("%s", exp::render_ecdf(result.service_ms, quantiles).c_str());
+  return 0;
+}
+
+int cmd_bake_info(const exp::CliArgs& args) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  funcs::SharedAssets assets;
+  core::StartupService startup{kernel, exp::testbed_runtime(), assets};
+  faas::FunctionBuilder builder{kernel, startup};
+
+  const rt::FunctionSpec spec = resolve_function(args.get_or("function", "noop"));
+  core::PrebakeConfig cfg;
+  const auto warmup = args.get_int_or("warmup", 0);
+  cfg.policy = warmup > 0
+                   ? core::SnapshotPolicy::warmup(static_cast<std::uint32_t>(warmup))
+                   : core::SnapshotPolicy::no_warmup();
+  faas::BuildResult built = builder.build(spec, cfg, sim::Rng{1});
+  const core::BakedSnapshot& snap = *built.snapshot;
+
+  std::printf("snapshot %s [%s]\n", snap.function_name.c_str(),
+              snap.policy.tag().c_str());
+  std::printf("  baked in %.2f ms; %llu pages (%s payload)\n",
+              snap.build_time.to_millis(),
+              static_cast<unsigned long long>(snap.stats.pages_dumped),
+              exp::fmt_mib(snap.stats.payload_bytes).c_str());
+  exp::TextTable table{{"image file", "bytes on disk", "real bytes held"}};
+  for (const auto& name : snap.images.names()) {
+    const auto& f = snap.images.get(name);
+    table.add_row({name, std::to_string(f.nominal_size),
+                   std::to_string(f.bytes.size())});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("total: %s (dedupable pages indexable via criu::DedupIndex)\n",
+              exp::fmt_mib(snap.images.nominal_total()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::CliArgs args{argc, argv};
+  if (args.positional().empty()) return usage();
+  const std::string& command = args.positional().front();
+  try {
+    int rc;
+    if (command == "list") {
+      rc = cmd_list();
+    } else if (command == "startup") {
+      rc = cmd_startup(args);
+    } else if (command == "service") {
+      rc = cmd_service(args);
+    } else if (command == "bake-info") {
+      rc = cmd_bake_info(args);
+    } else if (command == "trace") {
+      rc = cmd_trace(args);
+    } else {
+      return usage();
+    }
+    for (const std::string& flag : args.unconsumed())
+      std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
