@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dedup.dir/ablation_dedup.cpp.o"
+  "CMakeFiles/ablation_dedup.dir/ablation_dedup.cpp.o.d"
+  "ablation_dedup"
+  "ablation_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

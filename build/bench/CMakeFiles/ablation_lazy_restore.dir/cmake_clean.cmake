@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_restore.dir/ablation_lazy_restore.cpp.o"
+  "CMakeFiles/ablation_lazy_restore.dir/ablation_lazy_restore.cpp.o.d"
+  "ablation_lazy_restore"
+  "ablation_lazy_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_restore_cost.dir/ablation_restore_cost.cpp.o"
+  "CMakeFiles/ablation_restore_cost.dir/ablation_restore_cost.cpp.o.d"
+  "ablation_restore_cost"
+  "ablation_restore_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_restore_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

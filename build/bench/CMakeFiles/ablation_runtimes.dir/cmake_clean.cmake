@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runtimes.dir/ablation_runtimes.cpp.o"
+  "CMakeFiles/ablation_runtimes.dir/ablation_runtimes.cpp.o.d"
+  "ablation_runtimes"
+  "ablation_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warmup_depth.dir/ablation_warmup_depth.cpp.o"
+  "CMakeFiles/ablation_warmup_depth.dir/ablation_warmup_depth.cpp.o.d"
+  "ablation_warmup_depth"
+  "ablation_warmup_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warmup_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

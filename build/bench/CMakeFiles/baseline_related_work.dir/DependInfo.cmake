@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/baseline_related_work.cpp" "bench/CMakeFiles/baseline_related_work.dir/baseline_related_work.cpp.o" "gcc" "bench/CMakeFiles/baseline_related_work.dir/baseline_related_work.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/prebake_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/openfaas/CMakeFiles/prebake_openfaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/prebake_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prebake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/criu/CMakeFiles/prebake_criu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/prebake_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/prebake_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/prebake_funcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/prebake_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prebake_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_related_work.dir/baseline_related_work.cpp.o"
+  "CMakeFiles/baseline_related_work.dir/baseline_related_work.cpp.o.d"
+  "baseline_related_work"
+  "baseline_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_warmpool.dir/baseline_warmpool.cpp.o"
+  "CMakeFiles/baseline_warmpool.dir/baseline_warmpool.cpp.o.d"
+  "baseline_warmpool"
+  "baseline_warmpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_warmpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

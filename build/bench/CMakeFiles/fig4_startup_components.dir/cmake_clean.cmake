@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_startup_components.dir/fig4_startup_components.cpp.o"
+  "CMakeFiles/fig4_startup_components.dir/fig4_startup_components.cpp.o.d"
+  "fig4_startup_components"
+  "fig4_startup_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_startup_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_service_time_ecdf.dir/fig7_service_time_ecdf.cpp.o"
+  "CMakeFiles/fig7_service_time_ecdf.dir/fig7_service_time_ecdf.cpp.o.d"
+  "fig7_service_time_ecdf"
+  "fig7_service_time_ecdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_service_time_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

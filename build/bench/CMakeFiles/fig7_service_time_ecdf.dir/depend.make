@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_service_time_ecdf.
+# This may be replaced when dependencies are built.

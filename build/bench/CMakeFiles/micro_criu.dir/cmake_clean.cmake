@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_criu.dir/micro_criu.cpp.o"
+  "CMakeFiles/micro_criu.dir/micro_criu.cpp.o.d"
+  "micro_criu"
+  "micro_criu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_criu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_openfaas_integration.dir/sec5_openfaas_integration.cpp.o"
+  "CMakeFiles/sec5_openfaas_integration.dir/sec5_openfaas_integration.cpp.o.d"
+  "sec5_openfaas_integration"
+  "sec5_openfaas_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_openfaas_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_startup_intervals.dir/table1_startup_intervals.cpp.o"
+  "CMakeFiles/table1_startup_intervals.dir/table1_startup_intervals.cpp.o.d"
+  "table1_startup_intervals"
+  "table1_startup_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_startup_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_burst.dir/autoscale_burst.cpp.o"
+  "CMakeFiles/autoscale_burst.dir/autoscale_burst.cpp.o.d"
+  "autoscale_burst"
+  "autoscale_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openfaas_deploy.dir/openfaas_deploy.cpp.o"
+  "CMakeFiles/openfaas_deploy.dir/openfaas_deploy.cpp.o.d"
+  "openfaas_deploy"
+  "openfaas_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openfaas_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for openfaas_deploy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/prebaker.cpp" "src/core/CMakeFiles/prebake_core.dir/prebaker.cpp.o" "gcc" "src/core/CMakeFiles/prebake_core.dir/prebaker.cpp.o.d"
+  "/root/repo/src/core/startup.cpp" "src/core/CMakeFiles/prebake_core.dir/startup.cpp.o" "gcc" "src/core/CMakeFiles/prebake_core.dir/startup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/criu/CMakeFiles/prebake_criu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/prebake_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/prebake_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/prebake_funcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prebake_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_core.dir/prebaker.cpp.o"
+  "CMakeFiles/prebake_core.dir/prebaker.cpp.o.d"
+  "CMakeFiles/prebake_core.dir/startup.cpp.o"
+  "CMakeFiles/prebake_core.dir/startup.cpp.o.d"
+  "libprebake_core.a"
+  "libprebake_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

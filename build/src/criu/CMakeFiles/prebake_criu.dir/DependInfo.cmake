@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/criu/crc32.cpp" "src/criu/CMakeFiles/prebake_criu.dir/crc32.cpp.o" "gcc" "src/criu/CMakeFiles/prebake_criu.dir/crc32.cpp.o.d"
+  "/root/repo/src/criu/dedup.cpp" "src/criu/CMakeFiles/prebake_criu.dir/dedup.cpp.o" "gcc" "src/criu/CMakeFiles/prebake_criu.dir/dedup.cpp.o.d"
+  "/root/repo/src/criu/dump.cpp" "src/criu/CMakeFiles/prebake_criu.dir/dump.cpp.o" "gcc" "src/criu/CMakeFiles/prebake_criu.dir/dump.cpp.o.d"
+  "/root/repo/src/criu/image.cpp" "src/criu/CMakeFiles/prebake_criu.dir/image.cpp.o" "gcc" "src/criu/CMakeFiles/prebake_criu.dir/image.cpp.o.d"
+  "/root/repo/src/criu/restore.cpp" "src/criu/CMakeFiles/prebake_criu.dir/restore.cpp.o" "gcc" "src/criu/CMakeFiles/prebake_criu.dir/restore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/prebake_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prebake_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

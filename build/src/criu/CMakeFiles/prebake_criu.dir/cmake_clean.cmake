@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_criu.dir/crc32.cpp.o"
+  "CMakeFiles/prebake_criu.dir/crc32.cpp.o.d"
+  "CMakeFiles/prebake_criu.dir/dedup.cpp.o"
+  "CMakeFiles/prebake_criu.dir/dedup.cpp.o.d"
+  "CMakeFiles/prebake_criu.dir/dump.cpp.o"
+  "CMakeFiles/prebake_criu.dir/dump.cpp.o.d"
+  "CMakeFiles/prebake_criu.dir/image.cpp.o"
+  "CMakeFiles/prebake_criu.dir/image.cpp.o.d"
+  "CMakeFiles/prebake_criu.dir/restore.cpp.o"
+  "CMakeFiles/prebake_criu.dir/restore.cpp.o.d"
+  "libprebake_criu.a"
+  "libprebake_criu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_criu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprebake_criu.a"
+)

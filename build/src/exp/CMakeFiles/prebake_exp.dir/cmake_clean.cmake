@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_exp.dir/calibration.cpp.o"
+  "CMakeFiles/prebake_exp.dir/calibration.cpp.o.d"
+  "CMakeFiles/prebake_exp.dir/cli.cpp.o"
+  "CMakeFiles/prebake_exp.dir/cli.cpp.o.d"
+  "CMakeFiles/prebake_exp.dir/report.cpp.o"
+  "CMakeFiles/prebake_exp.dir/report.cpp.o.d"
+  "CMakeFiles/prebake_exp.dir/scenario.cpp.o"
+  "CMakeFiles/prebake_exp.dir/scenario.cpp.o.d"
+  "libprebake_exp.a"
+  "libprebake_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

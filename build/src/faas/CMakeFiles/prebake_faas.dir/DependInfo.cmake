@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faas/builder.cpp" "src/faas/CMakeFiles/prebake_faas.dir/builder.cpp.o" "gcc" "src/faas/CMakeFiles/prebake_faas.dir/builder.cpp.o.d"
+  "/root/repo/src/faas/load_generator.cpp" "src/faas/CMakeFiles/prebake_faas.dir/load_generator.cpp.o" "gcc" "src/faas/CMakeFiles/prebake_faas.dir/load_generator.cpp.o.d"
+  "/root/repo/src/faas/platform.cpp" "src/faas/CMakeFiles/prebake_faas.dir/platform.cpp.o" "gcc" "src/faas/CMakeFiles/prebake_faas.dir/platform.cpp.o.d"
+  "/root/repo/src/faas/resource_manager.cpp" "src/faas/CMakeFiles/prebake_faas.dir/resource_manager.cpp.o" "gcc" "src/faas/CMakeFiles/prebake_faas.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/faas/trace.cpp" "src/faas/CMakeFiles/prebake_faas.dir/trace.cpp.o" "gcc" "src/faas/CMakeFiles/prebake_faas.dir/trace.cpp.o.d"
+  "/root/repo/src/faas/workflow.cpp" "src/faas/CMakeFiles/prebake_faas.dir/workflow.cpp.o" "gcc" "src/faas/CMakeFiles/prebake_faas.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prebake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/criu/CMakeFiles/prebake_criu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/prebake_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/prebake_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/prebake_funcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prebake_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

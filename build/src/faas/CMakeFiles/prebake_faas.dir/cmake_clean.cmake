@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_faas.dir/builder.cpp.o"
+  "CMakeFiles/prebake_faas.dir/builder.cpp.o.d"
+  "CMakeFiles/prebake_faas.dir/load_generator.cpp.o"
+  "CMakeFiles/prebake_faas.dir/load_generator.cpp.o.d"
+  "CMakeFiles/prebake_faas.dir/platform.cpp.o"
+  "CMakeFiles/prebake_faas.dir/platform.cpp.o.d"
+  "CMakeFiles/prebake_faas.dir/resource_manager.cpp.o"
+  "CMakeFiles/prebake_faas.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/prebake_faas.dir/trace.cpp.o"
+  "CMakeFiles/prebake_faas.dir/trace.cpp.o.d"
+  "CMakeFiles/prebake_faas.dir/workflow.cpp.o"
+  "CMakeFiles/prebake_faas.dir/workflow.cpp.o.d"
+  "libprebake_faas.a"
+  "libprebake_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/funcs/handlers.cpp" "src/funcs/CMakeFiles/prebake_funcs.dir/handlers.cpp.o" "gcc" "src/funcs/CMakeFiles/prebake_funcs.dir/handlers.cpp.o.d"
+  "/root/repo/src/funcs/http_codec.cpp" "src/funcs/CMakeFiles/prebake_funcs.dir/http_codec.cpp.o" "gcc" "src/funcs/CMakeFiles/prebake_funcs.dir/http_codec.cpp.o.d"
+  "/root/repo/src/funcs/image.cpp" "src/funcs/CMakeFiles/prebake_funcs.dir/image.cpp.o" "gcc" "src/funcs/CMakeFiles/prebake_funcs.dir/image.cpp.o.d"
+  "/root/repo/src/funcs/markdown.cpp" "src/funcs/CMakeFiles/prebake_funcs.dir/markdown.cpp.o" "gcc" "src/funcs/CMakeFiles/prebake_funcs.dir/markdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prebake_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

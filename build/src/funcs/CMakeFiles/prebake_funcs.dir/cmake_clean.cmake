@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_funcs.dir/handlers.cpp.o"
+  "CMakeFiles/prebake_funcs.dir/handlers.cpp.o.d"
+  "CMakeFiles/prebake_funcs.dir/http_codec.cpp.o"
+  "CMakeFiles/prebake_funcs.dir/http_codec.cpp.o.d"
+  "CMakeFiles/prebake_funcs.dir/image.cpp.o"
+  "CMakeFiles/prebake_funcs.dir/image.cpp.o.d"
+  "CMakeFiles/prebake_funcs.dir/markdown.cpp.o"
+  "CMakeFiles/prebake_funcs.dir/markdown.cpp.o.d"
+  "libprebake_funcs.a"
+  "libprebake_funcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_funcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

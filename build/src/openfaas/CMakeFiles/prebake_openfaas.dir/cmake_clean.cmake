@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_openfaas.dir/deployment.cpp.o"
+  "CMakeFiles/prebake_openfaas.dir/deployment.cpp.o.d"
+  "CMakeFiles/prebake_openfaas.dir/image_repository.cpp.o"
+  "CMakeFiles/prebake_openfaas.dir/image_repository.cpp.o.d"
+  "CMakeFiles/prebake_openfaas.dir/template.cpp.o"
+  "CMakeFiles/prebake_openfaas.dir/template.cpp.o.d"
+  "libprebake_openfaas.a"
+  "libprebake_openfaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_openfaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

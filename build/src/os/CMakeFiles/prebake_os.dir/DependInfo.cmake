@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/address_space.cpp" "src/os/CMakeFiles/prebake_os.dir/address_space.cpp.o" "gcc" "src/os/CMakeFiles/prebake_os.dir/address_space.cpp.o.d"
+  "/root/repo/src/os/container.cpp" "src/os/CMakeFiles/prebake_os.dir/container.cpp.o" "gcc" "src/os/CMakeFiles/prebake_os.dir/container.cpp.o.d"
+  "/root/repo/src/os/filesystem.cpp" "src/os/CMakeFiles/prebake_os.dir/filesystem.cpp.o" "gcc" "src/os/CMakeFiles/prebake_os.dir/filesystem.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/prebake_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/prebake_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/page_source.cpp" "src/os/CMakeFiles/prebake_os.dir/page_source.cpp.o" "gcc" "src/os/CMakeFiles/prebake_os.dir/page_source.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/os/CMakeFiles/prebake_os.dir/process.cpp.o" "gcc" "src/os/CMakeFiles/prebake_os.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prebake_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

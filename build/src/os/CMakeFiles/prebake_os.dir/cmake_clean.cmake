@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_os.dir/address_space.cpp.o"
+  "CMakeFiles/prebake_os.dir/address_space.cpp.o.d"
+  "CMakeFiles/prebake_os.dir/container.cpp.o"
+  "CMakeFiles/prebake_os.dir/container.cpp.o.d"
+  "CMakeFiles/prebake_os.dir/filesystem.cpp.o"
+  "CMakeFiles/prebake_os.dir/filesystem.cpp.o.d"
+  "CMakeFiles/prebake_os.dir/kernel.cpp.o"
+  "CMakeFiles/prebake_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/prebake_os.dir/page_source.cpp.o"
+  "CMakeFiles/prebake_os.dir/page_source.cpp.o.d"
+  "CMakeFiles/prebake_os.dir/process.cpp.o"
+  "CMakeFiles/prebake_os.dir/process.cpp.o.d"
+  "libprebake_os.a"
+  "libprebake_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

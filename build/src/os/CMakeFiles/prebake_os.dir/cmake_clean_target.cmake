@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprebake_os.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_rt.dir/classfile.cpp.o"
+  "CMakeFiles/prebake_rt.dir/classfile.cpp.o.d"
+  "CMakeFiles/prebake_rt.dir/runtime.cpp.o"
+  "CMakeFiles/prebake_rt.dir/runtime.cpp.o.d"
+  "libprebake_rt.a"
+  "libprebake_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_sim.dir/rng.cpp.o"
+  "CMakeFiles/prebake_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/prebake_sim.dir/simulation.cpp.o"
+  "CMakeFiles/prebake_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/prebake_sim.dir/time.cpp.o"
+  "CMakeFiles/prebake_sim.dir/time.cpp.o.d"
+  "libprebake_sim.a"
+  "libprebake_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/prebake_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/prebake_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/prebake_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/prebake_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/prebake_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/prebake_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/factorial.cpp" "src/stats/CMakeFiles/prebake_stats.dir/factorial.cpp.o" "gcc" "src/stats/CMakeFiles/prebake_stats.dir/factorial.cpp.o.d"
+  "/root/repo/src/stats/mann_whitney.cpp" "src/stats/CMakeFiles/prebake_stats.dir/mann_whitney.cpp.o" "gcc" "src/stats/CMakeFiles/prebake_stats.dir/mann_whitney.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/prebake_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/prebake_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/shapiro_wilk.cpp" "src/stats/CMakeFiles/prebake_stats.dir/shapiro_wilk.cpp.o" "gcc" "src/stats/CMakeFiles/prebake_stats.dir/shapiro_wilk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prebake_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebake_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/prebake_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/prebake_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/prebake_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/prebake_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/prebake_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/prebake_stats.dir/factorial.cpp.o"
+  "CMakeFiles/prebake_stats.dir/factorial.cpp.o.d"
+  "CMakeFiles/prebake_stats.dir/mann_whitney.cpp.o"
+  "CMakeFiles/prebake_stats.dir/mann_whitney.cpp.o.d"
+  "CMakeFiles/prebake_stats.dir/normal.cpp.o"
+  "CMakeFiles/prebake_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/prebake_stats.dir/shapiro_wilk.cpp.o"
+  "CMakeFiles/prebake_stats.dir/shapiro_wilk.cpp.o.d"
+  "libprebake_stats.a"
+  "libprebake_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebake_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_space.cpp" "tests/CMakeFiles/prebake_tests.dir/test_address_space.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_address_space.cpp.o.d"
+  "/root/repo/tests/test_bootstrap.cpp" "tests/CMakeFiles/prebake_tests.dir/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_builder.cpp" "tests/CMakeFiles/prebake_tests.dir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/test_classfile.cpp" "tests/CMakeFiles/prebake_tests.dir/test_classfile.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_classfile.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/prebake_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_container.cpp" "tests/CMakeFiles/prebake_tests.dir/test_container.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_container.cpp.o.d"
+  "/root/repo/tests/test_dedup.cpp" "tests/CMakeFiles/prebake_tests.dir/test_dedup.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_dedup.cpp.o.d"
+  "/root/repo/tests/test_dump_restore.cpp" "tests/CMakeFiles/prebake_tests.dir/test_dump_restore.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_dump_restore.cpp.o.d"
+  "/root/repo/tests/test_ecdf.cpp" "tests/CMakeFiles/prebake_tests.dir/test_ecdf.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_ecdf.cpp.o.d"
+  "/root/repo/tests/test_factorial.cpp" "tests/CMakeFiles/prebake_tests.dir/test_factorial.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_factorial.cpp.o.d"
+  "/root/repo/tests/test_filesystem.cpp" "tests/CMakeFiles/prebake_tests.dir/test_filesystem.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_filesystem.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/prebake_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_handlers.cpp" "tests/CMakeFiles/prebake_tests.dir/test_handlers.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_handlers.cpp.o.d"
+  "/root/repo/tests/test_http_codec.cpp" "tests/CMakeFiles/prebake_tests.dir/test_http_codec.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_http_codec.cpp.o.d"
+  "/root/repo/tests/test_image.cpp" "tests/CMakeFiles/prebake_tests.dir/test_image.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_image.cpp.o.d"
+  "/root/repo/tests/test_image_format.cpp" "tests/CMakeFiles/prebake_tests.dir/test_image_format.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_image_format.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/prebake_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/prebake_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_mann_whitney.cpp" "tests/CMakeFiles/prebake_tests.dir/test_mann_whitney.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_mann_whitney.cpp.o.d"
+  "/root/repo/tests/test_markdown.cpp" "tests/CMakeFiles/prebake_tests.dir/test_markdown.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_markdown.cpp.o.d"
+  "/root/repo/tests/test_openfaas.cpp" "tests/CMakeFiles/prebake_tests.dir/test_openfaas.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_openfaas.cpp.o.d"
+  "/root/repo/tests/test_page_source.cpp" "tests/CMakeFiles/prebake_tests.dir/test_page_source.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_page_source.cpp.o.d"
+  "/root/repo/tests/test_platform.cpp" "tests/CMakeFiles/prebake_tests.dir/test_platform.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_platform.cpp.o.d"
+  "/root/repo/tests/test_prebaker.cpp" "tests/CMakeFiles/prebake_tests.dir/test_prebaker.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_prebaker.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/prebake_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/prebake_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_reproduction.cpp" "tests/CMakeFiles/prebake_tests.dir/test_reproduction.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_reproduction.cpp.o.d"
+  "/root/repo/tests/test_resource_manager.cpp" "tests/CMakeFiles/prebake_tests.dir/test_resource_manager.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_resource_manager.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/prebake_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/prebake_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_runtime_profiles.cpp" "tests/CMakeFiles/prebake_tests.dir/test_runtime_profiles.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_runtime_profiles.cpp.o.d"
+  "/root/repo/tests/test_shapiro_wilk.cpp" "tests/CMakeFiles/prebake_tests.dir/test_shapiro_wilk.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_shapiro_wilk.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/prebake_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_startup.cpp" "tests/CMakeFiles/prebake_tests.dir/test_startup.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_startup.cpp.o.d"
+  "/root/repo/tests/test_stats_descriptive.cpp" "tests/CMakeFiles/prebake_tests.dir/test_stats_descriptive.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_stats_descriptive.cpp.o.d"
+  "/root/repo/tests/test_stats_normal.cpp" "tests/CMakeFiles/prebake_tests.dir/test_stats_normal.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_stats_normal.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/prebake_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/prebake_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/prebake_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_workflow.cpp" "tests/CMakeFiles/prebake_tests.dir/test_workflow.cpp.o" "gcc" "tests/CMakeFiles/prebake_tests.dir/test_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/prebake_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/openfaas/CMakeFiles/prebake_openfaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/prebake_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prebake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/criu/CMakeFiles/prebake_criu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/prebake_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/prebake_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/prebake_funcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/prebake_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prebake_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebakectl.dir/prebakectl.cpp.o"
+  "CMakeFiles/prebakectl.dir/prebakectl.cpp.o.d"
+  "prebakectl"
+  "prebakectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebakectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
