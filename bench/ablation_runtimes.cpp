@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "stats/descriptive.hpp"
@@ -14,7 +15,8 @@ using namespace prebake;
 
 namespace {
 
-double median_ms(exp::RuntimeKind kind, int code_mb, exp::Technique tech) {
+exp::ScenarioConfig cell(exp::RuntimeKind kind, int code_mb,
+                         exp::Technique tech) {
   exp::ScenarioConfig cfg;
   cfg.spec = exp::cross_runtime_spec(kind, code_mb);
   cfg.runtime = exp::runtime_profile(kind);
@@ -22,7 +24,7 @@ double median_ms(exp::RuntimeKind kind, int code_mb, exp::Technique tech) {
   cfg.repetitions = 60;
   cfg.measure_first_response = true;
   cfg.seed = 42;
-  return stats::median(exp::run_startup_scenario(cfg).startup_ms);
+  return cfg;
 }
 
 }  // namespace
@@ -31,18 +33,29 @@ int main() {
   std::printf("== Ablation D: prebaking across runtimes "
               "(Java 8 vs Node 12 vs CPython 3) ==\n\n");
 
+  const exp::RuntimeKind kinds[] = {exp::RuntimeKind::kJava8,
+                                    exp::RuntimeKind::kNode12,
+                                    exp::RuntimeKind::kPython3};
+  exp::ParallelRunner runner;
   for (const int code_mb : {3, 20}) {
     std::printf("-- function with %d MB of lazily loaded application code --\n",
                 code_mb);
+    std::vector<exp::ScenarioConfig> cells;
+    for (const exp::RuntimeKind kind : kinds) {
+      cells.push_back(cell(kind, code_mb, exp::Technique::kVanilla));
+      cells.push_back(cell(kind, code_mb, exp::Technique::kPrebakeNoWarmup));
+      cells.push_back(cell(kind, code_mb, exp::Technique::kPrebakeWarmup));
+    }
+    const std::vector<exp::ScenarioResult> results = runner.run_startup(cells);
+
     exp::TextTable table{{"Runtime", "Vanilla", "PB-NOWarmup", "PB-Warmup",
                           "Warm speed-up"}};
-    for (const exp::RuntimeKind kind :
-         {exp::RuntimeKind::kJava8, exp::RuntimeKind::kNode12,
-          exp::RuntimeKind::kPython3}) {
-      const double vanilla = median_ms(kind, code_mb, exp::Technique::kVanilla);
-      const double nowarm =
-          median_ms(kind, code_mb, exp::Technique::kPrebakeNoWarmup);
-      const double warm = median_ms(kind, code_mb, exp::Technique::kPrebakeWarmup);
+    std::size_t base = 0;
+    for (const exp::RuntimeKind kind : kinds) {
+      const double vanilla = stats::median(results[base].startup_ms);
+      const double nowarm = stats::median(results[base + 1].startup_ms);
+      const double warm = stats::median(results[base + 2].startup_ms);
+      base += 3;
       char ratio[16];
       std::snprintf(ratio, sizeof ratio, "%.0f%%", vanilla / warm * 100.0);
       table.add_row({exp::runtime_kind_name(kind), exp::fmt_ms(vanilla),

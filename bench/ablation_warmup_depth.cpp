@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "stats/descriptive.hpp"
@@ -18,22 +19,31 @@ int main() {
   exp::TextTable table{{"Warm-up requests", "Snapshot size", "Bake time",
                         "Start-up median", "vs Vanilla"}};
 
-  // Vanilla baseline for the ratio column.
+  // Cell 0 is the Vanilla baseline for the ratio column; the rest sweep the
+  // warm-up depth.
   exp::ScenarioConfig base;
   base.spec = exp::synthetic_spec(exp::SynthSize::kMedium);
   base.technique = exp::Technique::kVanilla;
   base.repetitions = 40;
   base.measure_first_response = true;
   base.seed = 42;
-  const double vanilla_ms =
-      stats::median(exp::run_startup_scenario(base).startup_ms);
 
-  for (const std::uint32_t depth : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
+  const std::uint32_t depths[] = {0u, 1u, 2u, 4u, 8u, 16u, 32u};
+  std::vector<exp::ScenarioConfig> cells{base};
+  for (const std::uint32_t depth : depths) {
     exp::ScenarioConfig cfg = base;
     cfg.technique = depth == 0 ? exp::Technique::kPrebakeNoWarmup
                                : exp::Technique::kPrebakeWarmup;
     cfg.warmup_requests = depth == 0 ? 1 : depth;
-    const exp::ScenarioResult result = exp::run_startup_scenario(cfg);
+    cells.push_back(cfg);
+  }
+  exp::ParallelRunner runner;
+  const std::vector<exp::ScenarioResult> results = runner.run_startup(cells);
+  const double vanilla_ms = stats::median(results[0].startup_ms);
+
+  std::size_t idx = 1;
+  for (const std::uint32_t depth : depths) {
+    const exp::ScenarioResult& result = results[idx++];
     const double median = stats::median(result.startup_ms);
     char ratio[16];
     std::snprintf(ratio, sizeof ratio, "%.0f%%", vanilla_ms / median * 100.0);

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "stats/bootstrap.hpp"
@@ -19,13 +20,13 @@ using namespace prebake;
 
 namespace {
 
-exp::ScenarioResult run(const rt::FunctionSpec& spec, exp::Technique tech) {
+exp::ScenarioConfig cell(const rt::FunctionSpec& spec, exp::Technique tech) {
   exp::ScenarioConfig cfg;
   cfg.spec = spec;
   cfg.technique = tech;
   cfg.repetitions = 200;
   cfg.seed = 42;
-  return exp::run_startup_scenario(cfg);
+  return cfg;
 }
 
 }  // namespace
@@ -45,12 +46,22 @@ int main() {
       {"Image Resizer", exp::image_resizer_spec(), 310.0, 87.0},
   };
 
+  // All six cells dispatch together; results[2*i] is fns[i] under Vanilla,
+  // results[2*i+1] under PB-NOWarmup.
+  exp::ParallelRunner runner;
+  std::vector<exp::ScenarioConfig> cells;
+  for (const Fn& fn : fns) {
+    cells.push_back(cell(fn.spec, exp::Technique::kVanilla));
+    cells.push_back(cell(fn.spec, exp::Technique::kPrebakeNoWarmup));
+  }
+  const std::vector<exp::ScenarioResult> results = runner.run_startup(cells);
+
   exp::TextTable table{{"Function", "Technique", "Median", "95% CI",
                         "Paper", "Improvement"}};
-  for (const Fn& fn : fns) {
-    const exp::ScenarioResult vanilla = run(fn.spec, exp::Technique::kVanilla);
-    const exp::ScenarioResult prebake =
-        run(fn.spec, exp::Technique::kPrebakeNoWarmup);
+  for (std::size_t f = 0; f < std::size(fns); ++f) {
+    const Fn& fn = fns[f];
+    const exp::ScenarioResult& vanilla = results[2 * f];
+    const exp::ScenarioResult& prebake = results[2 * f + 1];
     const auto vi = stats::bootstrap_median_ci(vanilla.startup_ms);
     const auto pi = stats::bootstrap_median_ci(prebake.startup_ms);
     const double improvement = 1.0 - pi.point / vi.point;
@@ -77,10 +88,12 @@ int main() {
 
   // The paper's 2^2 factorial design (Section 4.1): factor A = start-up
   // method (Vanilla -> Prebaking), factor B = function (NOOP -> Resizer).
-  const auto y00 = run(fns[0].spec, exp::Technique::kVanilla).startup_ms;
-  const auto y10 = run(fns[0].spec, exp::Technique::kPrebakeNoWarmup).startup_ms;
-  const auto y01 = run(fns[2].spec, exp::Technique::kVanilla).startup_ms;
-  const auto y11 = run(fns[2].spec, exp::Technique::kPrebakeNoWarmup).startup_ms;
+  // The four corners are cells already measured above (the engine is
+  // deterministic, so re-running them would reproduce the same vectors).
+  const auto& y00 = results[0].startup_ms;  // NOOP, Vanilla
+  const auto& y10 = results[1].startup_ms;  // NOOP, PB-NOWarmup
+  const auto& y01 = results[4].startup_ms;  // Resizer, Vanilla
+  const auto& y11 = results[5].startup_ms;  // Resizer, PB-NOWarmup
   const stats::Factorial2x2 design = stats::factorial_2x2(y00, y10, y01, y11);
   std::printf("2^2 factorial (A=technique, B=function): q0=%.1f qA=%.1f "
               "qB=%.1f qAB=%.1f\n",

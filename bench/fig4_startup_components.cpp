@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "stats/descriptive.hpp"
@@ -61,15 +62,26 @@ int main() {
   };
   std::vector<Row> rows;
 
+  const exp::Technique techs[] = {exp::Technique::kVanilla,
+                                  exp::Technique::kPrebakeNoWarmup};
+  exp::ParallelRunner runner;
+  std::vector<exp::ScenarioConfig> cells;
   for (const Fn& fn : fns) {
-    for (const exp::Technique tech :
-         {exp::Technique::kVanilla, exp::Technique::kPrebakeNoWarmup}) {
+    for (const exp::Technique tech : techs) {
       exp::ScenarioConfig cfg;
       cfg.spec = fn.spec;
       cfg.technique = tech;
       cfg.repetitions = 200;
       cfg.seed = 42;
-      const exp::ScenarioResult result = exp::run_startup_scenario(cfg);
+      cells.push_back(cfg);
+    }
+  }
+  const std::vector<exp::ScenarioResult> results = runner.run_startup(cells);
+
+  std::size_t idx = 0;
+  for (const Fn& fn : fns) {
+    for (const exp::Technique tech : techs) {
+      const exp::ScenarioResult& result = results[idx++];
       const Phases p = mean_phases(result);
       max_total = std::max(max_total, p.total_ms);
       table.add_row({fn.label, exp::technique_name(tech),

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "stats/bootstrap.hpp"
@@ -18,17 +19,26 @@ int main() {
   exp::TextTable table{{"Size", "Classes", "Code", "Median", "95% CI", "Paper"}};
   std::vector<std::pair<std::string, double>> bars;
 
-  int i = 0;
-  for (const exp::SynthSize size :
-       {exp::SynthSize::kSmall, exp::SynthSize::kMedium, exp::SynthSize::kBig}) {
-    const rt::FunctionSpec spec = exp::synthetic_spec(size);
+  const exp::SynthSize sizes[] = {exp::SynthSize::kSmall,
+                                  exp::SynthSize::kMedium,
+                                  exp::SynthSize::kBig};
+  exp::ParallelRunner runner;
+  std::vector<exp::ScenarioConfig> cells;
+  for (const exp::SynthSize size : sizes) {
     exp::ScenarioConfig cfg;
-    cfg.spec = spec;
+    cfg.spec = exp::synthetic_spec(size);
     cfg.technique = exp::Technique::kVanilla;
     cfg.repetitions = 200;
     cfg.measure_first_response = true;
     cfg.seed = 42;
-    const exp::ScenarioResult result = exp::run_startup_scenario(cfg);
+    cells.push_back(cfg);
+  }
+  const std::vector<exp::ScenarioResult> results = runner.run_startup(cells);
+
+  int i = 0;
+  for (const exp::SynthSize size : sizes) {
+    const rt::FunctionSpec& spec = cells[static_cast<std::size_t>(i)].spec;
+    const exp::ScenarioResult& result = results[static_cast<std::size_t>(i)];
     const auto ci = stats::bootstrap_median_ci(result.startup_ms);
 
     char classes[32], code[32];

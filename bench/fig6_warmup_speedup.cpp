@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "stats/descriptive.hpp"
@@ -14,14 +15,14 @@ using namespace prebake;
 
 namespace {
 
-double median_ms(exp::SynthSize size, exp::Technique tech) {
+exp::ScenarioConfig cell(exp::SynthSize size, exp::Technique tech) {
   exp::ScenarioConfig cfg;
   cfg.spec = exp::synthetic_spec(size);
   cfg.technique = tech;
   cfg.repetitions = 200;
   cfg.measure_first_response = true;
   cfg.seed = 42;
-  return stats::median(exp::run_startup_scenario(cfg).startup_ms);
+  return cfg;
 }
 
 }  // namespace
@@ -32,15 +33,27 @@ int main() {
   const double paper_nowarm[] = {127.45, 0.0, 121.07};  // paper quotes small/big
   const double paper_warm[] = {403.96, 0.0, 1932.49};
 
+  const exp::SynthSize sizes[] = {exp::SynthSize::kSmall,
+                                  exp::SynthSize::kMedium,
+                                  exp::SynthSize::kBig};
+  exp::ParallelRunner runner;
+  std::vector<exp::ScenarioConfig> cells;
+  for (const exp::SynthSize size : sizes) {
+    cells.push_back(cell(size, exp::Technique::kVanilla));
+    cells.push_back(cell(size, exp::Technique::kPrebakeNoWarmup));
+    cells.push_back(cell(size, exp::Technique::kPrebakeWarmup));
+  }
+  const std::vector<exp::ScenarioResult> results = runner.run_startup(cells);
+
   exp::TextTable table{{"Size", "PB-NOWarmup ratio", "paper", "PB-Warmup ratio",
                         "paper"}};
   std::vector<std::pair<std::string, double>> bars;
   int i = 0;
-  for (const exp::SynthSize size :
-       {exp::SynthSize::kSmall, exp::SynthSize::kMedium, exp::SynthSize::kBig}) {
-    const double vanilla = median_ms(size, exp::Technique::kVanilla);
-    const double nowarm = median_ms(size, exp::Technique::kPrebakeNoWarmup);
-    const double warm = median_ms(size, exp::Technique::kPrebakeWarmup);
+  for (const exp::SynthSize size : sizes) {
+    const std::size_t base = static_cast<std::size_t>(i) * 3;
+    const double vanilla = stats::median(results[base].startup_ms);
+    const double nowarm = stats::median(results[base + 1].startup_ms);
+    const double warm = stats::median(results[base + 2].startup_ms);
     const double r_nowarm = vanilla / nowarm * 100.0;
     const double r_warm = vanilla / warm * 100.0;
 

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "stats/descriptive.hpp"
@@ -21,11 +22,19 @@ int main() {
                                     exp::image_resizer_spec()};
   const double quantiles[] = {0.05, 0.25, 0.50, 0.75, 0.95, 0.99};
 
+  exp::ParallelRunner runner;
+  std::vector<exp::ServiceScenarioConfig> cells;
   for (const rt::FunctionSpec& spec : specs) {
-    const auto vanilla =
-        exp::run_service_scenario(spec, exp::Technique::kVanilla, 200, 7);
-    const auto prebaked =
-        exp::run_service_scenario(spec, exp::Technique::kPrebakeNoWarmup, 200, 8);
+    cells.push_back({spec, exp::Technique::kVanilla, 200, 7});
+    cells.push_back({spec, exp::Technique::kPrebakeNoWarmup, 200, 8});
+  }
+  const std::vector<exp::ServiceScenarioResult> results =
+      runner.run_service(cells);
+
+  std::size_t idx = 0;
+  for (const rt::FunctionSpec& spec : specs) {
+    const exp::ServiceScenarioResult& vanilla = results[idx++];
+    const exp::ServiceScenarioResult& prebaked = results[idx++];
 
     // Both replicas pay the lazy first request; compare the steady state.
     const std::vector<double> v{vanilla.service_ms.begin() + 1,

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "stats/bootstrap.hpp"
@@ -12,15 +13,14 @@ using namespace prebake;
 
 namespace {
 
-stats::Interval run_cell(exp::SynthSize size, exp::Technique tech) {
+exp::ScenarioConfig cell(exp::SynthSize size, exp::Technique tech) {
   exp::ScenarioConfig cfg;
   cfg.spec = exp::synthetic_spec(size);
   cfg.technique = tech;
   cfg.repetitions = 200;
   cfg.measure_first_response = true;
   cfg.seed = 42;
-  const exp::ScenarioResult result = exp::run_startup_scenario(cfg);
-  return stats::bootstrap_median_ci(result.startup_ms);
+  return cfg;
 }
 
 }  // namespace
@@ -40,10 +40,19 @@ int main() {
   const exp::SynthSize sizes[] = {exp::SynthSize::kSmall,
                                   exp::SynthSize::kMedium,
                                   exp::SynthSize::kBig};
+  exp::ParallelRunner runner;
+  std::vector<exp::ScenarioConfig> cells;
   for (int i = 0; i < 3; ++i) {
-    const auto vanilla = run_cell(sizes[i], exp::Technique::kVanilla);
-    const auto nowarm = run_cell(sizes[i], exp::Technique::kPrebakeNoWarmup);
-    const auto warm = run_cell(sizes[i], exp::Technique::kPrebakeWarmup);
+    cells.push_back(cell(sizes[i], exp::Technique::kVanilla));
+    cells.push_back(cell(sizes[i], exp::Technique::kPrebakeNoWarmup));
+    cells.push_back(cell(sizes[i], exp::Technique::kPrebakeWarmup));
+  }
+  const std::vector<exp::ScenarioResult> results = runner.run_startup(cells);
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * 3;
+    const auto vanilla = stats::bootstrap_median_ci(results[base].startup_ms);
+    const auto nowarm = stats::bootstrap_median_ci(results[base + 1].startup_ms);
+    const auto warm = stats::bootstrap_median_ci(results[base + 2].startup_ms);
     table.add_row({exp::synth_size_name(sizes[i]), exp::fmt_interval(vanilla),
                    exp::fmt_interval(nowarm), exp::fmt_interval(warm),
                    "measured"});

@@ -231,6 +231,9 @@ void ImageDir::put(const std::string& name, std::vector<std::uint8_t> bytes,
   f.nominal_size = nominal_size.value_or(bytes.size());
   f.bytes = std::move(bytes);
   files_[name] = std::move(f);
+  const std::lock_guard lock{*cache_mu_};
+  decoded_.reset();
+  validated_ = false;
 }
 
 const ImageDir::ImageFile& ImageDir::get(const std::string& name) const {
@@ -260,6 +263,8 @@ std::uint64_t ImageDir::real_total() const {
 }
 
 void ImageDir::validate() const {
+  const std::lock_guard lock{*cache_mu_};
+  if (validated_) return;
   for (const auto& [name, f] : files_) {
     if (f.bytes.size() < 16)
       throw std::runtime_error{"ImageDir: file too small: " + name};
@@ -268,6 +273,26 @@ void ImageDir::validate() const {
     if (tail.u32() != crc32(body))
       throw std::runtime_error{"ImageDir: CRC mismatch in " + name};
   }
+  validated_ = true;
+}
+
+const ImageDir::Decoded& ImageDir::decoded() const {
+  const std::lock_guard lock{*cache_mu_};
+  if (!decoded_) {
+    auto d = std::make_shared<Decoded>();
+    if (has("inventory.img")) {
+      d->inventory = decode_inventory(get("inventory.img").bytes);
+      const std::string core =
+          "core-" + std::to_string(d->inventory->root_pid) + ".img";
+      if (has(core)) d->cores = decode_core(get(core).bytes);
+    }
+    if (has("mm.img")) d->vmas = decode_mm(get("mm.img").bytes);
+    if (has("files.img")) d->files = decode_files(get("files.img").bytes);
+    if (has("pagemap.img")) d->pagemap = decode_pagemap(get("pagemap.img").bytes);
+    if (has("pages-1.img")) d->pages = decode_pages(get("pages-1.img").bytes);
+    decoded_ = std::move(d);
+  }
+  return *decoded_;
 }
 
 }  // namespace prebake::criu

@@ -22,6 +22,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -141,6 +143,20 @@ class ImageDir {
     std::uint64_t nominal_size = 0;
   };
 
+  // Decoded view of the standard image files, built lazily on first access
+  // and reused by every restore of this directory. Re-parsing (and
+  // CRC-checking) the same unchanged bytes on each of the harness's hundreds
+  // of restores per scenario dominated the restore hot path. Absent files
+  // leave their field empty; restore still reports them via get().
+  struct Decoded {
+    std::optional<InventoryEntry> inventory;
+    std::vector<CoreEntry> cores;       // core-<root_pid>.img
+    std::vector<VmaEntry> vmas;         // mm.img
+    std::vector<FileEntry> files;       // files.img
+    std::vector<PagemapEntry> pagemap;  // pagemap.img
+    std::optional<PagesEntry> pages;    // pages-1.img
+  };
+
   void put(const std::string& name, std::vector<std::uint8_t> bytes,
            std::optional<std::uint64_t> nominal_size = std::nullopt);
   const ImageFile& get(const std::string& name) const;
@@ -150,13 +166,25 @@ class ImageDir {
   std::uint64_t nominal_total() const;  // snapshot size as seen by storage
   std::uint64_t real_total() const;     // bytes actually held in memory
 
-  // Re-verify the CRC of every file; throws on corruption.
+  // Re-verify the CRC of every file; throws on corruption. Verified once per
+  // content generation: put() re-arms the check.
   void validate() const;
+
+  // Lazy decode cache; put() invalidates it. Concurrent reads (shared
+  // snapshots restored from several worker threads) are safe; mutation is
+  // not thread-safe, like every other container in the model.
+  const Decoded& decoded() const;
 
   const std::map<std::string, ImageFile>& files() const { return files_; }
 
  private:
   std::map<std::string, ImageFile> files_;
+  // The mutex lives behind a shared_ptr so directories stay copyable
+  // (snapshots travel by value); a copy shares the lock but re-derives its
+  // own caches after any put().
+  mutable std::shared_ptr<std::mutex> cache_mu_ = std::make_shared<std::mutex>();
+  mutable std::shared_ptr<const Decoded> decoded_;
+  mutable bool validated_ = false;
 };
 
 }  // namespace prebake::criu

@@ -65,11 +65,18 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   for (const ImageDir* dir : chain)
     result.bytes_read += charge_image_reads(k, *dir, opts);
 
-  const InventoryEntry inv = decode_inventory(last.get("inventory.img").bytes);
-  const auto cores =
-      decode_core(last.get("core-" + std::to_string(inv.root_pid) + ".img").bytes);
-  const auto vmas = decode_mm(last.get("mm.img").bytes);
-  const auto files = decode_files(last.get("files.img").bytes);
+  // The decode cache is shared across restores of the same snapshot; get()
+  // still raises the canonical "missing image file" error for absent files.
+  const ImageDir::Decoded& dec = last.decoded();
+  if (!dec.inventory) last.get("inventory.img");
+  const InventoryEntry& inv = *dec.inventory;
+  if (!last.has("core-" + std::to_string(inv.root_pid) + ".img"))
+    last.get("core-" + std::to_string(inv.root_pid) + ".img");
+  const auto& cores = dec.cores;
+  if (!last.has("mm.img")) last.get("mm.img");
+  const auto& vmas = dec.vmas;
+  if (!last.has("files.img")) last.get("files.img");
+  const auto& files = dec.files;
   if (cores.size() != inv.n_threads)
     throw std::runtime_error{"restore: core/inventory thread count mismatch"};
 
@@ -103,7 +110,8 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
 
   // 4. Rebuild the address space from mm.img. Buffer-backed VMAs need the
   // full page payload; pattern VMAs regenerate from the recorded descriptor.
-  const PagesEntry last_pages = decode_pages(last.get("pages-1.img").bytes);
+  if (!dec.pages) last.get("pages-1.img");
+  const PagesEntry& last_pages = *dec.pages;
   proc.replace_mm(os::AddressSpace{});
   std::map<os::VmaId, os::VmaId> vma_id_map;  // image id -> new id
   std::map<os::VmaId, std::shared_ptr<os::BufferSource>> buffers;
@@ -131,8 +139,11 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   // prefix of each run is eagerly mapped; the tail goes to the uffd server.
   std::vector<std::pair<os::VmaId, std::uint64_t>> lazy_pending;
   for (const ImageDir* dir : chain) {
-    const auto maps = decode_pagemap(dir->get("pagemap.img").bytes);
-    const PagesEntry pages = decode_pages(dir->get("pages-1.img").bytes);
+    const ImageDir::Decoded& ddec = dir->decoded();
+    if (!dir->has("pagemap.img")) dir->get("pagemap.img");
+    if (!ddec.pages) dir->get("pages-1.img");
+    const auto& maps = ddec.pagemap;
+    const PagesEntry& pages = *ddec.pages;
     std::size_t cursor = 0;  // page index within this image's payload
     for (const PagemapEntry& e : maps) {
       const auto it = vma_id_map.find(e.vma);

@@ -1,0 +1,38 @@
+#include "exp/parallel_runner.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace prebake::exp {
+
+ParallelRunner::ParallelRunner(int threads)
+    : threads_{util::resolve_threads(threads)} {}
+
+std::vector<ScenarioResult> ParallelRunner::run_startup(
+    std::vector<ScenarioConfig> configs) const {
+  std::vector<ScenarioResult> results(configs.size());
+  util::parallel_for(
+      configs.size(),
+      [&](std::size_t i) {
+        if (configs[i].threads == 0) configs[i].threads = threads_;
+        results[i] = run_startup_scenario(configs[i]);
+      },
+      threads_);
+  return results;
+}
+
+std::vector<ServiceScenarioResult> ParallelRunner::run_service(
+    const std::vector<ServiceScenarioConfig>& configs) const {
+  std::vector<ServiceScenarioResult> results(configs.size());
+  util::parallel_for(
+      configs.size(),
+      [&](std::size_t i) { results[i] = run_service_scenario(configs[i]); },
+      threads_);
+  return results;
+}
+
+void ParallelRunner::for_each(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) const {
+  util::parallel_for(n, fn, threads_);
+}
+
+}  // namespace prebake::exp

@@ -1,0 +1,45 @@
+// Cell-level dispatch for figure sweeps and tables: a ParallelRunner takes a
+// batch of independent scenario configurations (the cells of a figure) and
+// runs them across the shared worker pool. Each cell's repetitions
+// additionally shard across the same pool (see scenario.hpp); nesting is
+// safe because parallel_for's caller participates in the work instead of
+// blocking, so a cell task can itself fan out without deadlocking the pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace prebake::exp {
+
+class ParallelRunner {
+ public:
+  // threads = 0: default (PREBAKE_THREADS env var, else hardware
+  // concurrency); 1: everything runs inline. Results are bit-identical for
+  // any value.
+  explicit ParallelRunner(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  // Run every start-up scenario; result i corresponds to configs[i]. Cells
+  // that leave `threads` at 0 inherit this runner's thread count.
+  std::vector<ScenarioResult> run_startup(
+      std::vector<ScenarioConfig> configs) const;
+
+  // Run every service-time scenario; result i corresponds to configs[i].
+  std::vector<ServiceScenarioResult> run_service(
+      const std::vector<ServiceScenarioConfig>& configs) const;
+
+  // Generic deterministic fan-out over [0, n) for bench cells that are not
+  // plain scenarios (e.g. platform simulations). fn must write results into
+  // per-index slots.
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  int threads_;
+};
+
+}  // namespace prebake::exp

@@ -1,8 +1,13 @@
 // Experiment scenario runners shared by the benchmark binaries and the
-// calibration tests. Each scenario builds a fresh simulated testbed, bakes
-// the snapshot (if the technique needs one), then measures `repetitions`
+// calibration tests. Each scenario builds the function once, bakes the
+// snapshot (if the technique needs one), then measures `repetitions`
 // independent replica start-ups exactly as the paper's harness does
 // (Section 4.1: runtime restarted before every run; 200 repetitions).
+//
+// Repetitions are sharded across the worker pool in fixed-size blocks whose
+// layout depends only on the repetition count; every repetition draws its
+// noise from Rng{splitmix64(seed, rep)}. Results are therefore bit-identical
+// at any thread count — see DESIGN.md, "Parallel harness & determinism".
 #pragma once
 
 #include <cstdint>
@@ -39,6 +44,10 @@ struct ScenarioConfig {
   // Runtime cost profile; defaults to the calibrated Java 8 testbed. The
   // cross-runtime ablation passes runtime_profile(kNode12/kPython3).
   std::optional<rt::RuntimeCosts> runtime;
+  // Worker threads for the repetition shards. 0 = default (PREBAKE_THREADS
+  // env var, else hardware concurrency); 1 = run inline. Any value produces
+  // bit-identical results.
+  int threads = 0;
 };
 
 struct ScenarioResult {
@@ -49,6 +58,14 @@ struct ScenarioResult {
 };
 
 ScenarioResult run_startup_scenario(const ScenarioConfig& config);
+
+// The seed harness's serial runner, kept as the wall-clock baseline for
+// bench_harness and as an independent check of the parallel engine: one
+// testbed runs build + bake + all repetitions sequentially with the legacy
+// sequential RNG stream. Statistically equivalent to run_startup_scenario
+// but not bit-identical (different noise stream derivation).
+// `config.threads` is ignored.
+ScenarioResult run_startup_scenario_reference(const ScenarioConfig& config);
 
 // Service-time scenario (Figure 7): start one replica with the given
 // technique, then apply `requests` sequential requests; returns per-request
@@ -63,5 +80,15 @@ struct ServiceScenarioResult {
 ServiceScenarioResult run_service_scenario(const rt::FunctionSpec& spec,
                                            Technique technique, int requests,
                                            std::uint64_t seed = 42);
+
+// Batched form used by ParallelRunner::run_service.
+struct ServiceScenarioConfig {
+  rt::FunctionSpec spec;
+  Technique technique = Technique::kVanilla;
+  int requests = 1000;
+  std::uint64_t seed = 42;
+};
+
+ServiceScenarioResult run_service_scenario(const ServiceScenarioConfig& config);
 
 }  // namespace prebake::exp

@@ -15,6 +15,34 @@ void FunctionBuilder::ensure_runtime_binary(const std::string& path) {
     kernel_->fs().create(path, kRuntimeBinaryBytes);
 }
 
+void FunctionBuilder::install(const BuildResult& result) {
+  os::Kernel& k = *kernel_;
+  const rt::FunctionSpec& spec = result.spec;
+
+  ensure_runtime_binary(spec.runtime_binary);
+
+  const std::uint64_t archive_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(spec.total_class_bytes()) * kArchiveOverhead);
+  if (!k.fs().exists(spec.classpath_archive))
+    k.fs().create(spec.classpath_archive,
+                  std::max<std::uint64_t>(archive_bytes, 4096));
+
+  if (spec.init_io_bytes > 0 && !spec.init_io_path.empty() &&
+      !k.fs().exists(spec.init_io_path))
+    k.fs().create(spec.init_io_path, spec.init_io_bytes);
+
+  // Persisted snapshot images, exactly as the dump left them on the baking
+  // host: present in storage and resident in the page cache.
+  if (result.snapshot.has_value()) {
+    const core::BakedSnapshot& snap = *result.snapshot;
+    for (const auto& [name, f] : snap.images.files()) {
+      const std::string path = snap.fs_prefix + name;
+      if (!k.fs().exists(path)) k.fs().create(path, f.nominal_size);
+      k.fs().warm(path);
+    }
+  }
+}
+
 BuildResult FunctionBuilder::build(rt::FunctionSpec spec,
                                    std::optional<core::PrebakeConfig> prebake,
                                    sim::Rng rng) {

@@ -28,6 +28,13 @@ class FunctionBuilder {
   BuildResult build(rt::FunctionSpec spec,
                     std::optional<core::PrebakeConfig> prebake, sim::Rng rng);
 
+  // Replay the filesystem side effects of a build done on *another* kernel
+  // into this one: registry artifacts plus any persisted snapshot images.
+  // Advances no simulated time — the parallel scenario engine bakes once in
+  // a scratch testbed and installs the result into each shard testbed, so
+  // every shard measures against the exact same deployed state.
+  void install(const BuildResult& result);
+
   // Ensure the runtime binary exists in storage (shared by all functions).
   void ensure_runtime_binary(const std::string& path);
 

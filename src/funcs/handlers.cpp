@@ -26,22 +26,23 @@ Response MarkdownHandler::handle(const Request& req) {
   return res;
 }
 
-ImageResizerHandler::ImageResizerHandler(std::shared_ptr<const Image> source,
-                                         double scale)
+ImageResizerHandler::ImageResizerHandler(
+    std::shared_ptr<const LazyImage> source, double scale)
     : source_{std::move(source)}, scale_{scale} {
-  if (!source_ || !source_->valid())
+  if (!source_ || source_->width() == 0 || source_->height() == 0)
     throw std::invalid_argument{"ImageResizerHandler: invalid source image"};
   if (scale_ <= 0.0 || scale_ > 1.0)
     throw std::invalid_argument{"ImageResizerHandler: scale must be in (0, 1]"};
 }
 
 Response ImageResizerHandler::handle(const Request&) {
-  const Image scaled = resize_box(*source_, scale_);
+  const Image& src = source_->get();
+  const Image scaled = resize_box(src, scale_);
   Response res;
   res.status = 200;
   res.headers["Content-Type"] = "image/x-portable-pixmap";
   res.headers["X-Original-Size"] =
-      std::to_string(source_->width) + "x" + std::to_string(source_->height);
+      std::to_string(src.width) + "x" + std::to_string(src.height);
   res.headers["X-Scaled-Size"] =
       std::to_string(scaled.width) + "x" + std::to_string(scaled.height);
   const std::vector<std::uint8_t> ppm = encode_ppm(scaled);
@@ -57,15 +58,16 @@ Response SyntheticHandler::handle(const Request& req) {
   return res;
 }
 
-std::shared_ptr<const Image> SharedAssets::image(std::uint32_t width,
-                                                 std::uint32_t height,
-                                                 std::uint64_t seed) {
+std::shared_ptr<const LazyImage> SharedAssets::image(std::uint32_t width,
+                                                     std::uint32_t height,
+                                                     std::uint64_t seed) {
   const auto key = std::make_tuple(width, height, seed);
+  const std::lock_guard lock{mu_};
   auto it = images_.find(key);
   if (it == images_.end()) {
     it = images_
-             .emplace(key, std::make_shared<const Image>(
-                               generate_synthetic_image(width, height, seed)))
+             .emplace(key, std::make_shared<const LazyImage>(width, height,
+                                                             seed))
              .first;
   }
   return it->second;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 
@@ -36,14 +37,16 @@ class MarkdownHandler final : public Handler {
 };
 
 // ii) Image Resizer: holds a decoded source image (loaded at APPINIT in the
-// paper) and scales it down to `scale` of the original per request.
+// paper) and scales it down to `scale` of the original per request. The
+// source pixels materialize on the first request, not at construction, so
+// start-up-only experiments never pay for synthesizing them.
 class ImageResizerHandler final : public Handler {
  public:
-  ImageResizerHandler(std::shared_ptr<const Image> source, double scale);
+  ImageResizerHandler(std::shared_ptr<const LazyImage> source, double scale);
   Response handle(const Request& req) override;
 
  private:
-  std::shared_ptr<const Image> source_;
+  std::shared_ptr<const LazyImage> source_;
   double scale_;
 };
 
@@ -61,14 +64,20 @@ class SyntheticHandler final : public Handler {
 // Process-wide immutable assets shared between replicas of the same function
 // (the decoded source image is identical for every Image Resizer replica, so
 // regenerating the synthetic pixels per replica would only waste host time).
+// Thread-safe: the parallel scenario engine shares one instance across all
+// shard testbeds. Images are handed out as lazy handles — synthesis happens
+// at most once per (width, height, seed), on the first pixel access, inside
+// LazyImage::get().
 class SharedAssets {
  public:
-  std::shared_ptr<const Image> image(std::uint32_t width, std::uint32_t height,
-                                     std::uint64_t seed);
+  std::shared_ptr<const LazyImage> image(std::uint32_t width,
+                                         std::uint32_t height,
+                                         std::uint64_t seed);
 
  private:
+  std::mutex mu_;
   std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>,
-           std::shared_ptr<const Image>>
+           std::shared_ptr<const LazyImage>>
       images_;
 };
 

@@ -187,4 +187,11 @@ Image decode_ppm(const std::vector<std::uint8_t>& bytes) {
   return img;
 }
 
+const Image& LazyImage::get() const {
+  std::call_once(once_, [this] {
+    image_.emplace(generate_synthetic_image(width_, height_, seed_));
+  });
+  return *image_;
+}
+
 }  // namespace prebake::funcs

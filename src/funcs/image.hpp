@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,30 @@ struct Image {
 // high-frequency detail (so downscaling actually averages something).
 Image generate_synthetic_image(std::uint32_t width, std::uint32_t height,
                                std::uint64_t seed);
+
+// A synthetic source image materialized on first pixel access. Start-up
+// experiments construct (and checkpoint) resizer replicas without reading a
+// single pixel — only a served request does — so synthesis is deferred to
+// the first get(). The image content is a pure function of the constructor
+// arguments, so when materialization happens never affects the pixels.
+class LazyImage {
+ public:
+  LazyImage(std::uint32_t width, std::uint32_t height, std::uint64_t seed)
+      : width_{width}, height_{height}, seed_{seed} {}
+
+  std::uint32_t width() const { return width_; }
+  std::uint32_t height() const { return height_; }
+
+  // Thread-safe: concurrent first calls synthesize exactly once.
+  const Image& get() const;
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t height_;
+  std::uint64_t seed_;
+  mutable std::once_flag once_;
+  mutable std::optional<Image> image_;
+};
 
 // Box-filter downscale by an integer-free ratio: each output pixel averages
 // the covered source rectangle. Requires 0 < scale <= 1.

@@ -12,6 +12,11 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t splitmix64(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed ^ (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
@@ -52,6 +57,23 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
     x = next_u64();
   } while (x >= limit);
   return lo + static_cast<std::int64_t>(x % range);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  // Lemire 2019: map the 64-bit draw onto [0, n) via the high half of a
+  // 128-bit product; reject only the thin biased slice of the low half.
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
 }
 
 double Rng::normal() {

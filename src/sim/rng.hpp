@@ -15,6 +15,13 @@ namespace prebake::sim {
 // derive independent child seeds.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+// Stateless variant: hash (seed, stream) into an independent 64-bit seed.
+// The parallel experiment engine derives each repetition's generator as
+// Rng{splitmix64(config.seed, rep)} so a repetition's stream depends only on
+// the configured seed and its index — never on which thread runs it or how
+// many repetitions precede it.
+std::uint64_t splitmix64(std::uint64_t seed, std::uint64_t stream);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed);
@@ -28,6 +35,12 @@ class Rng {
   double uniform(double lo, double hi);
   // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform integer in [0, n) without modulo bias (Lemire's multiply-shift
+  // with rejection). Division-free in the common case — the bootstrap's
+  // resampling loop draws hundreds of thousands of bounded integers per CI.
+  // Requires n >= 1. Draws a different stream than uniform_int.
+  std::uint64_t next_below(std::uint64_t n);
 
   // Standard normal via Box-Muller (cached spare kept for determinism).
   double normal();

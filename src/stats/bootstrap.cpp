@@ -6,43 +6,97 @@
 
 #include "sim/rng.hpp"
 #include "stats/descriptive.hpp"
+#include "util/thread_pool.hpp"
 
 namespace prebake::stats {
 
-Interval bootstrap_ci(std::span<const double> sample, const Statistic& stat,
-                      double confidence, int resamples, std::uint64_t seed) {
+namespace {
+
+// Chunk of resamples handled by one RNG stream. Fixed so the stream layout —
+// and therefore the interval — depends only on the resample count.
+constexpr int kChunk = 256;
+
+void check_args(std::span<const double> sample, int resamples,
+                double confidence) {
   if (sample.empty()) throw std::invalid_argument{"bootstrap_ci: empty sample"};
   if (resamples < 2) throw std::invalid_argument{"bootstrap_ci: resamples < 2"};
   if (confidence <= 0.0 || confidence >= 1.0)
     throw std::invalid_argument{"bootstrap_ci: confidence outside (0,1)"};
+}
 
-  sim::Rng rng{seed};
+// Fill `stats[b]` for every resample b; `stat_of` may reorder the scratch
+// buffer it is handed (it is refilled before each use).
+template <typename StatOf>
+void run_resamples(std::span<const double> sample, int resamples,
+                   std::uint64_t seed, int threads, std::vector<double>& stats,
+                   const StatOf& stat_of) {
   const std::size_t n = sample.size();
-  std::vector<double> resample(n);
-  std::vector<double> stats;
-  stats.reserve(static_cast<std::size_t>(resamples));
-  for (int b = 0; b < resamples; ++b) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto idx = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
-      resample[i] = sample[idx];
-    }
-    stats.push_back(stat(resample));
-  }
+  const std::size_t n_chunks =
+      (static_cast<std::size_t>(resamples) + kChunk - 1) / kChunk;
+  util::parallel_for(
+      n_chunks,
+      [&](std::size_t chunk) {
+        sim::Rng rng{sim::splitmix64(seed, chunk)};
+        std::vector<double> resample(n);
+        const int begin = static_cast<int>(chunk) * kChunk;
+        const int end = std::min(begin + kChunk, resamples);
+        for (int b = begin; b < end; ++b) {
+          for (std::size_t i = 0; i < n; ++i)
+            resample[i] = sample[rng.next_below(n)];
+          stats[static_cast<std::size_t>(b)] = stat_of(resample);
+        }
+      },
+      threads);
+}
 
+Interval percentile_interval(std::span<const double> stats, double confidence,
+                             double point) {
   const double alpha = 1.0 - confidence;
   Interval iv;
   iv.lo = percentile(stats, alpha / 2.0);
   iv.hi = percentile(stats, 1.0 - alpha / 2.0);
-  iv.point = stat(sample);
+  iv.point = point;
   return iv;
 }
 
+// Median of a scratch buffer via selection instead of a full sort; exactly
+// matches percentile(v, 0.5)'s type-7 arithmetic (midpoint of the two
+// middle order statistics for even n).
+double median_inplace(std::vector<double>& v) {
+  const std::size_t n = v.size();
+  if (n == 1) return v.front();
+  const std::size_t hi = n / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(hi),
+                   v.end());
+  if (n % 2 == 1) return v[hi];
+  const double vhi = v[hi];
+  const double vlo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(hi));
+  return vlo + 0.5 * (vhi - vlo);
+}
+
+}  // namespace
+
+Interval bootstrap_ci(std::span<const double> sample, const Statistic& stat,
+                      double confidence, int resamples, std::uint64_t seed,
+                      int threads) {
+  check_args(sample, resamples, confidence);
+  std::vector<double> stats(static_cast<std::size_t>(resamples));
+  run_resamples(sample, resamples, seed, threads, stats,
+                [&](std::vector<double>& resample) {
+                  return stat(std::span<const double>{resample});
+                });
+  return percentile_interval(stats, confidence, stat(sample));
+}
+
 Interval bootstrap_median_ci(std::span<const double> sample, double confidence,
-                             int resamples, std::uint64_t seed) {
-  return bootstrap_ci(
-      sample, [](std::span<const double> xs) { return median(xs); },
-      confidence, resamples, seed);
+                             int resamples, std::uint64_t seed, int threads) {
+  check_args(sample, resamples, confidence);
+  std::vector<double> stats(static_cast<std::size_t>(resamples));
+  run_resamples(
+      sample, resamples, seed, threads, stats,
+      [](std::vector<double>& resample) { return median_inplace(resample); });
+  return percentile_interval(stats, confidence, median(sample));
 }
 
 }  // namespace prebake::stats

@@ -3,6 +3,11 @@
 // Figures 3 and 5 and Table 1 of the paper report 95% confidence intervals
 // for the median computed via the bootstrap (Efron & Tibshirani [6]); this is
 // the same percentile-bootstrap procedure, made deterministic by seeding.
+//
+// Resamples are drawn in fixed-size chunks, each from its own RNG stream
+// Rng{splitmix64(seed, chunk)}; chunks may run on worker threads but the
+// chunk layout depends only on `resamples`, so the interval is bit-identical
+// for every `threads` value (including 1).
 #pragma once
 
 #include <cstdint>
@@ -22,14 +27,19 @@ struct Interval {
 
 using Statistic = std::function<double(std::span<const double>)>;
 
-// Percentile bootstrap CI for an arbitrary statistic.
+// Percentile bootstrap CI for an arbitrary statistic. `threads` = 0 uses the
+// process default (PREBAKE_THREADS env var, else hardware concurrency);
+// 1 runs inline; the result does not depend on the value.
 Interval bootstrap_ci(std::span<const double> sample, const Statistic& stat,
                       double confidence = 0.95, int resamples = 2000,
-                      std::uint64_t seed = 0x9b0074bead5ULL);
+                      std::uint64_t seed = 0x9b0074bead5ULL, int threads = 0);
 
-// Convenience: CI for the median (the paper's error bars).
+// Convenience: CI for the median (the paper's error bars). Bit-identical to
+// bootstrap_ci with a median statistic, but selects the median with
+// std::nth_element instead of fully sorting each resample.
 Interval bootstrap_median_ci(std::span<const double> sample,
                              double confidence = 0.95, int resamples = 2000,
-                             std::uint64_t seed = 0x9b0074bead5ULL);
+                             std::uint64_t seed = 0x9b0074bead5ULL,
+                             int threads = 0);
 
 }  // namespace prebake::stats

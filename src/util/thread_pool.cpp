@@ -1,0 +1,143 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace prebake::util {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk{mu_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk{mu_};
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk{mu_};
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool{
+      static_cast<unsigned>(std::max(default_threads() - 1, 0))};
+  return pool;
+}
+
+int default_threads() {
+  static const int resolved = [] {
+    if (const char* env = std::getenv("PREBAKE_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return resolved;
+}
+
+int resolve_threads(int requested) {
+  if (requested == 0) return default_threads();
+  return requested < 1 ? 1 : requested;
+}
+
+namespace {
+
+// Shared between the caller and the helper tasks it enqueues; kept alive by
+// shared_ptr because a helper may only get scheduled after the parallel_for
+// that spawned it has already returned.
+struct ForState {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abandoned{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;  // indices fully processed (ran or skipped)
+  std::exception_ptr error;
+
+  // Claim and process indices until they run out. Every index in [0, n) is
+  // claimed by exactly one drainer and always counted in `finished`, so
+  // `finished == n` means no call into fn is still in flight.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      std::exception_ptr eptr;
+      if (!abandoned.load(std::memory_order_acquire)) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          eptr = std::current_exception();
+        }
+      }
+      std::lock_guard lk{mu};
+      if (eptr && !error) {
+        error = eptr;
+        abandoned.store(true, std::memory_order_release);
+      }
+      if (++finished == n) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads, ThreadPool* pool) {
+  if (n == 0) return;
+  const int limit = resolve_threads(threads);
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (limit <= 1 || n == 1 || pool->workers() == 0) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(limit - 1), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    pool->submit([state] { state->drain(); });
+
+  state->drain();  // the caller works too (and cannot deadlock waiting)
+
+  std::unique_lock lk{state->mu};
+  state->done_cv.wait(lk, [&] { return state->finished == state->n; });
+  // fn lives on the caller's frame: helpers must be past their last use of
+  // it before we return. `done` only reaches n after every claimed call
+  // returned, and the abandoned tail was never started.
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace prebake::util

@@ -1,0 +1,68 @@
+// Fixed-size thread pool and a deterministic parallel_for.
+//
+// The experiment engine shards its work into chunks whose boundaries depend
+// only on the problem size — never on the worker count — and derives every
+// chunk's RNG stream from the chunk index. Which thread executes a chunk is
+// therefore irrelevant to the result: the same configuration produces
+// bit-identical output with 1, 2 or 8 threads (see DESIGN.md, "Parallel
+// harness & determinism").
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace prebake::util {
+
+// Worker threads pulling from one FIFO queue. `workers` may be 0, in which
+// case submitted tasks only run when a parallel_for caller lends its own
+// thread (everything degrades gracefully to serial execution).
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  // The process-wide pool, sized so that a parallel_for caller plus the
+  // workers add up to default_threads() runnable threads.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Library-wide default parallelism: $PREBAKE_THREADS if set (>= 1), else
+// std::thread::hardware_concurrency().
+int default_threads();
+
+// 0 -> default_threads(); anything else clamped to >= 1.
+int resolve_threads(int requested);
+
+// Invoke fn(i) once for every i in [0, n), spreading the calls over the pool
+// plus the calling thread. `threads` bounds the parallelism (0 = library
+// default, 1 = run inline). The *division* of work is by index, fixed by n
+// alone; only the assignment of indices to threads is dynamic, so fn may
+// derive per-index state (RNG seeds, output slots) and stay deterministic.
+//
+// fn must not throw across indices it wants retried: the first exception is
+// captured, remaining indices are abandoned, and the exception is rethrown
+// on the calling thread once in-flight indices drain.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads = 0, ThreadPool* pool = nullptr);
+
+}  // namespace prebake::util

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the paper bench suite's wall-clock harness.
+#
+#   tools/run_benches.sh [--build-dir DIR] [--threads N] [--reps N] [--out FILE]
+#   tools/run_benches.sh --check [--build-dir DIR] [--threads N]
+#
+# Default mode times the fig3 + fig5 sweeps with the seed's serial runner vs
+# the parallel engine and writes BENCH_harness.json (wall-clock ms per
+# figure, speedup, thread count) at the repository root.
+#
+# --check runs the reduced-repetition regression gate instead: bit-identical
+# results across thread counts plus the reproduced paper numbers staying in
+# range. Exits non-zero on any regression (this is the run_benches_check
+# CTest target).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+mode_args=()
+out="${repo_root}/BENCH_harness.json"
+check=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --check) check=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --threads) mode_args+=(--threads "$2"); shift 2 ;;
+    --reps) mode_args+=(--reps "$2"); shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    *) echo "run_benches.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+harness="${build_dir}/bench/bench_harness"
+if [[ ! -x "$harness" ]]; then
+  echo "run_benches.sh: ${harness} not found; building..." >&2
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" --target bench_harness -j
+fi
+
+if [[ "$check" -eq 1 ]]; then
+  exec "$harness" --check "${mode_args[@]+"${mode_args[@]}"}"
+fi
+
+exec "$harness" --out "$out" "${mode_args[@]+"${mode_args[@]}"}"
