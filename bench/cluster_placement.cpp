@@ -1,0 +1,140 @@
+// Cluster placement policies under "restore as a service" (Section 7).
+//
+// The paper's Section 7 sketches prebaking deployed against a remote
+// snapshot registry: a node's first restore of a function pulls the images
+// over the network; later restores on the same node read the local,
+// page-cached copy. With a bounded per-node image cache the placement
+// policy decides how often that transfer is paid. This bench runs identical
+// mixed Poisson traffic (noop + markdown + image-resizer) over a 4-node
+// cluster with each policy:
+//
+//   worst-fit   — spread by free memory (ignores where images already live)
+//   round-robin — rotate placements across nodes
+//   locality    — prefer nodes whose cache already holds the snapshot
+//                 (Ustiugov et al.'s snapshot-locality observation)
+//
+// and reports cold-start latency, registry traffic, and cache behaviour.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/cluster.hpp"
+#include "exp/report.hpp"
+
+using namespace prebake;
+
+namespace {
+
+exp::ClusterScenarioResult run_policy(faas::PlacementPolicy policy,
+                                      std::uint64_t seed) {
+  exp::ClusterScenarioConfig cfg;
+  cfg.policy = policy;
+  cfg.seed = seed;
+  return exp::run_cluster_scenario(cfg);
+}
+
+void write_json(const std::string& path,
+                const std::vector<faas::PlacementPolicy>& policies,
+                const std::vector<exp::ClusterScenarioResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cluster_placement: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"policies\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::ClusterScenarioResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"policy\": \"%s\", \"requests\": %llu, \"ok\": %llu, "
+        "\"cold_starts\": %llu, \"cold_startup_p50_ms\": %.2f, "
+        "\"cold_startup_p95_ms\": %.2f, \"total_p50_ms\": %.2f, "
+        "\"total_p95_ms\": %.2f, \"total_p99_ms\": %.2f, "
+        "\"snapshot_hits\": %llu, \"snapshot_misses\": %llu, "
+        "\"remote_mib_fetched\": %.1f}%s\n",
+        faas::placement_policy_name(policies[i]),
+        static_cast<unsigned long long>(r.requests),
+        static_cast<unsigned long long>(r.responses_ok),
+        static_cast<unsigned long long>(r.cold_starts),
+        r.cold_startup_p50_ms, r.cold_startup_p95_ms, r.total_p50_ms,
+        r.total_p95_ms, r.total_p99_ms,
+        static_cast<unsigned long long>(r.snapshot_hits),
+        static_cast<unsigned long long>(r.snapshot_misses),
+        static_cast<double>(r.remote_bytes_fetched) / (1024.0 * 1024.0),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_cluster_placement.json";
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: cluster_placement [--out FILE] [--seed N]\n");
+      return 2;
+    }
+  }
+
+  std::printf("== Placement policies, 4-node cluster, remote snapshot "
+              "registry (Section 7) ==\n\n");
+
+  const std::vector<faas::PlacementPolicy> policies = {
+      faas::PlacementPolicy::kWorstFit,
+      faas::PlacementPolicy::kRoundRobin,
+      faas::PlacementPolicy::kSnapshotLocality,
+  };
+  std::vector<exp::ClusterScenarioResult> results;
+  for (const faas::PlacementPolicy policy : policies)
+    results.push_back(run_policy(policy, seed));
+
+  exp::TextTable table{{"Policy", "Requests", "Cold", "Cold p50", "Cold p95",
+                        "Total p95", "Cache hit", "Registry MiB"}};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::ClusterScenarioResult& r = results[i];
+    const std::uint64_t lookups = r.snapshot_hits + r.snapshot_misses;
+    table.add_row(
+        {faas::placement_policy_name(policies[i]), std::to_string(r.requests),
+         std::to_string(r.cold_starts), exp::fmt_ms(r.cold_startup_p50_ms),
+         exp::fmt_ms(r.cold_startup_p95_ms), exp::fmt_ms(r.total_p95_ms),
+         exp::fmt_percent(lookups == 0 ? 0.0
+                                       : static_cast<double>(r.snapshot_hits) /
+                                             static_cast<double>(lookups)),
+         exp::fmt_mib(r.remote_bytes_fetched)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Per-node view (locality policy):\n");
+  const exp::ClusterScenarioResult& loc = results.back();
+  exp::TextTable nodes{{"Node", "Placed", "Hits", "Misses", "Evict",
+                        "Registry MiB", "Busy"}};
+  for (const exp::ClusterNodeReport& n : loc.nodes)
+    nodes.add_row({n.name, std::to_string(n.replicas_placed),
+                   std::to_string(n.snapshot_hits),
+                   std::to_string(n.snapshot_misses),
+                   std::to_string(n.snapshot_evictions),
+                   exp::fmt_mib(n.remote_bytes_fetched),
+                   exp::fmt_ms(n.busy_ms, 1)});
+  std::printf("%s\n", nodes.to_string().c_str());
+
+  write_json(out, policies, results);
+  std::printf("wrote %s\n", out.c_str());
+
+  const bool locality_wins =
+      results[2].cold_startup_p50_ms <= results[0].cold_startup_p50_ms &&
+      results[2].remote_bytes_fetched < results[0].remote_bytes_fetched;
+  std::printf(
+      "\nShape: locality-aware placement re-lands restores on nodes that\n"
+      "already hold the images, so cold starts read the page-cached copy\n"
+      "instead of pulling the registry — %s here vs worst-fit.\n",
+      locality_wins ? "confirmed" : "NOT confirmed");
+  return 0;
+}

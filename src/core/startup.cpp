@@ -92,14 +92,28 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
                                               sim::Rng rng,
                                               double io_contention,
                                               bool in_memory_images) {
+  PrebakedStartOptions options;
+  options.fs_prefix = fs_prefix;
+  options.io_contention = io_contention;
+  options.in_memory = in_memory_images;
+  return start_prebaked(spec, images, options, std::move(rng));
+}
+
+ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
+                                              const criu::ImageDir& images,
+                                              const PrebakedStartOptions& options,
+                                              sim::Rng rng) {
   os::Kernel& k = *kernel_;
   ReplicaProcess rep;
   const sim::TimePoint t0 = k.sim().now();
 
   criu::RestoreOptions opts;
-  opts.fs_prefix = fs_prefix;
-  opts.io_contention = io_contention;
-  opts.in_memory = in_memory_images;
+  opts.fs_prefix = options.fs_prefix;
+  opts.io_contention = options.io_contention;
+  opts.in_memory = options.in_memory;
+  opts.remote_fetch = options.remote_fetch;
+  opts.lazy_pages = options.lazy_pages;
+  opts.lazy_working_set = options.lazy_working_set;
   // Replicas are restored concurrently, so the original pid cannot be
   // reused; CRIU runs with the launcher's capabilities.
   opts.restore_original_pid = false;
@@ -108,6 +122,8 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
   criu::Restorer restorer{k};
   const criu::RestoreResult restored = restorer.restore(images, opts);
   rep.pid = restored.pid;
+  rep.lazy_server = restored.lazy_server;
+  rep.remote_bytes_fetched = restored.remote_bytes;
   const sim::TimePoint t_restored = k.sim().now();
 
   // Learn how warm the image is from its stats entry.

@@ -35,6 +35,25 @@ struct ReplicaProcess {
   os::Pid pid = os::kNoPid;
   std::unique_ptr<rt::ManagedRuntime> runtime;
   StartupBreakdown breakdown;
+  // Present iff the replica was restored with lazy_pages: the uffd server
+  // holding its not-yet-faulted pages. The platform drains it on first use.
+  std::shared_ptr<criu::LazyPagesServer> lazy_server;
+  // Bytes the restore pulled from a remote snapshot registry (0 unless
+  // remote_fetch was set and the node-local cache was cold).
+  std::uint64_t remote_bytes_fetched = 0;
+};
+
+// Knobs for the prebaking path beyond the legacy positional arguments. The
+// cluster layer uses these to express per-node image locality (fs_prefix
+// points at a node-local path, remote_fetch charges the registry transfer on
+// a cache miss) and post-copy restores.
+struct PrebakedStartOptions {
+  std::string fs_prefix;       // "" = images never persisted
+  double io_contention = 1.0;  // N concurrent restores sharing storage
+  bool in_memory = false;      // images pinned in page cache
+  bool remote_fetch = false;   // first uncached read pays network bandwidth
+  bool lazy_pages = false;     // post-copy (uffd) restore
+  double lazy_working_set = 0.25;
 };
 
 class StartupService {
@@ -61,6 +80,12 @@ class StartupService {
                                 const std::string& fs_prefix, sim::Rng rng,
                                 double io_contention = 1.0,
                                 bool in_memory_images = false);
+
+  // Options-struct variant; the positional overload delegates here.
+  ReplicaProcess start_prebaked(const rt::FunctionSpec& spec,
+                                const criu::ImageDir& images,
+                                const PrebakedStartOptions& options,
+                                sim::Rng rng);
 
   os::Pid launcher_pid() const { return launcher_; }
   os::Kernel& kernel() { return *kernel_; }

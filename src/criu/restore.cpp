@@ -13,16 +13,16 @@ namespace {
 
 // Charge the storage cost of reading every image file of one snapshot. A
 // lazy-pages restore only reads the eager fraction of the page payload; the
-// rest is read on demand by the LazyPagesServer.
-std::uint64_t charge_image_reads(os::Kernel& k, const ImageDir& images,
-                                 const RestoreOptions& opts) {
-  std::uint64_t bytes = 0;
+// rest is read on demand by the LazyPagesServer. Accumulates read/remote
+// byte counts into `result`.
+void charge_image_reads(os::Kernel& k, const ImageDir& images,
+                        const RestoreOptions& opts, RestoreResult& result) {
   for (const auto& [name, f] : images.files()) {
     std::uint64_t to_read = f.nominal_size;
     if (opts.lazy_pages && name == "pages-1.img")
       to_read = static_cast<std::uint64_t>(
           static_cast<double>(to_read) * std::clamp(opts.lazy_working_set, 0.0, 1.0));
-    bytes += to_read;
+    result.bytes_read += to_read;
     if (to_read == 0) continue;
     if (!opts.fs_prefix.empty()) {
       const std::string path = opts.fs_prefix + name;
@@ -31,6 +31,7 @@ std::uint64_t charge_image_reads(os::Kernel& k, const ImageDir& images,
         k.sim().advance(k.costs().network_fetch_cost(to_read) *
                         std::max(opts.io_contention, 1.0));
         k.fs().warm(path);
+        result.remote_bytes += to_read;
       }
       if (opts.in_memory) k.fs().warm(path);
       k.fs().charge_read(path, to_read, opts.io_contention);
@@ -40,7 +41,6 @@ std::uint64_t charge_image_reads(os::Kernel& k, const ImageDir& images,
                       std::max(opts.io_contention, 1.0));
     }
   }
-  return bytes;
 }
 
 }  // namespace
@@ -62,8 +62,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
 
   // 1. Read and decode the metadata images (and charge their I/O).
   RestoreResult result;
-  for (const ImageDir* dir : chain)
-    result.bytes_read += charge_image_reads(k, *dir, opts);
+  for (const ImageDir* dir : chain) charge_image_reads(k, *dir, opts, result);
 
   // The decode cache is shared across restores of the same snapshot; get()
   // still raises the canonical "missing image file" error for absent files.

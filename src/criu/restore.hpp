@@ -74,6 +74,11 @@ struct RestoreResult {
   os::Pid pid = os::kNoPid;
   std::uint64_t pages_restored = 0;
   std::uint64_t bytes_read = 0;
+  // Bytes pulled from the remote snapshot registry (remote_fetch restores
+  // whose image files were not yet in the node-local cache). 0 on local
+  // restores and on cache hits — the node-locality signal the cluster
+  // layer's placement policies optimize for.
+  std::uint64_t remote_bytes = 0;
   sim::Duration duration;
   // Present iff the restore ran with lazy_pages.
   std::shared_ptr<LazyPagesServer> lazy_server;

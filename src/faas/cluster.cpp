@@ -1,0 +1,151 @@
+#include "faas/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prebake::faas {
+
+const char* node_state_name(NodeState state) {
+  switch (state) {
+    case NodeState::kReady: return "ready";
+    case NodeState::kDraining: return "draining";
+    case NodeState::kFailed: return "failed";
+  }
+  throw std::invalid_argument{"node_state_name: bad state"};
+}
+
+const char* placement_policy_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kWorstFit: return "worst-fit";
+    case PlacementPolicy::kRoundRobin: return "round-robin";
+    case PlacementPolicy::kSnapshotLocality: return "locality";
+  }
+  throw std::invalid_argument{"placement_policy_name: bad policy"};
+}
+
+WorkerNode::WorkerNode(NodeId id, std::string name, std::uint64_t mem_capacity,
+                       std::uint32_t cpus)
+    : id_{id},
+      name_{std::move(name)},
+      mem_capacity_{mem_capacity},
+      cpus_{cpus} {
+  core_free_.resize(cpus_, sim::TimePoint::origin());
+}
+
+void WorkerNode::reserve(std::uint64_t mem_bytes) {
+  if (mem_bytes > mem_free())
+    throw std::logic_error{"WorkerNode::reserve: over capacity on " + name_};
+  mem_used_ += mem_bytes;
+  ++replicas_;
+  ++stats_.replicas_placed;
+}
+
+void WorkerNode::release(std::uint64_t mem_bytes) {
+  if (mem_used_ < mem_bytes || replicas_ == 0)
+    throw std::logic_error{"WorkerNode::release: accounting underflow"};
+  mem_used_ -= mem_bytes;
+  --replicas_;
+}
+
+sim::TimePoint WorkerNode::run(sim::TimePoint now, sim::Duration work) {
+  stats_.busy += work;
+  if (core_free_.empty()) return now + work;  // uncapped node
+  auto it = std::min_element(core_free_.begin(), core_free_.end());
+  const sim::TimePoint start = std::max(now, *it);
+  const sim::TimePoint done = start + work;
+  *it = done;
+  return done;
+}
+
+sim::TimePoint WorkerNode::next_core_free(sim::TimePoint now) const {
+  if (core_free_.empty()) return now;
+  return std::max(now, *std::min_element(core_free_.begin(), core_free_.end()));
+}
+
+WorkerNode::CacheAdmit WorkerNode::cache_admit(const std::string& key,
+                                               const std::string& fs_prefix,
+                                               std::uint64_t bytes) {
+  CacheAdmit out;
+  const auto it = cache_.find(key);
+  std::erase(cache_lru_, key);
+  cache_lru_.push_back(key);
+  if (it != cache_.end()) {
+    out.hit = true;
+    ++stats_.snapshot_hits;
+    return out;
+  }
+  ++stats_.snapshot_misses;
+  cache_[key] = CacheEntry{fs_prefix, bytes};
+  cache_bytes_ += bytes;
+  out.evicted_prefixes = evict_to_fit();
+  return out;
+}
+
+std::vector<std::string> WorkerNode::set_cache_capacity(std::uint64_t bytes) {
+  cache_capacity_ = bytes;
+  return evict_to_fit();
+}
+
+std::vector<std::string> WorkerNode::evict_to_fit() {
+  std::vector<std::string> evicted;
+  if (cache_capacity_ == 0) return evicted;
+  while (cache_bytes_ > cache_capacity_ && cache_lru_.size() > 1) {
+    const std::string victim = cache_lru_.front();
+    cache_lru_.erase(cache_lru_.begin());
+    const auto it = cache_.find(victim);
+    cache_bytes_ -= it->second.bytes;
+    evicted.push_back(it->second.fs_prefix);
+    cache_.erase(it);
+    ++stats_.snapshot_evictions;
+  }
+  return evicted;
+}
+
+WorkerNode* Scheduler::pick_worst_fit(std::vector<WorkerNode>& nodes,
+                                      const PlacementRequest& request) {
+  WorkerNode* best = nullptr;
+  for (WorkerNode& n : nodes) {
+    if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
+    if (best == nullptr || n.mem_free() > best->mem_free()) best = &n;
+  }
+  return best;
+}
+
+WorkerNode* Scheduler::pick(std::vector<WorkerNode>& nodes,
+                            const PlacementRequest& request) {
+  if (nodes.empty()) return nullptr;
+  switch (policy_) {
+    case PlacementPolicy::kWorstFit:
+      return pick_worst_fit(nodes, request);
+
+    case PlacementPolicy::kRoundRobin: {
+      // Rotate a cursor over the node list; skip nodes that cannot host.
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        WorkerNode& n = nodes[(rr_cursor_ + i) % nodes.size()];
+        if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
+        rr_cursor_ = (rr_cursor_ + i + 1) % nodes.size();
+        return &n;
+      }
+      return nullptr;
+    }
+
+    case PlacementPolicy::kSnapshotLocality: {
+      // Among nodes already holding the snapshot, take the one with most
+      // free memory; otherwise fall back to worst-fit (which also covers
+      // vanilla replicas, whose request carries no snapshot key).
+      if (!request.snapshot_key.empty()) {
+        WorkerNode* best = nullptr;
+        for (WorkerNode& n : nodes) {
+          if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
+          if (!n.cache_contains(request.snapshot_key)) continue;
+          if (best == nullptr || n.mem_free() > best->mem_free()) best = &n;
+        }
+        if (best != nullptr) return best;
+      }
+      return pick_worst_fit(nodes, request);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace prebake::faas

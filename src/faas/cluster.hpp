@@ -1,0 +1,163 @@
+// The cluster layer: real worker nodes and replica placement.
+//
+// The paper deploys prebaking inside OpenFaaS, where replicas land on worker
+// nodes. A WorkerNode owns (a) its memory budget, (b) its CPU timeline —
+// replica start-ups and request service execute as serialized work on the
+// node's cores, so concurrent restores on one node contend while restores on
+// different nodes overlap — and (c) a node-local snapshot/image cache: under
+// the Section-7 "checkpoint/restore as a service" deployment the first
+// restore of a function on a node pulls the image files from the remote
+// registry, after which they are resident locally (cf. Ustiugov et al.,
+// PAPERS.md, on snapshot locality deciding restore cost).
+//
+// The Scheduler picks a node for each replica with a pluggable policy:
+// worst-fit (spread by free memory), round-robin, or snapshot-locality-aware
+// (prefer nodes that already hold the function's images).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace prebake::faas {
+
+using NodeId = std::uint32_t;
+
+// Node lifecycle. Draining nodes accept no new replicas but let resident
+// ones finish; failed nodes lose everything on them (the platform kills the
+// replicas and re-queues their in-flight work).
+enum class NodeState : std::uint8_t { kReady, kDraining, kFailed };
+
+const char* node_state_name(NodeState state);
+
+struct NodeStats {
+  std::uint64_t replicas_placed = 0;   // lifetime placements (not current)
+  std::uint64_t snapshot_hits = 0;     // restores served from the local cache
+  std::uint64_t snapshot_misses = 0;   // restores that had to pull remotely
+  std::uint64_t snapshot_evictions = 0;
+  std::uint64_t remote_bytes_fetched = 0;
+  sim::Duration busy;                  // CPU time executed on this node
+};
+
+class WorkerNode {
+ public:
+  // `cpus` == 0 models a node with enough cores that replica work never
+  // queues (the seed's behaviour); a positive count serializes work onto
+  // that many core timelines.
+  WorkerNode(NodeId id, std::string name, std::uint64_t mem_capacity,
+             std::uint32_t cpus);
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::uint32_t cpus() const { return cpus_; }
+  NodeState state() const { return state_; }
+  void set_state(NodeState state) { state_ = state; }
+  bool schedulable() const { return state_ == NodeState::kReady; }
+
+  // --- memory ------------------------------------------------------------
+  std::uint64_t mem_capacity() const { return mem_capacity_; }
+  std::uint64_t mem_used() const { return mem_used_; }
+  std::uint64_t mem_free() const { return mem_capacity_ - mem_used_; }
+  std::uint32_t replicas() const { return replicas_; }
+
+  void reserve(std::uint64_t mem_bytes);
+  void release(std::uint64_t mem_bytes);  // throws on accounting underflow
+
+  // --- CPU timeline ------------------------------------------------------
+  // Schedule `work` of CPU time on the earliest-free core, no earlier than
+  // `now`; returns the completion time. Work submitted while every core is
+  // busy queues behind the earliest completion (serialized start-ups and
+  // request service — the contention the single-CPU seed model charged
+  // globally, now charged per node).
+  sim::TimePoint run(sim::TimePoint now, sim::Duration work);
+  // When the next core becomes available (>= now).
+  sim::TimePoint next_core_free(sim::TimePoint now) const;
+
+  // --- node-local snapshot/image cache ------------------------------------
+  struct CacheAdmit {
+    bool hit = false;
+    // fs prefixes of evicted entries; the owner removes their local files.
+    std::vector<std::string> evicted_prefixes;
+  };
+  // Look up `key` (function/policy tag); admit it on miss. `fs_prefix` is
+  // where the key's image files live on this node, `bytes` their total size
+  // (drives LRU eviction against the cache capacity). Hits refresh recency.
+  CacheAdmit cache_admit(const std::string& key, const std::string& fs_prefix,
+                         std::uint64_t bytes);
+  bool cache_contains(const std::string& key) const {
+    return cache_.contains(key);
+  }
+  // 0 = unbounded. Shrinking evicts immediately; evicted prefixes are
+  // returned so the owner can drop the files.
+  std::vector<std::string> set_cache_capacity(std::uint64_t bytes);
+  std::uint64_t cache_capacity() const { return cache_capacity_; }
+  std::uint64_t cache_bytes() const { return cache_bytes_; }
+  std::size_t cache_entries() const { return cache_.size(); }
+
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+
+ private:
+  struct CacheEntry {
+    std::string fs_prefix;
+    std::uint64_t bytes = 0;
+  };
+
+  std::vector<std::string> evict_to_fit();
+
+  NodeId id_ = 0;
+  std::string name_;
+  std::uint64_t mem_capacity_ = 0;
+  std::uint64_t mem_used_ = 0;
+  std::uint32_t replicas_ = 0;
+  std::uint32_t cpus_ = 1;
+  NodeState state_ = NodeState::kReady;
+  std::vector<sim::TimePoint> core_free_;
+  std::map<std::string, CacheEntry> cache_;
+  std::vector<std::string> cache_lru_;  // front = least recently used
+  std::uint64_t cache_capacity_ = 0;
+  std::uint64_t cache_bytes_ = 0;
+  NodeStats stats_;
+};
+
+// --- placement -------------------------------------------------------------
+
+enum class PlacementPolicy : std::uint8_t {
+  kWorstFit,         // most free memory first (the seed's behaviour)
+  kRoundRobin,       // rotate across schedulable nodes
+  kSnapshotLocality  // prefer nodes whose cache already holds the snapshot
+};
+
+const char* placement_policy_name(PlacementPolicy policy);
+
+struct PlacementRequest {
+  std::uint64_t mem_bytes = 0;
+  // Snapshot cache key ("<function>/<policy tag>"); empty for vanilla
+  // replicas (locality then degrades to worst-fit for the request).
+  std::string snapshot_key;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(PlacementPolicy policy = PlacementPolicy::kWorstFit)
+      : policy_{policy} {}
+
+  PlacementPolicy policy() const { return policy_; }
+  void set_policy(PlacementPolicy policy) { policy_ = policy; }
+
+  // Pick a schedulable node with room for the request, or nullptr.
+  WorkerNode* pick(std::vector<WorkerNode>& nodes,
+                   const PlacementRequest& request);
+
+ private:
+  WorkerNode* pick_worst_fit(std::vector<WorkerNode>& nodes,
+                             const PlacementRequest& request);
+
+  PlacementPolicy policy_;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace prebake::faas

@@ -1,0 +1,53 @@
+#include "faas/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prebake::faas {
+
+int LatencyHistogram::bucket_of(double ms) {
+  if (!(ms > kMinMs)) return 0;
+  const int b = 1 + static_cast<int>(std::floor(std::log10(ms / kMinMs) *
+                                                kBucketsPerDecade));
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_floor_ms(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return kMinMs * std::pow(10.0, static_cast<double>(bucket - 1) /
+                                     kBucketsPerDecade);
+}
+
+void LatencyHistogram::record(double ms) {
+  if (ms < 0) ms = 0;
+  ++buckets_[static_cast<std::size_t>(bucket_of(ms))];
+  if (count_ == 0) {
+    min_ms_ = max_ms_ = ms;
+  } else {
+    min_ms_ = std::min(min_ms_, ms);
+    max_ms_ = std::max(max_ms_, ms);
+  }
+  ++count_;
+  sum_ms_ += ms;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the p-th sample (nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      // The last rank is the max sample exactly; the overflow bucket's
+      // floor would underestimate anything recorded past the top decade.
+      if (rank == count_ || b == kBuckets - 1) return max_ms_;
+      return std::clamp(bucket_floor_ms(b), min_ms_, max_ms_);
+    }
+  }
+  return max_ms_;
+}
+
+}  // namespace prebake::faas

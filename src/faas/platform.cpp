@@ -1,5 +1,6 @@
 #include "faas/platform.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace prebake::faas {
@@ -39,6 +40,12 @@ Platform::Replica* Platform::find_idle(const std::string& function) {
   return nullptr;
 }
 
+Platform::Replica* Platform::find_replica(std::uint64_t id) {
+  for (auto& r : replicas_)
+    if (r->id == id) return r.get();
+  return nullptr;
+}
+
 std::uint32_t Platform::replica_count(const std::string& function) const {
   std::uint32_t n = 0;
   for (const auto& r : replicas_)
@@ -53,6 +60,19 @@ std::uint32_t Platform::idle_replica_count(const std::string& function) const {
   return n;
 }
 
+std::uint32_t Platform::starting_replica_count(
+    const std::string& function) const {
+  std::uint32_t n = 0;
+  for (const auto& r : replicas_)
+    if (r->function == function && r->state == ReplicaState::kStarting) ++n;
+  return n;
+}
+
+std::string Platform::node_image_prefix(NodeId node,
+                                        const std::string& fs_prefix) const {
+  return "/node/" + resources_.node(node).name() + fs_prefix;
+}
+
 Platform::Replica* Platform::start_replica(const std::string& function,
                                            bool prewarmed) {
   const RegisteredFunction& fn = registry_.get(function);
@@ -60,15 +80,26 @@ Platform::Replica* Platform::start_replica(const std::string& function,
     return nullptr;
 
   // Estimate the placement footprint: snapshot size (prebaked) or class +
-  // runtime footprint (vanilla), plus the container overhead.
+  // runtime footprint (vanilla), plus the container overhead. A snapshot
+  // evicted from the store degrades to a Vanilla start, not an outage.
+  const core::BakedSnapshot* snap = nullptr;
   std::uint64_t est = config_.replica_mem_overhead;
   if (fn.mode == StartMode::kPrebaked) {
-    est += snapshots_.get(function, fn.policy).images.nominal_total();
-  } else {
+    try {
+      snap = &snapshots_.get(function, fn.policy);
+      est += snap->images.nominal_total();
+    } catch (const std::exception&) {
+      snap = nullptr;
+    }
+  }
+  if (snap == nullptr)
     est += 16ull * 1024 * 1024 + fn.spec.total_class_bytes() * 2 +
            fn.spec.init_extra_resident;
-  }
-  const std::optional<NodeId> node = resources_.place(est);
+
+  PlacementRequest request;
+  request.mem_bytes = est;
+  if (snap != nullptr) request.snapshot_key = snap->fs_prefix;
+  const std::optional<NodeId> node = resources_.place(request);
   if (!node.has_value()) return nullptr;
 
   auto replica = std::make_unique<Replica>();
@@ -77,6 +108,13 @@ Platform::Replica* Platform::start_replica(const std::string& function,
   replica->node = *node;
   replica->mem_bytes = est;
   replica->prewarmed = prewarmed;
+
+  // The start-up work (container provisioning, restore or fork-exec, app
+  // init) is measured inline against the kernel — its side effects (page
+  // cache warmth, process creation) apply now, in call order — then the
+  // clock is rewound and the elapsed work is queued on the owning node's
+  // CPU timeline; the replica becomes idle at the node's completion time.
+  const sim::TimePoint t0 = kernel_->sim().now();
 
   if (config_.containerized) {
     // Provision the execution environment first (Section 2, component 1).
@@ -90,37 +128,91 @@ Platform::Replica* Platform::start_replica(const std::string& function,
   }
 
   sim::Rng rng = rng_.child(replica->id * 1315423911ULL);
-  if (fn.mode == StartMode::kPrebaked) {
+  if (fn.mode == StartMode::kPrebaked && snap != nullptr) {
     // A corrupt or missing snapshot must degrade availability, not destroy
     // it: fall back to the fork-exec path and count the incident.
     try {
-      const core::BakedSnapshot& snap = snapshots_.get(function, fn.policy);
-      replica->proc = startup_.start_prebaked(fn.spec, snap.images,
-                                              snap.fs_prefix, rng.child(0));
+      core::PrebakedStartOptions opts;
+      opts.lazy_pages = config_.lazy_restore;
+      opts.lazy_working_set = config_.lazy_working_set;
+      if (config_.remote_registry) {
+        WorkerNode& wn = resources_.node_mut(*node);
+        if (config_.node_snapshot_cache_bytes > 0 && wn.cache_capacity() == 0)
+          wn.set_cache_capacity(config_.node_snapshot_cache_bytes);
+        const std::string local = node_image_prefix(*node, snap->fs_prefix);
+        const WorkerNode::CacheAdmit admit = wn.cache_admit(
+            snap->fs_prefix, local, snap->images.nominal_total());
+        for (const std::string& prefix : admit.evicted_prefixes)
+          for (const std::string& path : kernel_->fs().list(prefix))
+            kernel_->fs().remove(path);
+        // Materialize the node-local image files; ones never fetched (or
+        // evicted above) start cold, so the restore pays the registry
+        // transfer for exactly the uncached bytes.
+        for (const auto& [name, f] : snap->images.files()) {
+          const std::string path = local + name;
+          if (!kernel_->fs().exists(path)) kernel_->fs().create(path, f.nominal_size);
+        }
+        opts.fs_prefix = local;
+        opts.remote_fetch = true;
+      } else {
+        opts.fs_prefix = snap->fs_prefix;
+      }
+      replica->proc = startup_.start_prebaked(fn.spec, snap->images, opts,
+                                              rng.child(0));
+      if (config_.remote_registry)
+        resources_.node_mut(*node).stats().remote_bytes_fetched +=
+            replica->proc.remote_bytes_fetched;
     } catch (const std::exception&) {
       ++stats_.restore_fallbacks;
       replica->proc = startup_.start_vanilla(fn.spec, rng.child(1));
     }
+  } else if (fn.mode == StartMode::kPrebaked) {
+    ++stats_.restore_fallbacks;
+    replica->proc = startup_.start_vanilla(fn.spec, rng.child(1));
   } else {
     replica->proc = startup_.start_vanilla(fn.spec, std::move(rng));
   }
+
   if (replica->container.has_value()) {
     containers_.attach(*replica->container, replica->proc.pid);
     if (const auto oom = containers_.enforce_memory_limit(*replica->container)) {
       ++stats_.oom_kills;
       containers_.destroy(*replica->container);
+      const sim::TimePoint t_end = kernel_->sim().now();
+      kernel_->sim().rewind_to(t0);
+      resources_.node_mut(*node).run(t0, t_end - t0);  // the work still ran
       resources_.release(*node, est);
       return nullptr;
     }
   }
-  replica->state = ReplicaState::kIdle;
-  replica->idle_since = kernel_->sim().now();
-  ++stats_.replicas_started;
 
+  const sim::TimePoint t_end = kernel_->sim().now();
+  kernel_->sim().rewind_to(t0);
+  const sim::TimePoint ready_at =
+      resources_.node_mut(*node).run(t0, t_end - t0);
+
+  replica->state = ReplicaState::kStarting;
+  ++stats_.replicas_started;
   replicas_.push_back(std::move(replica));
   Replica* out = replicas_.back().get();
-  arm_idle_timer(*out);
+  const std::uint64_t id = out->id;
+  kernel_->sim().schedule_at(ready_at, [this, id] { on_replica_ready(id); });
   return out;
+}
+
+void Platform::on_replica_ready(std::uint64_t id) {
+  Replica* replica = find_replica(id);
+  if (replica == nullptr || replica->state != ReplicaState::kStarting) return;
+  const WorkerNode& wn = resources_.node(replica->node);
+  if (wn.state() == NodeState::kFailed) return;  // fail_node owns cleanup
+  if (wn.state() == NodeState::kDraining) {
+    reclaim(*replica);
+    return;
+  }
+  replica->state = ReplicaState::kIdle;
+  replica->idle_since = kernel_->sim().now();
+  arm_idle_timer(*replica);
+  dispatch(replica->function);
 }
 
 void Platform::invoke(const std::string& function, funcs::Request req,
@@ -153,7 +245,8 @@ void Platform::invoke(const std::string& function, funcs::Request req,
 }
 
 void Platform::scale_up(const std::string& function, std::uint32_t count) {
-  while (idle_replica_count(function) < count)
+  while (idle_replica_count(function) + starting_replica_count(function) <
+         count)
     if (start_replica(function, /*prewarmed=*/true) == nullptr) break;
 }
 
@@ -178,6 +271,7 @@ void Platform::dispatch(const std::string& function) {
 void Platform::serve(Replica& replica, Pending pending) {
   replica.state = ReplicaState::kBusy;
   ++replica.idle_epoch;  // cancel any pending idle timeout logically
+  const std::uint64_t epoch = ++replica.serve_epoch;
 
   RequestMetrics metrics;
   metrics.function = replica.function;
@@ -193,53 +287,73 @@ void Platform::serve(Replica& replica, Pending pending) {
   replica.served_any = true;
 
   // Execute the real handler synchronously to *measure* its duration, then
-  // rewind and re-emit the completion as an event, so the replica stays Busy
-  // across the service window and concurrent arrivals trigger scale-out
-  // (one request per replica, as in public clouds — Section 4.1).
+  // rewind and queue the work on the node's CPU timeline, emitting the
+  // completion as an event — the replica stays Busy across the service
+  // window so concurrent arrivals trigger scale-out (one request per
+  // replica, as in public clouds — Section 4.1).
   const sim::TimePoint service_start = kernel_->sim().now();
+  // A lazy (post-copy) restore left pages behind: the first touch of the
+  // working set faults them in, billed to this request's service time.
+  if (replica.proc.lazy_server != nullptr && !replica.proc.lazy_server->done())
+    replica.proc.lazy_server->page_in_all();
   const funcs::Response response = replica.proc.runtime->handle(pending.req);
   const sim::TimePoint service_end = kernel_->sim().now();
-  metrics.service = service_end - service_start;
-  metrics.total = service_end - pending.arrival;
   kernel_->sim().rewind_to(service_start);
+  const sim::TimePoint completion =
+      resources_.node_mut(replica.node).run(service_start,
+                                            service_end - service_start);
+
+  metrics.service = service_end - service_start;
+  metrics.total = completion - pending.arrival;
+  replica.inflight = std::move(pending);
 
   const std::uint64_t id = replica.id;
-  kernel_->sim().schedule_at(
-      service_end,
-      [this, id, response, metrics, callback = std::move(pending.callback)] {
-        request_log_.push_back(metrics);
-        // Release the replica before delivering the response so a chained
-        // invocation (workflow stages) can reuse it immediately.
-        std::string function;
-        for (auto& r : replicas_) {
-          if (r->id != id) continue;
-          r->state = ReplicaState::kIdle;
-          r->idle_since = kernel_->sim().now();
-          arm_idle_timer(*r);
-          function = r->function;
-          break;
-        }
-        callback(response, metrics);
-        if (!function.empty()) dispatch(function);
-      });
+  kernel_->sim().schedule_at(completion, [this, id, epoch, response, metrics] {
+    finish_serve(id, epoch, response, metrics);
+  });
+}
+
+void Platform::finish_serve(std::uint64_t id, std::uint64_t serve_epoch,
+                            const funcs::Response& response,
+                            RequestMetrics metrics) {
+  Replica* replica = find_replica(id);
+  // A node failure between serve and completion re-queued the request; the
+  // re-served copy delivers the response instead of this stale event.
+  if (replica == nullptr || replica->serve_epoch != serve_epoch ||
+      !replica->inflight.has_value())
+    return;
+  Pending pending = std::move(*replica->inflight);
+  replica->inflight.reset();
+  record_request(metrics);
+
+  // Release the replica before delivering the response so a chained
+  // invocation (workflow stages) can reuse it immediately.
+  const std::string function = replica->function;
+  if (resources_.node(replica->node).state() == NodeState::kDraining) {
+    reclaim(*replica);
+  } else {
+    replica->state = ReplicaState::kIdle;
+    replica->idle_since = kernel_->sim().now();
+    arm_idle_timer(*replica);
+  }
+  pending.callback(response, metrics);
+  dispatch(function);
 }
 
 void Platform::arm_idle_timer(Replica& replica) {
   const std::uint64_t epoch = ++replica.idle_epoch;
   const std::uint64_t id = replica.id;
   kernel_->sim().schedule_in(config_.idle_timeout, [this, id, epoch] {
-    for (auto& r : replicas_) {
-      if (r->id != id) continue;
-      if (r->state != ReplicaState::kIdle || r->idle_epoch != epoch) return;
-      // The warm pool floor is exempt from idle reclaim. No re-arm: the
-      // replica sits in the pool until it serves again (serving re-arms on
-      // completion); re-arming here would tick forever on an idle system.
-      const auto it = min_idle_.find(r->function);
-      if (it != min_idle_.end() && idle_replica_count(r->function) <= it->second)
-        return;
-      reclaim(*r);
+    Replica* r = find_replica(id);
+    if (r == nullptr) return;
+    if (r->state != ReplicaState::kIdle || r->idle_epoch != epoch) return;
+    // The warm pool floor is exempt from idle reclaim. No re-arm: the
+    // replica sits in the pool until it serves again (serving re-arms on
+    // completion); re-arming here would tick forever on an idle system.
+    const auto it = min_idle_.find(r->function);
+    if (it != min_idle_.end() && idle_replica_count(r->function) <= it->second)
       return;
-    }
+    reclaim(*r);
   });
 }
 
@@ -250,6 +364,78 @@ void Platform::reclaim(Replica& replica) {
   ++stats_.replicas_reclaimed;
   const std::uint64_t id = replica.id;
   std::erase_if(replicas_, [id](const auto& r) { return r->id == id; });
+}
+
+void Platform::record_request(const RequestMetrics& metrics) {
+  if (!config_.aggregate_request_log) {
+    request_log_.push_back(metrics);
+    return;
+  }
+  ++aggregate_.count;
+  aggregate_.total_ms.record(metrics.total.to_millis());
+  aggregate_.service_ms.record(metrics.service.to_millis());
+  aggregate_.queue_wait_ms.record(metrics.queue_wait.to_millis());
+  if (metrics.cold_start) {
+    ++aggregate_.cold_starts;
+    aggregate_.cold_startup_ms.record(metrics.startup.to_millis());
+  }
+}
+
+void Platform::ensure_capacity(const std::string& function) {
+  const auto it = queues_.find(function);
+  if (it == queues_.end() || it->second.empty()) return;
+  std::uint32_t available =
+      idle_replica_count(function) + starting_replica_count(function);
+  while (available < it->second.size())
+    if (start_replica(function) == nullptr)
+      break;
+    else
+      ++available;
+  dispatch(function);
+}
+
+void Platform::drain_node(NodeId node) {
+  resources_.drain(node);
+  std::vector<std::uint64_t> idle_ids;
+  for (const auto& r : replicas_)
+    if (r->node == node && r->state == ReplicaState::kIdle)
+      idle_ids.push_back(r->id);
+  for (const std::uint64_t id : idle_ids)
+    if (Replica* r = find_replica(id)) reclaim(*r);
+  // Busy and starting replicas finish their work and are reclaimed by their
+  // completion events. Refill warm pools on the remaining nodes now.
+  for (const auto& [function, count] : min_idle_) scale_up(function, count);
+}
+
+void Platform::fail_node(NodeId node) {
+  resources_.fail(node);
+  ++stats_.node_failures;
+
+  std::vector<std::string> affected;
+  for (auto& r : replicas_) {
+    if (r->node != node) continue;
+    affected.push_back(r->function);
+    if (r->inflight.has_value()) {
+      // The response will never arrive from this replica; put the request
+      // back at the head of the queue to be re-served (likely as a fresh
+      // cold start elsewhere).
+      queues_[r->function].push_front(std::move(*r->inflight));
+      r->inflight.reset();
+      ++stats_.requests_requeued;
+    }
+    if (r->container.has_value()) containers_.destroy(*r->container);
+    startup_.reclaim(r->proc);
+    resources_.release(node, r->mem_bytes);
+    ++stats_.replicas_reclaimed;
+  }
+  std::erase_if(replicas_,
+                [node](const auto& r) { return r->node == node; });
+
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (const std::string& function : affected) ensure_capacity(function);
+  for (const auto& [function, count] : min_idle_) scale_up(function, count);
 }
 
 }  // namespace prebake::faas

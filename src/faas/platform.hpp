@@ -4,9 +4,12 @@
 // Concurrency model matches the paper's description of public clouds: each
 // replica handles one request at a time; a request arriving while every
 // replica is busy triggers a scale-up; replicas idle longer than the
-// idle-timeout are garbage collected. Worker-node CPU work (replica start-up
-// and request service) executes inline on the simulation clock, modeling a
-// single-CPU worker; request arrivals are scheduled events.
+// idle-timeout are garbage collected. Replica start-up and request service
+// execute on the owning WorkerNode's CPU timeline (see faas/cluster.hpp):
+// the work is measured inline against the simulated kernel, rewound, and
+// re-emitted as a completion event at the time the node's cores actually
+// finish it — so concurrent work on one node contends while work on
+// different nodes overlaps.
 #pragma once
 
 #include <cstdint>
@@ -14,12 +17,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/prebaker.hpp"
 #include "core/startup.hpp"
 #include "faas/builder.hpp"
+#include "faas/metrics.hpp"
 #include "faas/registry.hpp"
 #include "faas/resource_manager.hpp"
 #include "os/container.hpp"
@@ -51,6 +56,25 @@ struct PlatformConfig {
   // enforces a cgroup memory limit sized to the placement estimate.
   bool containerized = false;
   os::ContainerCosts container_costs{};
+  // "Checkpoint/restore as a service" (Section 7): snapshot images live on a
+  // remote registry. A node's first restore of a function pulls the images
+  // at network bandwidth into a node-local copy; later restores on the same
+  // node read the local (page-cached) copy. Placement locality then decides
+  // how often the transfer is paid.
+  bool remote_registry = false;
+  // Per-node budget for locally cached snapshot images (LRU; 0 = unbounded).
+  // Applied to nodes on their first remote restore; explicit per-node
+  // set_cache_capacity calls take precedence.
+  std::uint64_t node_snapshot_cache_bytes = 0;
+  // Restore replicas with CRIU lazy-pages (post-copy): only
+  // `lazy_working_set` of the memory is mapped at start; the remainder
+  // faults in on first use, charged to the first request's service time.
+  bool lazy_restore = false;
+  double lazy_working_set = 0.25;
+  // Record requests into a bounded RequestAggregate (histogram percentiles)
+  // instead of growing the full per-request log — required for runs with
+  // millions of invocations.
+  bool aggregate_request_log = false;
 };
 
 struct PlatformStats {
@@ -63,6 +87,8 @@ struct PlatformStats {
   // Snapshot restores that failed (corrupt/missing images) and fell back to
   // the Vanilla start path.
   std::uint64_t restore_fallbacks = 0;
+  std::uint64_t node_failures = 0;      // fail_node calls
+  std::uint64_t requests_requeued = 0;  // in-flight work re-queued by failures
 };
 
 class Platform {
@@ -81,7 +107,8 @@ class Platform {
   void invoke(const std::string& function, funcs::Request req,
               InvokeCallback callback);
 
-  // Pre-warm: ensure at least `count` idle replicas exist.
+  // Pre-warm: ensure at least `count` replicas are idle or on their way to
+  // idle (start-up is asynchronous; run the simulation to realize them).
   void scale_up(const std::string& function, std::uint32_t count);
 
   // Warm-pool policy (the pool-based alternative of Lin & Glikson [14], the
@@ -91,33 +118,33 @@ class Platform {
   // the provider eats for the latency (Section 1).
   void set_min_idle(const std::string& function, std::uint32_t count);
 
+  // Node lifecycle, platform view. Draining stops new placements, reclaims
+  // the node's idle replicas and lets busy ones finish (reclaimed on
+  // completion). Failing a node kills everything on it: in-flight requests
+  // are re-queued at the front of their function's queue and re-served
+  // elsewhere; warm pools are replenished on surviving nodes.
+  void drain_node(NodeId node);
+  void fail_node(NodeId node);
+
   ResourceManager& resources() { return resources_; }
   FunctionRegistry& registry() { return registry_; }
   core::SnapshotStore& snapshots() { return snapshots_; }
   const PlatformStats& stats() const { return stats_; }
   const std::vector<RequestMetrics>& request_log() const { return request_log_; }
+  // The bounded aggregate (populated when aggregate_request_log is set).
+  const RequestAggregate& request_aggregate() const { return aggregate_; }
   std::uint32_t replica_count(const std::string& function) const;
   std::uint32_t idle_replica_count(const std::string& function) const;
+  std::uint32_t starting_replica_count(const std::string& function) const;
   os::Kernel& kernel() { return *kernel_; }
   core::StartupService& startup() { return startup_; }
   os::ContainerRuntime& containers() { return containers_; }
 
- private:
-  enum class ReplicaState : std::uint8_t { kIdle, kBusy };
+  // Where a snapshot's images live on `node` under remote_registry.
+  std::string node_image_prefix(NodeId node, const std::string& fs_prefix) const;
 
-  struct Replica {
-    std::uint64_t id = 0;
-    std::string function;
-    NodeId node = 0;
-    std::uint64_t mem_bytes = 0;
-    core::ReplicaProcess proc;
-    ReplicaState state = ReplicaState::kIdle;
-    sim::TimePoint idle_since;
-    std::uint64_t idle_epoch = 0;  // invalidates stale idle-timeout events
-    bool served_any = false;
-    bool prewarmed = false;  // started proactively (scale_up), not by a request
-    std::optional<os::ContainerId> container;
-  };
+ private:
+  enum class ReplicaState : std::uint8_t { kStarting, kIdle, kBusy };
 
   struct Pending {
     funcs::Request req;
@@ -125,12 +152,38 @@ class Platform {
     sim::TimePoint arrival;
   };
 
+  struct Replica {
+    std::uint64_t id = 0;
+    std::string function;
+    NodeId node = 0;
+    std::uint64_t mem_bytes = 0;
+    core::ReplicaProcess proc;
+    ReplicaState state = ReplicaState::kStarting;
+    sim::TimePoint idle_since;
+    std::uint64_t idle_epoch = 0;   // invalidates stale idle-timeout events
+    std::uint64_t serve_epoch = 0;  // invalidates stale completion events
+    bool served_any = false;
+    bool prewarmed = false;  // started proactively (scale_up), not by a request
+    std::optional<os::ContainerId> container;
+    // The request being served; completion events take it back out. Kept on
+    // the replica (not in the event closure) so a node failure can re-queue
+    // it.
+    std::optional<Pending> inflight;
+  };
+
   Replica* find_idle(const std::string& function);
+  Replica* find_replica(std::uint64_t id);
   Replica* start_replica(const std::string& function, bool prewarmed = false);
+  void on_replica_ready(std::uint64_t id);
   void dispatch(const std::string& function);
   void serve(Replica& replica, Pending pending);
+  void finish_serve(std::uint64_t id, std::uint64_t serve_epoch,
+                    const funcs::Response& response, RequestMetrics metrics);
   void arm_idle_timer(Replica& replica);
   void reclaim(Replica& replica);
+  void record_request(const RequestMetrics& metrics);
+  // Re-establish capacity for a function after a node loss.
+  void ensure_capacity(const std::string& function);
 
   os::Kernel* kernel_;
   funcs::SharedAssets assets_;
@@ -148,6 +201,7 @@ class Platform {
   std::map<std::string, std::uint32_t> min_idle_;
   std::map<std::string, std::deque<Pending>> queues_;
   std::vector<RequestMetrics> request_log_;
+  RequestAggregate aggregate_;
   std::uint64_t next_replica_id_ = 1;
 };
 

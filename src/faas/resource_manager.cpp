@@ -5,56 +5,45 @@
 namespace prebake::faas {
 
 NodeId ResourceManager::add_node(std::string name,
-                                 std::uint64_t mem_capacity_bytes) {
-  Node n;
-  n.id = next_id_++;
-  n.name = std::move(name);
-  n.mem_capacity = mem_capacity_bytes;
-  nodes_.push_back(std::move(n));
-  return nodes_.back().id;
+                                 std::uint64_t mem_capacity_bytes,
+                                 std::uint32_t cpus) {
+  const NodeId id = next_id_++;
+  nodes_.emplace_back(id, std::move(name), mem_capacity_bytes, cpus);
+  return id;
 }
 
-Node& ResourceManager::node_mut(NodeId id) {
+WorkerNode& ResourceManager::node_mut(NodeId id) {
   const auto it = std::find_if(nodes_.begin(), nodes_.end(),
-                               [id](const Node& n) { return n.id == id; });
+                               [id](const WorkerNode& n) { return n.id() == id; });
   if (it == nodes_.end())
     throw std::out_of_range{"ResourceManager: unknown node"};
   return *it;
 }
 
-const Node& ResourceManager::node(NodeId id) const {
+const WorkerNode& ResourceManager::node(NodeId id) const {
   return const_cast<ResourceManager*>(this)->node_mut(id);
 }
 
-std::optional<NodeId> ResourceManager::place(std::uint64_t mem_bytes) {
-  Node* best = nullptr;
-  for (Node& n : nodes_) {
-    if (n.mem_free() < mem_bytes) continue;
-    if (best == nullptr || n.mem_free() > best->mem_free()) best = &n;
-  }
-  if (best == nullptr) return std::nullopt;
-  best->mem_used += mem_bytes;
-  ++best->replicas;
-  return best->id;
+std::optional<NodeId> ResourceManager::place(const PlacementRequest& request) {
+  WorkerNode* picked = scheduler_.pick(nodes_, request);
+  if (picked == nullptr) return std::nullopt;
+  picked->reserve(request.mem_bytes);
+  return picked->id();
 }
 
 void ResourceManager::release(NodeId node, std::uint64_t mem_bytes) {
-  Node& n = node_mut(node);
-  if (n.mem_used < mem_bytes || n.replicas == 0)
-    throw std::logic_error{"ResourceManager::release: accounting underflow"};
-  n.mem_used -= mem_bytes;
-  --n.replicas;
+  node_mut(node).release(mem_bytes);
 }
 
 std::uint64_t ResourceManager::total_mem_used() const {
   std::uint64_t total = 0;
-  for (const Node& n : nodes_) total += n.mem_used;
+  for (const WorkerNode& n : nodes_) total += n.mem_used();
   return total;
 }
 
 std::uint64_t ResourceManager::total_mem_capacity() const {
   std::uint64_t total = 0;
-  for (const Node& n : nodes_) total += n.mem_capacity;
+  for (const WorkerNode& n : nodes_) total += n.mem_capacity();
   return total;
 }
 

@@ -1,5 +1,7 @@
-// Resource Manager (SPEC-RG Resource Orchestration layer): tracks worker
-// nodes and places function replicas by memory footprint.
+// Resource Manager (SPEC-RG Resource Orchestration layer): the cluster
+// facade — owns the worker nodes, delegates placement to the Scheduler's
+// pluggable policy, and exposes node lifecycle (drain / fail / reactivate)
+// to the platform.
 #pragma once
 
 #include <cstdint>
@@ -8,37 +10,46 @@
 #include <string>
 #include <vector>
 
+#include "faas/cluster.hpp"
+
 namespace prebake::faas {
-
-using NodeId = std::uint32_t;
-
-struct Node {
-  NodeId id = 0;
-  std::string name;
-  std::uint64_t mem_capacity = 0;
-  std::uint64_t mem_used = 0;
-  std::uint32_t replicas = 0;
-
-  std::uint64_t mem_free() const { return mem_capacity - mem_used; }
-};
 
 class ResourceManager {
  public:
-  NodeId add_node(std::string name, std::uint64_t mem_capacity_bytes);
+  // `cpus` == 0 (the default) leaves the node's CPU timeline uncapped —
+  // start-up and service work never queue behind other replicas, matching
+  // the pre-cluster behaviour; a positive count serializes onto that many
+  // cores (see WorkerNode::run).
+  NodeId add_node(std::string name, std::uint64_t mem_capacity_bytes,
+                  std::uint32_t cpus = 0);
 
-  // Worst-fit placement (most free memory first) to spread load. Returns
-  // nullopt when no node can host the replica.
-  std::optional<NodeId> place(std::uint64_t mem_bytes);
+  PlacementPolicy policy() const { return scheduler_.policy(); }
+  void set_policy(PlacementPolicy policy) { scheduler_.set_policy(policy); }
+
+  // Place a replica; returns nullopt when no schedulable node can host it.
+  std::optional<NodeId> place(const PlacementRequest& request);
+  // Memory-only placement (vanilla replicas and legacy callers).
+  std::optional<NodeId> place(std::uint64_t mem_bytes) {
+    return place(PlacementRequest{mem_bytes, {}});
+  }
   void release(NodeId node, std::uint64_t mem_bytes);
 
-  const Node& node(NodeId id) const;
-  const std::vector<Node>& nodes() const { return nodes_; }
+  // Node lifecycle. Draining/failed nodes receive no new placements; the
+  // platform is responsible for what happens to resident replicas.
+  void drain(NodeId node) { node_mut(node).set_state(NodeState::kDraining); }
+  void fail(NodeId node) { node_mut(node).set_state(NodeState::kFailed); }
+  void reactivate(NodeId node) { node_mut(node).set_state(NodeState::kReady); }
+
+  const WorkerNode& node(NodeId id) const;
+  WorkerNode& node_mut(NodeId id);
+  const std::vector<WorkerNode>& nodes() const { return nodes_; }
+  std::vector<WorkerNode>& nodes_mut() { return nodes_; }
   std::uint64_t total_mem_used() const;
   std::uint64_t total_mem_capacity() const;
 
  private:
-  Node& node_mut(NodeId id);
-  std::vector<Node> nodes_;
+  std::vector<WorkerNode> nodes_;
+  Scheduler scheduler_;
   NodeId next_id_ = 1;
 };
 

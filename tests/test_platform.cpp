@@ -89,6 +89,8 @@ TEST_F(PlatformTest, ScaleUpCreatesIdleReplicas) {
   platform_.deploy(exp::noop_spec(), StartMode::kVanilla);
   platform_.scale_up("noop", 3);
   EXPECT_EQ(platform_.replica_count("noop"), 3u);
+  // Start-up runs on the node's timeline; pump the simulation to realize it.
+  kernel_.sim().run_until(kernel_.sim().now() + sim::Duration::seconds(2));
   EXPECT_EQ(platform_.idle_replica_count("noop"), 3u);
   // A pre-warmed invocation is not a cold start.
   invoke_sync("noop");
@@ -99,6 +101,7 @@ TEST_F(PlatformTest, OneRequestPerReplicaScalesOut) {
   // Two interleaved requests in one event turn need two replicas.
   platform_.deploy(exp::noop_spec(), StartMode::kVanilla);
   platform_.scale_up("noop", 1);
+  kernel_.sim().run_until(kernel_.sim().now() + sim::Duration::seconds(2));
   int responses = 0;
   kernel_.sim().schedule_in(sim::Duration::millis(1), [&] {
     platform_.invoke("noop", funcs::Request{},
@@ -206,6 +209,7 @@ TEST_F(PlatformTest, MinIdleKeepsPoolWarmPastTimeout) {
   p.resources().add_node("n", 8 * GiB);
   p.deploy(exp::noop_spec(), StartMode::kVanilla);
   p.set_min_idle("noop", 2);
+  kernel_.sim().run_until(kernel_.sim().now() + sim::Duration::seconds(2));
   EXPECT_EQ(p.idle_replica_count("noop"), 2u);
   // Run far past the idle timeout: the pool floor survives.
   kernel_.sim().run_until(kernel_.sim().now() + sim::Duration::seconds(120));
@@ -225,6 +229,7 @@ TEST_F(PlatformTest, ExcessAboveMinIdleIsStillReclaimed) {
   p.deploy(exp::noop_spec(), StartMode::kVanilla);
   p.set_min_idle("noop", 1);
   p.scale_up("noop", 4);
+  kernel_.sim().run_until(kernel_.sim().now() + sim::Duration::seconds(2));
   EXPECT_EQ(p.idle_replica_count("noop"), 4u);
   kernel_.sim().run_until(kernel_.sim().now() + sim::Duration::seconds(120));
   EXPECT_EQ(p.idle_replica_count("noop"), 1u);

@@ -10,8 +10,8 @@ constexpr std::uint64_t GiB = 1024ull * 1024 * 1024;
 TEST(ResourceManager, AddAndQueryNodes) {
   ResourceManager rm;
   const NodeId a = rm.add_node("n1", 8 * GiB);
-  EXPECT_EQ(rm.node(a).name, "n1");
-  EXPECT_EQ(rm.node(a).mem_capacity, 8 * GiB);
+  EXPECT_EQ(rm.node(a).name(), "n1");
+  EXPECT_EQ(rm.node(a).mem_capacity(), 8 * GiB);
   EXPECT_EQ(rm.total_mem_capacity(), 8 * GiB);
   EXPECT_EQ(rm.total_mem_used(), 0u);
 }
@@ -27,7 +27,7 @@ TEST(ResourceManager, PlaceUsesCapacity) {
   const auto placed = rm.place(256 * 1024 * 1024);
   ASSERT_TRUE(placed.has_value());
   EXPECT_EQ(*placed, a);
-  EXPECT_EQ(rm.node(a).replicas, 1u);
+  EXPECT_EQ(rm.node(a).replicas(), 1u);
   EXPECT_EQ(rm.node(a).mem_free(), 768ull * 1024 * 1024);
 }
 
@@ -47,7 +47,7 @@ TEST(ResourceManager, WorstFitSpreadsLoad) {
   const auto p2 = rm.place(1 * GiB);
   ASSERT_TRUE(p1 && p2);
   EXPECT_NE(*p1, *p2);  // second replica goes to the emptier node
-  EXPECT_EQ(rm.node(a).replicas + rm.node(b).replicas, 2u);
+  EXPECT_EQ(rm.node(a).replicas() + rm.node(b).replicas(), 2u);
 }
 
 TEST(ResourceManager, ReleaseReturnsCapacity) {
@@ -55,8 +55,8 @@ TEST(ResourceManager, ReleaseReturnsCapacity) {
   const NodeId a = rm.add_node("n1", 1 * GiB);
   rm.place(512 * 1024 * 1024);
   rm.release(a, 512 * 1024 * 1024);
-  EXPECT_EQ(rm.node(a).mem_used, 0u);
-  EXPECT_EQ(rm.node(a).replicas, 0u);
+  EXPECT_EQ(rm.node(a).mem_used(), 0u);
+  EXPECT_EQ(rm.node(a).replicas(), 0u);
 }
 
 TEST(ResourceManager, ReleaseUnderflowThrows) {

@@ -5,6 +5,8 @@
 //               [--reps N] [--seed S] [--first-response] [--csv FILE]
 //   prebakectl service --function image-resizer --technique vanilla --requests 100
 //   prebakectl bake-info --function noop [--warmup 1]
+//   prebakectl nodes [--nodes N] [--cpus N] [--policy worst-fit|round-robin|
+//               locality] [--rate HZ] [--duration-s S] [--cache-mib M]
 //
 // Functions: noop | markdown | image-resizer | synthetic-{small,medium,big}
 // Techniques: vanilla | pb-nowarmup | pb-warmup
@@ -16,6 +18,7 @@
 #include "core/prebaker.hpp"
 #include "exp/calibration.hpp"
 #include "exp/cli.hpp"
+#include "exp/cluster.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "faas/builder.hpp"
@@ -37,6 +40,10 @@ int usage() {
                "  trace generate --out FILE [--function F] [--rate HZ]"
                " [--duration-s S] [--diurnal] [--peak HZ] [--period-s S]\n"
                "  trace replay --in FILE [--mode vanilla|prebaked]\n"
+               "  nodes     [--nodes N] [--cpus N] [--policy P] [--rate HZ]"
+               " [--duration-s S]\n"
+               "            [--cache-mib M] [--mode vanilla|prebaked]"
+               " [--seed S]\n"
                "functions:  noop markdown image-resizer synthetic-small"
                " synthetic-medium synthetic-big\n"
                "techniques: vanilla pb-nowarmup pb-warmup zygote\n");
@@ -246,6 +253,78 @@ int cmd_bake_info(const exp::CliArgs& args) {
   return 0;
 }
 
+faas::PlacementPolicy resolve_policy(const std::string& name) {
+  if (name == "worst-fit") return faas::PlacementPolicy::kWorstFit;
+  if (name == "round-robin") return faas::PlacementPolicy::kRoundRobin;
+  if (name == "locality") return faas::PlacementPolicy::kSnapshotLocality;
+  throw std::invalid_argument{"unknown policy: " + name};
+}
+
+// Run the mixed-traffic cluster scenario and print the per-node view:
+// where replicas landed, memory in use, and how the node-local snapshot
+// cache behaved (hits avoid the registry transfer entirely).
+int cmd_nodes(const exp::CliArgs& args) {
+  exp::ClusterScenarioConfig cfg;
+  cfg.nodes = static_cast<std::uint32_t>(args.get_int_or("nodes", 4));
+  cfg.cpus_per_node = static_cast<std::uint32_t>(args.get_int_or("cpus", 2));
+  cfg.policy = resolve_policy(args.get_or("policy", "locality"));
+  cfg.rate_hz = args.get_double_or("rate", 0.5);
+  cfg.duration = sim::Duration::seconds_f(args.get_double_or("duration-s", 600.0));
+  cfg.node_snapshot_cache_bytes =
+      static_cast<std::uint64_t>(args.get_int_or("cache-mib", 120)) << 20;
+  cfg.mode = args.get_or("mode", "prebaked") == "vanilla"
+                 ? faas::StartMode::kVanilla
+                 : faas::StartMode::kPrebaked;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+
+  const exp::ClusterScenarioResult r = exp::run_cluster_scenario(cfg);
+
+  std::printf("%u nodes x %u cpus, %s placement, %.2f Hz/function for %.0f s "
+              "(seed %llu)\n",
+              cfg.nodes, cfg.cpus_per_node,
+              faas::placement_policy_name(cfg.policy), cfg.rate_hz,
+              cfg.duration.to_seconds(),
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("requests %llu (%llu ok, %llu rejected), %llu cold starts, "
+              "%llu replicas started\n",
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.responses_ok),
+              static_cast<unsigned long long>(r.rejected),
+              static_cast<unsigned long long>(r.cold_starts),
+              static_cast<unsigned long long>(r.replicas_started));
+  std::printf("total p50/p95/p99 %s / %s / %s; cold startup p50/p95 %s / %s\n",
+              exp::fmt_ms(r.total_p50_ms).c_str(),
+              exp::fmt_ms(r.total_p95_ms).c_str(),
+              exp::fmt_ms(r.total_p99_ms).c_str(),
+              exp::fmt_ms(r.cold_startup_p50_ms).c_str(),
+              exp::fmt_ms(r.cold_startup_p95_ms).c_str());
+  const std::uint64_t lookups = r.snapshot_hits + r.snapshot_misses;
+  std::printf("snapshot cache: %llu hits / %llu misses (%s), registry %s\n\n",
+              static_cast<unsigned long long>(r.snapshot_hits),
+              static_cast<unsigned long long>(r.snapshot_misses),
+              exp::fmt_percent(lookups == 0 ? 0.0
+                                            : static_cast<double>(r.snapshot_hits) /
+                                                  static_cast<double>(lookups))
+                  .c_str(),
+              exp::fmt_mib(r.remote_bytes_fetched).c_str());
+
+  exp::TextTable table{{"Node", "State", "Replicas", "Mem used", "Placed",
+                        "Hits", "Misses", "Evict", "Cache", "Registry MiB",
+                        "Busy"}};
+  for (const exp::ClusterNodeReport& n : r.nodes)
+    table.add_row({n.name, n.state, std::to_string(n.replicas),
+                   exp::fmt_mib(n.mem_used), std::to_string(n.replicas_placed),
+                   std::to_string(n.snapshot_hits),
+                   std::to_string(n.snapshot_misses),
+                   std::to_string(n.snapshot_evictions),
+                   std::to_string(n.cache_entries) + " (" +
+                       exp::fmt_mib(n.cache_bytes) + ")",
+                   exp::fmt_mib(n.remote_bytes_fetched),
+                   exp::fmt_ms(n.busy_ms, 1)});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -264,6 +343,8 @@ int main(int argc, char** argv) {
       rc = cmd_bake_info(args);
     } else if (command == "trace") {
       rc = cmd_trace(args);
+    } else if (command == "nodes") {
+      rc = cmd_nodes(args);
     } else {
       return usage();
     }
