@@ -1,5 +1,6 @@
 #include "core/startup.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace prebake::core {
@@ -114,13 +115,44 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
   opts.remote_fetch = options.remote_fetch;
   opts.lazy_pages = options.lazy_pages;
   opts.lazy_working_set = options.lazy_working_set;
+  opts.fetch_max_attempts = options.fetch_max_attempts;
+  opts.fetch_retry_backoff = options.fetch_retry_backoff;
   // Replicas are restored concurrently, so the original pid cannot be
   // reused; CRIU runs with the launcher's capabilities.
   opts.restore_original_pid = false;
   opts.criu_caps = k.process(launcher_).caps();
 
+  const RestorePolicy& policy = options.policy;
+  const int max_attempts = std::max(policy.max_attempts, 1);
   criu::Restorer restorer{k};
-  const criu::RestoreResult restored = restorer.restore(images, opts);
+  criu::RestoreResult restored;
+  for (int attempt = 1;; ++attempt) {
+    rep.breakdown.restore_attempts = static_cast<std::uint32_t>(attempt);
+    // The failed attempts and backoffs before this try are fault time.
+    rep.breakdown.fault_time = k.sim().now() - t0;
+    try {
+      restored = restorer.restore(images, opts);
+      break;
+    } catch (const criu::RestoreError& e) {
+      const bool past_deadline = policy.deadline > sim::Duration{} &&
+                                 k.sim().now() - t0 >= policy.deadline;
+      if (e.transient() && attempt < max_attempts && !past_deadline) {
+        k.sim().advance(policy.retry_backoff * static_cast<double>(attempt));
+        continue;
+      }
+      if (!policy.fallback_to_vanilla) throw;
+      // The restore budget is spent; finish the start the slow-but-sure way.
+      // The wasted attempts stay on the clock and in the breakdown.
+      const std::uint32_t attempts = rep.breakdown.restore_attempts;
+      const sim::Duration wasted = k.sim().now() - t0;
+      rep = start_vanilla(spec, rng.child(1));
+      rep.breakdown.restore_attempts = attempts;
+      rep.breakdown.fell_back_to_vanilla = true;
+      rep.breakdown.fault_time = wasted;
+      rep.breakdown.total = k.sim().now() - t0;
+      return rep;
+    }
+  }
   rep.pid = restored.pid;
   rep.lazy_server = restored.lazy_server;
   rep.remote_bytes_fetched = restored.remote_bytes;

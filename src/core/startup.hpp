@@ -26,6 +26,14 @@ struct StartupBreakdown {
   sim::Duration appinit_time;
   sim::Duration restore_time;  // prebake only: CRIU restore proper
   sim::Duration total;
+  // Resilience accounting (prebake only). `restore_attempts` counts restore
+  // tries (1 on the happy path, 0 for vanilla/zygote starts); `fault_time`
+  // is the time burned in failed attempts plus retry backoff before the
+  // start succeeded; `fell_back_to_vanilla` marks a start whose restore
+  // budget ran out and which completed via the Vanilla path instead.
+  std::uint32_t restore_attempts = 0;
+  bool fell_back_to_vanilla = false;
+  sim::Duration fault_time;
 
   // The paper's stacked view: prebake folds restore+fixups into APPINIT.
   sim::Duration appinit_stacked() const { return appinit_time + restore_time; }
@@ -47,6 +55,25 @@ struct ReplicaProcess {
 // cluster layer uses these to express per-node image locality (fs_prefix
 // points at a node-local path, remote_fetch charges the registry transfer on
 // a cache miss) and post-copy restores.
+// How hard to fight for a restore before giving up. The defaults reproduce
+// the legacy behavior exactly: one attempt, failure propagates to the
+// caller, nothing extra is charged.
+struct RestorePolicy {
+  // Restore tries against the snapshot. Only transient errors (device
+  // errors, aborted fetches, corrupt read copies) are retried; a truncated
+  // on-disk image or a permission error fails every attempt identically and
+  // short-circuits.
+  int max_attempts = 1;
+  // Sleep backoff * attempt-number between tries (linear backoff).
+  sim::Duration retry_backoff = sim::Duration::millis(5);
+  // Give up retrying once this much simulated time has elapsed since the
+  // start began. Zero = unbounded.
+  sim::Duration deadline{};
+  // When the restore budget is exhausted, complete the start via the
+  // Vanilla path instead of throwing (recorded in StartupBreakdown).
+  bool fallback_to_vanilla = false;
+};
+
 struct PrebakedStartOptions {
   std::string fs_prefix;       // "" = images never persisted
   double io_contention = 1.0;  // N concurrent restores sharing storage
@@ -54,6 +81,10 @@ struct PrebakedStartOptions {
   bool remote_fetch = false;   // first uncached read pays network bandwidth
   bool lazy_pages = false;     // post-copy (uffd) restore
   double lazy_working_set = 0.25;
+  RestorePolicy policy;        // retry / deadline / fallback behavior
+  // Passed through to RestoreOptions: registry-fetch retry budget.
+  int fetch_max_attempts = 3;
+  sim::Duration fetch_retry_backoff = sim::Duration::millis(10);
 };
 
 class StartupService {
@@ -74,7 +105,10 @@ class StartupService {
   // The prebaking path: CRIU-restore the snapshot, re-attach the runtime.
   // `fs_prefix` is where the image files live in the simulated filesystem
   // ("" if the snapshot was never persisted). `io_contention` models N
-  // concurrent restores sharing storage.
+  // concurrent restores sharing storage. Restore failures surface as typed
+  // criu::RestoreError from both overloads (the positional one delegates to
+  // the options overload, so the two behave identically) unless the policy
+  // requests retries or Vanilla fallback.
   ReplicaProcess start_prebaked(const rt::FunctionSpec& spec,
                                 const criu::ImageDir& images,
                                 const std::string& fs_prefix, sim::Rng rng,

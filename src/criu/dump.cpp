@@ -179,11 +179,18 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
   stats.metadata_bytes = metadata_bytes;
 
   if (!opts.fs_prefix.empty()) {
+    faults::Injector& inj = k.faults();
     for (const auto& [name, f] : dir.files()) {
       k.fs().create(opts.fs_prefix + name, f.nominal_size);
       // Freshly written images sit in the page cache.
       k.fs().warm(opts.fs_prefix + name);
       k.sim().advance(k.costs().disk_write_cost(f.nominal_size));
+      // A truncated persist: the write returned short and nobody checked.
+      // Restore detects the size mismatch and fails typed; the platform
+      // heals it by quarantining the snapshot and re-baking.
+      if (f.nominal_size > 0 && inj.enabled() &&
+          inj.fires(faults::FaultSite::kTruncatedWrite))
+        k.fs().truncate(opts.fs_prefix + name, f.nominal_size / 2);
     }
   }
 

@@ -11,12 +11,46 @@ namespace prebake::criu {
 
 namespace {
 
+// Pull one image file from the remote registry. A transfer may disconnect
+// mid-flight (kRegistryDisconnect): the failed attempt still costs a round
+// trip, then the fetcher backs off (linear * jitter) and retries, up to
+// opts.fetch_max_attempts. A stalled registry (kRegistryStall) adds the
+// plan's stall latency to a successful transfer. With no faults injected
+// this reduces to the original single fetch.
+void fetch_from_registry(os::Kernel& k, const std::string& path,
+                         std::uint64_t bytes, const RestoreOptions& opts,
+                         RestoreResult& result) {
+  faults::Injector& inj = k.faults();
+  const int max_attempts = std::max(opts.fetch_max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    if (inj.enabled() && inj.fires(faults::FaultSite::kRegistryDisconnect)) {
+      k.sim().advance(k.costs().network_rtt);
+      if (attempt >= max_attempts)
+        throw RestoreError{RestoreErrorKind::kFetchFailed,
+                           "restore: registry fetch failed after " +
+                               std::to_string(attempt) + " attempts: " + path};
+      k.sim().advance(opts.fetch_retry_backoff *
+                      (static_cast<double>(attempt) * (1.0 + inj.jitter())));
+      continue;
+    }
+    if (inj.enabled() && inj.fires(faults::FaultSite::kRegistryStall))
+      k.sim().advance(inj.plan().registry_stall);
+    k.sim().advance(k.costs().network_fetch_cost(bytes) *
+                    std::max(opts.io_contention, 1.0));
+    k.fs().warm(path);
+    result.remote_bytes += bytes;
+    return;
+  }
+}
+
 // Charge the storage cost of reading every image file of one snapshot. A
 // lazy-pages restore only reads the eager fraction of the page payload; the
 // rest is read on demand by the LazyPagesServer. Accumulates read/remote
-// byte counts into `result`.
+// byte counts into `result`. Throws typed RestoreErrors for truncated
+// on-disk copies, transient device errors and injected record corruption.
 void charge_image_reads(os::Kernel& k, const ImageDir& images,
                         const RestoreOptions& opts, RestoreResult& result) {
+  faults::Injector& inj = k.faults();
   for (const auto& [name, f] : images.files()) {
     std::uint64_t to_read = f.nominal_size;
     if (opts.lazy_pages && name == "pages-1.img")
@@ -26,20 +60,34 @@ void charge_image_reads(os::Kernel& k, const ImageDir& images,
     if (to_read == 0) continue;
     if (!opts.fs_prefix.empty()) {
       const std::string path = opts.fs_prefix + name;
-      if (opts.remote_fetch && !k.fs().is_cached(path)) {
-        // Pull from the remote registry, then keep a local cached copy.
-        k.sim().advance(k.costs().network_fetch_cost(to_read) *
-                        std::max(opts.io_contention, 1.0));
-        k.fs().warm(path);
-        result.remote_bytes += to_read;
-      }
+      // A persisted copy shorter than the record's nominal size is the scar
+      // of a truncated write: unrecoverable from this replica, heals via
+      // quarantine + re-bake.
+      if (k.fs().exists(path) && k.fs().size_of(path) < f.nominal_size)
+        throw RestoreError{RestoreErrorKind::kTruncatedImage,
+                           "restore: truncated image file " + path + " (" +
+                               std::to_string(k.fs().size_of(path)) + " < " +
+                               std::to_string(f.nominal_size) + " bytes)"};
+      if (opts.remote_fetch && !k.fs().is_cached(path))
+        fetch_from_registry(k, path, to_read, opts, result);
       if (opts.in_memory) k.fs().warm(path);
-      k.fs().charge_read(path, to_read, opts.io_contention);
+      try {
+        k.fs().charge_read(path, to_read, opts.io_contention);
+      } catch (const os::IoError& e) {
+        throw RestoreError{RestoreErrorKind::kIoError, e.what()};
+      }
     } else {
       // Unpersisted images: behave as if already page-cache resident.
       k.sim().advance(k.costs().page_cache_read_cost(to_read) *
                       std::max(opts.io_contention, 1.0));
     }
+    // A bit-flip in the record that the per-record CRC catches after the
+    // read. The in-memory ImageDir bytes stay pristine — this models
+    // corruption of the transferred/cached copy, so a retry can succeed.
+    if (inj.enabled() && inj.fires(faults::FaultSite::kImageCorruption))
+      throw RestoreError{RestoreErrorKind::kCorruptImage,
+                         "restore: CRC mismatch reading " + name +
+                             " (injected bit-flip)"};
   }
 }
 
@@ -57,27 +105,44 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   os::Kernel& k = *kernel_;
   const sim::TimePoint t0 = k.sim().now();
 
+  // Every link of the chain is read, so every link's records get their CRCs
+  // re-checked on the way in — a corrupt parent pre-dump fails the restore
+  // just like a corrupt final dump. Host-side check: no simulated time.
+  for (const ImageDir* dir : chain) {
+    try {
+      dir->validate();
+    } catch (const std::runtime_error& e) {
+      throw RestoreError{RestoreErrorKind::kCorruptImage, e.what()};
+    }
+  }
   const ImageDir& last = *chain.back();
-  last.validate();
 
   // 1. Read and decode the metadata images (and charge their I/O).
   RestoreResult result;
   for (const ImageDir* dir : chain) charge_image_reads(k, *dir, opts, result);
 
-  // The decode cache is shared across restores of the same snapshot; get()
-  // still raises the canonical "missing image file" error for absent files.
+  // The decode cache is shared across restores of the same snapshot.
   const ImageDir::Decoded& dec = last.decoded();
-  if (!dec.inventory) last.get("inventory.img");
+  if (!dec.inventory)
+    throw RestoreError{RestoreErrorKind::kMissingImage,
+                       "restore: missing image file inventory.img"};
   const InventoryEntry& inv = *dec.inventory;
   if (!last.has("core-" + std::to_string(inv.root_pid) + ".img"))
-    last.get("core-" + std::to_string(inv.root_pid) + ".img");
+    throw RestoreError{RestoreErrorKind::kMissingImage,
+                       "restore: missing image file core-" +
+                           std::to_string(inv.root_pid) + ".img"};
   const auto& cores = dec.cores;
-  if (!last.has("mm.img")) last.get("mm.img");
+  if (!last.has("mm.img"))
+    throw RestoreError{RestoreErrorKind::kMissingImage,
+                       "restore: missing image file mm.img"};
   const auto& vmas = dec.vmas;
-  if (!last.has("files.img")) last.get("files.img");
+  if (!last.has("files.img"))
+    throw RestoreError{RestoreErrorKind::kMissingImage,
+                       "restore: missing image file files.img"};
   const auto& files = dec.files;
   if (cores.size() != inv.n_threads)
-    throw std::runtime_error{"restore: core/inventory thread count mismatch"};
+    throw RestoreError{RestoreErrorKind::kUnsupported,
+                       "restore: core/inventory thread count mismatch"};
 
   // 2. Transmute: clone the new process shell (optionally with the original
   // pid, which requires CAP_CHECKPOINT_RESTORE [11]).
@@ -86,12 +151,25 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   if (opts.restore_original_pid) {
     if (!os::has_cap(opts.criu_caps, os::Cap::kCheckpointRestore) &&
         !os::has_cap(opts.criu_caps, os::Cap::kSysAdmin))
-      throw std::runtime_error{
-          "restore: original pid requires CAP_CHECKPOINT_RESTORE"};
+      throw RestoreError{RestoreErrorKind::kPermission,
+                         "restore: original pid requires CAP_CHECKPOINT_RESTORE"};
     clone_opts.set_child_pid = true;
     clone_opts.child_pid = inv.root_pid;
   }
   const os::Pid pid = k.clone_process(os::kNoPid, clone_opts);
+  // If anything below throws, tear the half-restored shell down so a failed
+  // restore doesn't leak a process into the kernel table; the retry/fallback
+  // paths start from a clean slate.
+  struct Cleanup {
+    os::Kernel* k;
+    os::Pid pid;
+    bool armed = true;
+    ~Cleanup() {
+      if (!armed) return;
+      k->kill_process(pid);
+      k->reap(pid);
+    }
+  } cleanup{&k, pid};
   os::Process& proc = k.process(pid);
   proc.set_name(inv.name);
   proc.set_argv(inv.argv);
@@ -109,7 +187,9 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
 
   // 4. Rebuild the address space from mm.img. Buffer-backed VMAs need the
   // full page payload; pattern VMAs regenerate from the recorded descriptor.
-  if (!dec.pages) last.get("pages-1.img");
+  if (!dec.pages)
+    throw RestoreError{RestoreErrorKind::kMissingImage,
+                       "restore: missing image file pages-1.img"};
   const PagesEntry& last_pages = *dec.pages;
   proc.replace_mm(os::AddressSpace{});
   std::map<os::VmaId, os::VmaId> vma_id_map;  // image id -> new id
@@ -120,7 +200,8 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
       source = std::make_shared<os::PatternSource>(e.pattern_seed, e.pattern_version);
     } else {
       if (last_pages.mode != PayloadMode::kFull)
-        throw std::runtime_error{
+        throw RestoreError{
+            RestoreErrorKind::kUnsupported,
             "restore: digest-mode image cannot rebuild buffer-backed memory"};
       auto buf = std::make_shared<os::BufferSource>(
           std::vector<std::uint8_t>(e.length, 0));
@@ -139,15 +220,20 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   std::vector<std::pair<os::VmaId, std::uint64_t>> lazy_pending;
   for (const ImageDir* dir : chain) {
     const ImageDir::Decoded& ddec = dir->decoded();
-    if (!dir->has("pagemap.img")) dir->get("pagemap.img");
-    if (!ddec.pages) dir->get("pages-1.img");
+    if (!dir->has("pagemap.img"))
+      throw RestoreError{RestoreErrorKind::kMissingImage,
+                         "restore: missing image file pagemap.img"};
+    if (!ddec.pages)
+      throw RestoreError{RestoreErrorKind::kMissingImage,
+                         "restore: missing image file pages-1.img"};
     const auto& maps = ddec.pagemap;
     const PagesEntry& pages = *ddec.pages;
     std::size_t cursor = 0;  // page index within this image's payload
     for (const PagemapEntry& e : maps) {
       const auto it = vma_id_map.find(e.vma);
       if (it == vma_id_map.end())
-        throw std::runtime_error{"restore: pagemap references unknown vma"};
+        throw RestoreError{RestoreErrorKind::kCorruptImage,
+                           "restore: pagemap references unknown vma"};
       if (e.zero) {
         // Zero run: map fresh zero pages; no payload, no digests.
         k.fault_in(pid, it->second, e.first_page, e.pages, /*write=*/false);
@@ -185,7 +271,8 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
           const os::Vma* vma = proc.mm().find(it->second);
           const std::uint64_t got = vma->source->page_digest(e.first_page + p);
           if (cursor >= pages.digests.size() || got != pages.digests[cursor])
-            throw std::runtime_error{"restore: page digest mismatch"};
+            throw RestoreError{RestoreErrorKind::kCorruptImage,
+                               "restore: page digest mismatch"};
           // Verification reads the page once.
           k.sim().advance(k.costs().memcpy_cost(os::kPageSize));
         }
@@ -204,6 +291,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   }
 
   proc.set_state(os::ProcState::kRunning);
+  cleanup.armed = false;
   result.pid = pid;
   if (opts.lazy_pages)
     result.lazy_server = std::make_shared<LazyPagesServer>(
@@ -223,15 +311,36 @@ LazyPagesServer::LazyPagesServer(
 std::uint64_t LazyPagesServer::page_in(std::uint64_t pages) {
   if (kernel_ == nullptr) return 0;
   os::Kernel& k = *kernel_;
+  faults::Injector& inj = k.faults();
+  // Transient image-read errors during a page-in are retried this many times
+  // before giving up — a persistently failing device means the target would
+  // fault forever.
+  constexpr int kMaxReadAttempts = 3;
   std::uint64_t served = 0;
   while (served < pages && cursor_ < pending_.size()) {
     const auto [vma, page] = pending_[cursor_++];
+    if (!died_ && inj.enabled() &&
+        inj.fires(faults::FaultSite::kLazyServerDeath)) {
+      // The uffd daemon died mid-fault. The supervisor respawns it (once per
+      // server in this model) and the faulting thread eats the latency.
+      died_ = true;
+      ++deaths_;
+      k.sim().advance(k.costs().clone_call + k.costs().exec_base);
+    }
     // uffd round trip + reading the page from the (cached) image.
     k.sim().advance(k.costs().uffd_fault);
-    if (!fs_prefix_.empty())
-      k.fs().charge_read(fs_prefix_ + "pages-1.img", os::kPageSize);
-    else
-      k.sim().advance(k.costs().page_cache_read_cost(os::kPageSize));
+    for (int attempt = 1;; ++attempt) {
+      try {
+        if (!fs_prefix_.empty())
+          k.fs().charge_read(fs_prefix_ + "pages-1.img", os::kPageSize);
+        else
+          k.sim().advance(k.costs().page_cache_read_cost(os::kPageSize));
+        break;
+      } catch (const os::IoError& e) {
+        if (attempt >= kMaxReadAttempts)
+          throw RestoreError{RestoreErrorKind::kIoError, e.what()};
+      }
+    }
     if (k.alive(pid_)) k.fault_in(pid_, vma, page, 1, /*write=*/false);
     ++served;
   }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "criu/error.hpp"
 #include "criu/image.hpp"
 #include "os/kernel.hpp"
 
@@ -43,6 +44,13 @@ struct RestoreOptions {
   // touches them. Trades restore latency for first-touch page faults.
   bool lazy_pages = false;
   double lazy_working_set = 0.25;  // fraction of pages restored eagerly
+  // Remote-fetch resilience: a registry transfer that disconnects mid-flight
+  // is retried up to this many attempts, sleeping backoff * attempt *
+  // (1 + jitter) between tries, then fails with RestoreError{kFetchFailed}.
+  // With no faults injected the fetch succeeds on the first attempt and
+  // these knobs charge nothing.
+  int fetch_max_attempts = 3;
+  sim::Duration fetch_retry_backoff = sim::Duration::millis(10);
 };
 
 // The uffd page server left behind by a lazy restore: it owns the pages that
@@ -55,12 +63,18 @@ class LazyPagesServer {
 
   // Fault `pages` pending pages into the target (first-touch order);
   // charges page-fault plus image-read costs. Returns pages actually served.
+  // Under an enabled fault injector the server may die once (kLazyServerDeath:
+  // the supervisor respawns it and the faulting thread eats the latency) and
+  // transient image-read errors are retried a bounded number of times before
+  // surfacing as RestoreError{kIoError}.
   std::uint64_t page_in(std::uint64_t pages);
   // Drain everything (e.g. before a full-memory operation).
   std::uint64_t page_in_all() { return page_in(pending_pages()); }
 
   std::uint64_t pending_pages() const { return pending_.size() - cursor_; }
   bool done() const { return pending_pages() == 0; }
+  // Times the uffd server died and was respawned (at most 1 per server).
+  std::uint32_t deaths() const { return deaths_; }
 
  private:
   os::Kernel* kernel_ = nullptr;
@@ -68,6 +82,8 @@ class LazyPagesServer {
   std::string fs_prefix_;
   std::vector<std::pair<os::VmaId, std::uint64_t>> pending_;  // (vma, page)
   std::size_t cursor_ = 0;
+  bool died_ = false;
+  std::uint32_t deaths_ = 0;
 };
 
 struct RestoreResult {

@@ -81,6 +81,16 @@ WorkerNode::CacheAdmit WorkerNode::cache_admit(const std::string& key,
   return out;
 }
 
+std::string WorkerNode::cache_drop(const std::string& key) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return {};
+  std::erase(cache_lru_, key);
+  cache_bytes_ -= it->second.bytes;
+  std::string prefix = it->second.fs_prefix;
+  cache_.erase(it);
+  return prefix;
+}
+
 std::vector<std::string> WorkerNode::set_cache_capacity(std::uint64_t bytes) {
   cache_capacity_ = bytes;
   return evict_to_fit();

@@ -90,6 +90,10 @@ class WorkerNode {
   bool cache_contains(const std::string& key) const {
     return cache_.contains(key);
   }
+  // Forcibly remove `key` from the cache (snapshot quarantine: the cached
+  // copy is poisoned). Returns the entry's fs prefix so the owner can drop
+  // the node-local files, or empty if the key was not cached.
+  std::string cache_drop(const std::string& key);
   // 0 = unbounded. Shrinking evicts immediately; evicted prefixes are
   // returned so the owner can drop the files.
   std::vector<std::string> set_cache_capacity(std::uint64_t bytes);

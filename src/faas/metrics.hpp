@@ -50,6 +50,8 @@ class LatencyHistogram {
 struct RequestAggregate {
   std::uint64_t count = 0;
   std::uint64_t cold_starts = 0;
+  std::uint64_t retried = 0;        // requests requeued at least once
+  std::uint64_t total_retries = 0;  // sum of per-request retry counts
   LatencyHistogram total_ms;
   LatencyHistogram service_ms;
   LatencyHistogram queue_wait_ms;

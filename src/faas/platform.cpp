@@ -85,11 +85,18 @@ Platform::Replica* Platform::start_replica(const std::string& function,
   const core::BakedSnapshot* snap = nullptr;
   std::uint64_t est = config_.replica_mem_overhead;
   if (fn.mode == StartMode::kPrebaked) {
-    try {
-      snap = &snapshots_.get(function, fn.policy);
-      est += snap->images.nominal_total();
-    } catch (const std::exception&) {
-      snap = nullptr;
+    // A quarantined snapshot is off limits: the breaker tripped on repeated
+    // restore failures and a re-bake is in flight. Start Vanilla meanwhile.
+    const auto health = snapshot_health_.find(function);
+    const bool quarantined =
+        health != snapshot_health_.end() && health->second.quarantined;
+    if (!quarantined) {
+      try {
+        snap = &snapshots_.get(function, fn.policy);
+        est += snap->images.nominal_total();
+      } catch (const std::exception&) {
+        snap = nullptr;
+      }
     }
   }
   if (snap == nullptr)
@@ -135,6 +142,13 @@ Platform::Replica* Platform::start_replica(const std::string& function,
       core::PrebakedStartOptions opts;
       opts.lazy_pages = config_.lazy_restore;
       opts.lazy_working_set = config_.lazy_working_set;
+      opts.policy.max_attempts = config_.restore_max_attempts;
+      opts.policy.retry_backoff = config_.restore_retry_backoff;
+      opts.policy.deadline = config_.restore_deadline;
+      // StartupService handles the fallback so the breakdown records the
+      // attempt count and the fallback flag; the catch below stays as the
+      // safety net for non-restore failures.
+      opts.policy.fallback_to_vanilla = true;
       if (config_.remote_registry) {
         WorkerNode& wn = resources_.node_mut(*node);
         if (config_.node_snapshot_cache_bytes > 0 && wn.cache_capacity() == 0)
@@ -147,10 +161,18 @@ Platform::Replica* Platform::start_replica(const std::string& function,
             kernel_->fs().remove(path);
         // Materialize the node-local image files; ones never fetched (or
         // evicted above) start cold, so the restore pays the registry
-        // transfer for exactly the uncached bytes.
+        // transfer for exactly the uncached bytes. The materialization
+        // itself can be cut short (kTruncatedWrite): the restore detects
+        // the short file and fails typed, and the breaker heals the node
+        // copy via quarantine + re-bake.
         for (const auto& [name, f] : snap->images.files()) {
           const std::string path = local + name;
-          if (!kernel_->fs().exists(path)) kernel_->fs().create(path, f.nominal_size);
+          if (!kernel_->fs().exists(path)) {
+            kernel_->fs().create(path, f.nominal_size);
+            if (f.nominal_size > 0 && kernel_->faults().enabled() &&
+                kernel_->faults().fires(faults::FaultSite::kTruncatedWrite))
+              kernel_->fs().truncate(path, f.nominal_size / 2);
+          }
         }
         opts.fs_prefix = local;
         opts.remote_fetch = true;
@@ -162,13 +184,25 @@ Platform::Replica* Platform::start_replica(const std::string& function,
       if (config_.remote_registry)
         resources_.node_mut(*node).stats().remote_bytes_fetched +=
             replica->proc.remote_bytes_fetched;
+      if (replica->proc.breakdown.restore_attempts > 1)
+        stats_.restore_retries += replica->proc.breakdown.restore_attempts - 1;
+      if (replica->proc.breakdown.fell_back_to_vanilla) {
+        ++stats_.restore_fallbacks;
+        note_restore_failure(function);
+      } else if (const auto it = snapshot_health_.find(function);
+                 it != snapshot_health_.end()) {
+        it->second.consecutive_failures = 0;  // breaker counts *consecutive*
+      }
     } catch (const std::exception&) {
       ++stats_.restore_fallbacks;
+      note_restore_failure(function);
       replica->proc = startup_.start_vanilla(fn.spec, rng.child(1));
+      replica->proc.breakdown.fell_back_to_vanilla = true;
     }
   } else if (fn.mode == StartMode::kPrebaked) {
     ++stats_.restore_fallbacks;
     replica->proc = startup_.start_vanilla(fn.spec, rng.child(1));
+    replica->proc.breakdown.fell_back_to_vanilla = true;
   } else {
     replica->proc = startup_.start_vanilla(fn.spec, std::move(rng));
   }
@@ -190,6 +224,20 @@ Platform::Replica* Platform::start_replica(const std::string& function,
   kernel_->sim().rewind_to(t0);
   const sim::TimePoint ready_at =
       resources_.node_mut(*node).run(t0, t_end - t0);
+
+  // Injected worker crash mid-restore (kNodeCrash, one draw per prebaked
+  // start): the node dies halfway through this replica's start window.
+  // fail_node kills everything on it and re-queues in-flight work; the
+  // request that triggered this start is still queued and gets re-served
+  // elsewhere via ensure_capacity.
+  if (fn.mode == StartMode::kPrebaked && snap != nullptr &&
+      kernel_->faults().enabled() &&
+      kernel_->faults().fires(faults::FaultSite::kNodeCrash)) {
+    const NodeId crashed = *node;
+    const sim::TimePoint crash_at = t0 + (t_end - t0) * 0.5;
+    kernel_->sim().schedule_at(crash_at,
+                               [this, crashed] { crash_node(crashed); });
+  }
 
   replica->state = ReplicaState::kStarting;
   ++stats_.replicas_started;
@@ -220,8 +268,9 @@ void Platform::invoke(const std::string& function, funcs::Request req,
   if (!registry_.has(function))
     throw std::out_of_range{"Platform::invoke: unknown function " + function};
   ++stats_.invocations;
+  const sim::TimePoint now = kernel_->sim().now();
   queues_[function].push_back(
-      Pending{std::move(req), std::move(callback), kernel_->sim().now()});
+      Pending{std::move(req), std::move(callback), now, now});
 
   if (find_idle(function) == nullptr) {
     // Cold start: no ready replica for this event (Figure 1's flow).
@@ -276,7 +325,8 @@ void Platform::serve(Replica& replica, Pending pending) {
   RequestMetrics metrics;
   metrics.function = replica.function;
   metrics.arrival = pending.arrival;
-  metrics.queue_wait = kernel_->sim().now() - pending.arrival;
+  metrics.retries = pending.retries;
+  metrics.queue_wait = kernel_->sim().now() - pending.enqueued;
   // A cold start is a request that had to wait for a replica to be created
   // on its behalf; pre-warmed pool replicas serve warm (Lin & Glikson [14]).
   if (!replica.served_any && !replica.prewarmed) {
@@ -372,6 +422,10 @@ void Platform::record_request(const RequestMetrics& metrics) {
     return;
   }
   ++aggregate_.count;
+  if (metrics.retries > 0) {
+    ++aggregate_.retried;
+    aggregate_.total_retries += metrics.retries;
+  }
   aggregate_.total_ms.record(metrics.total.to_millis());
   aggregate_.service_ms.record(metrics.service.to_millis());
   aggregate_.queue_wait_ms.record(metrics.queue_wait.to_millis());
@@ -392,6 +446,80 @@ void Platform::ensure_capacity(const std::string& function) {
     else
       ++available;
   dispatch(function);
+}
+
+void Platform::note_restore_failure(const std::string& function) {
+  SnapshotHealth& h = snapshot_health_[function];
+  ++h.consecutive_failures;
+  if (config_.quarantine_threshold == 0 || h.quarantined) return;
+  if (h.consecutive_failures < config_.quarantine_threshold) return;
+  // Trip the breaker: too many failed restores in a row. Starts go Vanilla
+  // until a fresh bake replaces the poisoned images.
+  h.quarantined = true;
+  ++h.quarantine_epoch;
+  ++stats_.snapshot_quarantines;
+  rebake(function);
+}
+
+void Platform::rebake(const std::string& function) {
+  const RegisteredFunction& fn = registry_.get(function);
+
+  // Drop every node-local cached copy of the poisoned snapshot — a stale
+  // (possibly truncated) node copy must not outlive the quarantine.
+  try {
+    const core::BakedSnapshot& old = snapshots_.get(function, fn.policy);
+    for (WorkerNode& wn : resources_.nodes_mut()) {
+      const std::string prefix = wn.cache_drop(old.fs_prefix);
+      if (prefix.empty()) continue;
+      for (const std::string& path : kernel_->fs().list(prefix))
+        kernel_->fs().remove(path);
+    }
+  } catch (const std::exception&) {
+    // No stored snapshot: nothing cached to drop.
+  }
+
+  // Bake the replacement. The build runs on the deployer, off the node
+  // timelines: measure it inline, rewind, and lift the quarantine at the
+  // time the fresh images are actually ready. Re-persisting the image files
+  // also heals any truncated on-disk copies at the canonical prefix.
+  const sim::TimePoint t0 = kernel_->sim().now();
+  core::PrebakeConfig cfg;
+  cfg.policy = fn.policy;
+  BuildResult built =
+      builder_.build(fn.spec, cfg, rng_.child(0xBA4E + next_rebake_++ * 2654435761ULL));
+  const sim::TimePoint t_end = kernel_->sim().now();
+  kernel_->sim().rewind_to(t0);
+
+  const std::uint64_t epoch = snapshot_health_[function].quarantine_epoch;
+  auto fresh = std::make_shared<std::optional<core::BakedSnapshot>>(
+      std::move(built.snapshot));
+  kernel_->sim().schedule_at(t0 + (t_end - t0), [this, function, epoch, fresh] {
+    SnapshotHealth& h = snapshot_health_[function];
+    if (!h.quarantined || h.quarantine_epoch != epoch) return;
+    if (fresh->has_value()) snapshots_.put(std::move(**fresh));
+    h.quarantined = false;
+    h.consecutive_failures = 0;
+    ++h.rebakes;
+    ++stats_.snapshot_rebakes;
+  });
+}
+
+void Platform::crash_node(NodeId node) {
+  if (resources_.node(node).state() == NodeState::kFailed) return;
+  ++stats_.node_crashes;
+  fail_node(node);
+  if (config_.node_recovery_delay > sim::Duration{}) {
+    kernel_->sim().schedule_in(config_.node_recovery_delay, [this, node] {
+      if (resources_.node(node).state() != NodeState::kFailed) return;
+      resources_.reactivate(node);
+      ++stats_.node_recoveries;
+      // The revived node can host again: top warm pools back up and drain
+      // queues that were starved for capacity.
+      for (const auto& [function, count] : min_idle_) scale_up(function, count);
+      for (const auto& [function, queue] : queues_)
+        if (!queue.empty()) ensure_capacity(function);
+    });
+  }
 }
 
 void Platform::drain_node(NodeId node) {
@@ -418,9 +546,14 @@ void Platform::fail_node(NodeId node) {
     if (r->inflight.has_value()) {
       // The response will never arrive from this replica; put the request
       // back at the head of the queue to be re-served (likely as a fresh
-      // cold start elsewhere).
-      queues_[r->function].push_front(std::move(*r->inflight));
+      // cold start elsewhere). The enqueue timestamp restarts — the lost
+      // service time is the node's fault, not queueing delay — and the
+      // retry is counted on the request instead.
+      Pending p = std::move(*r->inflight);
       r->inflight.reset();
+      p.enqueued = kernel_->sim().now();
+      ++p.retries;
+      queues_[r->function].push_front(std::move(p));
       ++stats_.requests_requeued;
     }
     if (r->container.has_value()) containers_.destroy(*r->container);

@@ -39,6 +39,11 @@ struct RequestMetrics {
   sim::Duration service;     // handler execution
   sim::Duration total;       // arrival -> response
   bool cold_start = false;
+  // Times the request was re-queued after a node failure killed the replica
+  // serving it. queue_wait counts from the latest enqueue, so a retried
+  // request reports its real queueing delay, not the lost service time;
+  // `total` still spans arrival -> response.
+  std::uint32_t retries = 0;
 };
 
 using InvokeCallback =
@@ -75,6 +80,23 @@ struct PlatformConfig {
   // instead of growing the full per-request log — required for runs with
   // millions of invocations.
   bool aggregate_request_log = false;
+
+  // --- restore resilience (DESIGN.md §6d) ---------------------------------
+  // Per-start retry budget against transient restore faults (device errors,
+  // aborted fetches, corrupt read copies). 1 = the legacy single attempt.
+  int restore_max_attempts = 1;
+  sim::Duration restore_retry_backoff = sim::Duration::millis(5);
+  // Per-start restore deadline (retries stop, Vanilla takes over); zero =
+  // unbounded.
+  sim::Duration restore_deadline{};
+  // Circuit breaker: quarantine a function's snapshot after this many
+  // *consecutive* failed restores (0 = breaker off). While quarantined the
+  // function starts Vanilla; a re-bake runs off the request path and lifts
+  // the quarantine when the fresh snapshot is ready.
+  std::uint32_t quarantine_threshold = 0;
+  // Crashed nodes (FaultSite::kNodeCrash) rejoin the cluster after this
+  // long; zero = they stay down.
+  sim::Duration node_recovery_delay{};
 };
 
 struct PlatformStats {
@@ -87,8 +109,25 @@ struct PlatformStats {
   // Snapshot restores that failed (corrupt/missing images) and fell back to
   // the Vanilla start path.
   std::uint64_t restore_fallbacks = 0;
+  // Failed restore attempts that were retried (and eventually succeeded or
+  // fell back); a 3-attempt success contributes 2.
+  std::uint64_t restore_retries = 0;
+  std::uint64_t snapshot_quarantines = 0;  // circuit-breaker trips
+  std::uint64_t snapshot_rebakes = 0;      // fresh bakes that lifted one
   std::uint64_t node_failures = 0;      // fail_node calls
+  std::uint64_t node_crashes = 0;       // injected mid-restore crashes
+  std::uint64_t node_recoveries = 0;    // crashed nodes brought back
   std::uint64_t requests_requeued = 0;  // in-flight work re-queued by failures
+};
+
+// Circuit-breaker state for one function's snapshot. Failures count
+// consecutively (any successful restore resets them); tripping the breaker
+// quarantines the snapshot and kicks off a re-bake.
+struct SnapshotHealth {
+  std::uint32_t consecutive_failures = 0;
+  bool quarantined = false;
+  std::uint32_t rebakes = 0;       // completed re-bakes for this function
+  std::uint64_t quarantine_epoch = 0;  // invalidates stale lift events
 };
 
 class Platform {
@@ -130,6 +169,10 @@ class Platform {
   FunctionRegistry& registry() { return registry_; }
   core::SnapshotStore& snapshots() { return snapshots_; }
   const PlatformStats& stats() const { return stats_; }
+  // Per-function circuit-breaker state (empty until a restore fails).
+  const std::map<std::string, SnapshotHealth>& snapshot_health() const {
+    return snapshot_health_;
+  }
   const std::vector<RequestMetrics>& request_log() const { return request_log_; }
   // The bounded aggregate (populated when aggregate_request_log is set).
   const RequestAggregate& request_aggregate() const { return aggregate_; }
@@ -150,6 +193,10 @@ class Platform {
     funcs::Request req;
     InvokeCallback callback;
     sim::TimePoint arrival;
+    // When the request last entered a queue: arrival, or the requeue time
+    // after a node failure. queue_wait measures from here.
+    sim::TimePoint enqueued;
+    std::uint32_t retries = 0;
   };
 
   struct Replica {
@@ -184,6 +231,13 @@ class Platform {
   void record_request(const RequestMetrics& metrics);
   // Re-establish capacity for a function after a node loss.
   void ensure_capacity(const std::string& function);
+  // Circuit breaker: bump the failure count, possibly trip the breaker.
+  void note_restore_failure(const std::string& function);
+  // Bake a fresh snapshot off the request path; lifts the quarantine when
+  // the new images are ready and drops every poisoned cached copy.
+  void rebake(const std::string& function);
+  // Injected kNodeCrash: fail the node now, optionally schedule recovery.
+  void crash_node(NodeId node);
 
   os::Kernel* kernel_;
   funcs::SharedAssets assets_;
@@ -202,7 +256,9 @@ class Platform {
   std::map<std::string, std::deque<Pending>> queues_;
   std::vector<RequestMetrics> request_log_;
   RequestAggregate aggregate_;
+  std::map<std::string, SnapshotHealth> snapshot_health_;
   std::uint64_t next_replica_id_ = 1;
+  std::uint64_t next_rebake_ = 1;  // rng stream ids for re-bakes
 };
 
 }  // namespace prebake::faas

@@ -1,0 +1,102 @@
+#include "os/faults.hpp"
+
+#include "sim/rng.hpp"
+
+namespace prebake::faults {
+
+namespace {
+
+// One well-separated 64-bit salt per site keeps the streams independent;
+// xoring the raw enum value into the seed would make site k's stream a near
+// copy of site k+1's.
+std::uint64_t site_salt(FaultSite site) {
+  std::uint64_t state = 0x5A17'F417ULL + static_cast<std::uint64_t>(site);
+  return sim::splitmix64(state);
+}
+
+// Map 64 uniform bits onto [0, 1).
+double to_unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kImageCorruption: return "image-corruption";
+    case FaultSite::kImageReadError: return "image-read-error";
+    case FaultSite::kTruncatedWrite: return "truncated-write";
+    case FaultSite::kRegistryStall: return "registry-stall";
+    case FaultSite::kRegistryDisconnect: return "registry-disconnect";
+    case FaultSite::kLazyServerDeath: return "lazy-server-death";
+    case FaultSite::kNodeCrash: return "node-crash";
+  }
+  return "unknown";
+}
+
+double FaultPlan::rate(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kImageCorruption: return image_corruption_rate;
+    case FaultSite::kImageReadError: return image_read_error_rate;
+    case FaultSite::kTruncatedWrite: return truncated_write_rate;
+    case FaultSite::kRegistryStall: return registry_stall_rate;
+    case FaultSite::kRegistryDisconnect: return registry_disconnect_rate;
+    case FaultSite::kLazyServerDeath: return lazy_server_death_rate;
+    case FaultSite::kNodeCrash: return node_crash_rate;
+  }
+  return 0.0;
+}
+
+bool FaultPlan::enabled() const {
+  return image_corruption_rate > 0.0 || image_read_error_rate > 0.0 ||
+         truncated_write_rate > 0.0 || registry_stall_rate > 0.0 ||
+         registry_disconnect_rate > 0.0 || lazy_server_death_rate > 0.0 ||
+         node_crash_rate > 0.0;
+}
+
+void Injector::configure(FaultPlan plan) {
+  plan_ = std::move(plan);
+  enabled_ = plan_.enabled();
+  reset();
+}
+
+void Injector::reset() {
+  draws_.fill(0);
+  fired_.fill(0);
+  jitter_draws_ = 0;
+  trace_.clear();
+}
+
+bool Injector::fires(FaultSite site) {
+  if (!enabled_) return false;
+  const auto idx = static_cast<std::size_t>(site);
+  const std::uint64_t draw = draws_[idx]++;
+  const double rate = plan_.rate(site);
+  if (rate <= 0.0) return false;
+  const double u = to_unit(sim::splitmix64(plan_.seed ^ site_salt(site), draw));
+  if (u >= rate) return false;
+  ++fired_[idx];
+  trace_.push_back(Event{site, draw});
+  return true;
+}
+
+double Injector::jitter() {
+  if (!enabled_) return 0.0;
+  return to_unit(sim::splitmix64(plan_.seed ^ 0x6A177E6AULL, jitter_draws_++));
+}
+
+std::uint64_t Injector::draws(FaultSite site) const {
+  return draws_[static_cast<std::size_t>(site)];
+}
+
+std::uint64_t Injector::fired(FaultSite site) const {
+  return fired_[static_cast<std::size_t>(site)];
+}
+
+std::uint64_t Injector::total_fired() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t f : fired_) n += f;
+  return n;
+}
+
+}  // namespace prebake::faults

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the simulated kernel.
+//
+// The paper's prebaking pipeline assumes every CRIU restore succeeds; real
+// deployments see corrupt images, flaky storage and registry stalls (REAP /
+// vHive treat snapshot loading as a fallible I/O pipeline — PAPERS.md). The
+// injector sits inside the Kernel and is consulted at the fault *sites* of
+// the restore pipeline: filesystem reads of image files, image-record CRC
+// checks, registry transfers, the lazy-pages server, and node placement.
+//
+// Determinism contract: every decision at site S is a pure function of
+// (plan.seed, S, per-site draw index) via the stateless splitmix64 hash —
+// never of wall-clock, thread identity, or what other sites drew. Same seed
+// + same fault plan => identical fault trace at any thread count. With the
+// default (empty) plan the injector is a zero-cost no-op: no hashes are
+// computed, no counters advance, and every simulated run is bit-identical
+// to one without the injector compiled in.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace prebake::faults {
+
+// The places a fault can fire. Each site owns an independent draw counter so
+// adding draws at one site never perturbs another's stream.
+enum class FaultSite : std::uint8_t {
+  kImageCorruption,     // bit-flip in an image record, caught by the CRC check
+  kImageReadError,      // transient I/O error reading an image file
+  kTruncatedWrite,      // partial persist of an image file
+  kRegistryStall,       // remote snapshot fetch stalls (added latency)
+  kRegistryDisconnect,  // remote snapshot fetch aborts mid-transfer
+  kLazyServerDeath,     // uffd lazy-pages server dies mid-fault
+  kNodeCrash,           // worker node crashes mid-restore
+};
+inline constexpr std::size_t kFaultSiteCount = 7;
+
+const char* fault_site_name(FaultSite site);
+
+// The schedulable fault mix: per-site probabilities plus shape parameters.
+// All rates default to zero — a default plan injects nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0x5EED;
+  double image_corruption_rate = 0.0;    // per image file read per restore
+  double image_read_error_rate = 0.0;    // per filesystem read of a matching path
+  double truncated_write_rate = 0.0;     // per persisted/materialized image file
+  double registry_stall_rate = 0.0;      // per remote fetch
+  sim::Duration registry_stall = sim::Duration::millis(50);
+  double registry_disconnect_rate = 0.0; // per remote fetch attempt
+  double lazy_server_death_rate = 0.0;   // per lazy page-in batch
+  double node_crash_rate = 0.0;          // per prebaked replica start
+  // Filesystem-level read faults apply only to paths containing this
+  // substring, so injected storage faults hit the snapshot pipeline rather
+  // than, say, the runtime binary of a Vanilla start.
+  std::string path_filter = ".img";
+
+  double rate(FaultSite site) const;
+  bool enabled() const;
+};
+
+class Injector {
+ public:
+  Injector() = default;
+
+  // Install a plan; resets all counters and the trace. An all-zero plan
+  // disables the injector entirely.
+  void configure(FaultPlan plan);
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return enabled_; }
+
+  // Deterministic decision at `site`: true iff the fault fires on this draw.
+  // Free (no hash, no counter) when the injector is disabled.
+  bool fires(FaultSite site);
+
+  // Uniform [0, 1) from a dedicated stream — retry-backoff jitter. Returns 0
+  // when disabled so un-jittered paths stay bit-identical.
+  double jitter();
+
+  // One fired fault, in firing order (the determinism test's event trace).
+  struct Event {
+    FaultSite site;
+    std::uint64_t draw = 0;  // per-site draw index at which it fired
+    bool operator==(const Event&) const = default;
+  };
+  const std::vector<Event>& trace() const { return trace_; }
+
+  std::uint64_t draws(FaultSite site) const;
+  std::uint64_t fired(FaultSite site) const;
+  std::uint64_t total_fired() const;
+
+  // Reset counters and trace but keep the plan (per-cell sweeps).
+  void reset();
+
+ private:
+  FaultPlan plan_{};
+  bool enabled_ = false;
+  std::array<std::uint64_t, kFaultSiteCount> draws_{};
+  std::array<std::uint64_t, kFaultSiteCount> fired_{};
+  std::uint64_t jitter_draws_ = 0;
+  std::vector<Event> trace_;
+};
+
+}  // namespace prebake::faults
+
+namespace prebake::os {
+// The issue-facing aliases: the plan travels with kernel-level config.
+using FaultPlan = faults::FaultPlan;
+using FaultSite = faults::FaultSite;
+}  // namespace prebake::os

@@ -60,12 +60,26 @@ const std::vector<std::uint8_t>* FileSystem::bytes_of(
 void FileSystem::charge_read(const std::string& path, std::uint64_t bytes,
                              double contention) {
   File& f = require(path);
+  if (injector_ != nullptr && injector_->enabled() &&
+      path.find(injector_->plan().path_filter) != std::string::npos &&
+      injector_->fires(faults::FaultSite::kImageReadError)) {
+    // The device errored partway in: the failed attempt still burned a seek.
+    sim_->advance(costs_->disk_seek);
+    throw IoError{"FileSystem: transient read error: " + path};
+  }
   if (bytes == 0 || bytes > f.size) bytes = f.size;
   if (contention < 1.0) contention = 1.0;
   sim::Duration cost = f.cached ? costs_->page_cache_read_cost(bytes)
                                 : costs_->disk_read_cost(bytes);
   sim_->advance(cost * contention);
   f.cached = true;
+}
+
+void FileSystem::truncate(const std::string& path, std::uint64_t bytes) {
+  File& f = require(path);
+  if (bytes >= f.size) return;
+  f.size = bytes;
+  if (f.data && f.data->size() > bytes) f.data->resize(bytes);
 }
 
 void FileSystem::remove(const std::string& path) {

@@ -10,18 +10,28 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "os/cost_model.hpp"
+#include "os/faults.hpp"
 #include "sim/simulation.hpp"
 
 namespace prebake::os {
 
+// A storage-level read failure (injected transient fault or real model
+// error). Distinct from invalid_argument so callers can tell "flaky device"
+// from "caller bug" and retry only the former.
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 class FileSystem {
  public:
-  FileSystem(sim::Simulation& sim, const CostModel& costs)
-      : sim_{&sim}, costs_{&costs} {}
+  FileSystem(sim::Simulation& sim, const CostModel& costs,
+             faults::Injector* injector = nullptr)
+      : sim_{&sim}, costs_{&costs}, injector_{injector} {}
 
   // Create or truncate a file with synthetic (size-only) content.
   void create(const std::string& path, std::uint64_t size_bytes);
@@ -39,9 +49,16 @@ class FileSystem {
   // Charge the cost of reading `bytes` of the file sequentially. Marks the
   // range cached. `bytes` == 0 means "the whole file". `contention` models N
   // concurrent streams sharing the device (processor sharing), used by the
-  // concurrent-restore ablation.
+  // concurrent-restore ablation. With an enabled fault injector, reads of
+  // paths matching the plan's path filter may throw IoError (a transient
+  // device error) after charging one seek.
   void charge_read(const std::string& path, std::uint64_t bytes = 0,
                    double contention = 1.0);
+
+  // Truncate an existing file to `bytes` without touching its cache state —
+  // the tail of a partial write that never reached the device. Fault-path
+  // helper (dump persist / registry materialization under kTruncatedWrite).
+  void truncate(const std::string& path, std::uint64_t bytes);
 
   void remove(const std::string& path);
   // Drop the page cache (echo 3 > /proc/sys/vm/drop_caches equivalent).
@@ -64,6 +81,7 @@ class FileSystem {
 
   sim::Simulation* sim_;
   const CostModel* costs_;
+  faults::Injector* injector_;
   std::map<std::string, File> files_;
 };
 

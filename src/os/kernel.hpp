@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "os/cost_model.hpp"
+#include "os/faults.hpp"
 #include "os/filesystem.hpp"
 #include "os/process.hpp"
 #include "sim/simulation.hpp"
@@ -41,7 +42,7 @@ struct PagemapRange {
 class Kernel {
  public:
   Kernel(sim::Simulation& sim, CostModel costs = {})
-      : sim_{&sim}, costs_{std::move(costs)}, fs_{sim, costs_} {}
+      : sim_{&sim}, costs_{std::move(costs)}, fs_{sim, costs_, &injector_} {}
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
@@ -49,6 +50,10 @@ class Kernel {
   const CostModel& costs() const { return costs_; }
   CostModel& costs_mutable() { return costs_; }
   FileSystem& fs() { return fs_; }
+  // The kernel-wide fault injector (disabled and zero-cost by default); the
+  // chaos scenarios configure it with a FaultPlan before running traffic.
+  faults::Injector& faults() { return injector_; }
+  const faults::Injector& faults() const { return injector_; }
 
   // --- process lifecycle -------------------------------------------------
   // clone(2): duplicates `parent` (COW address space). Returns the child pid.
@@ -107,6 +112,7 @@ class Kernel {
 
   sim::Simulation* sim_;
   CostModel costs_;
+  faults::Injector injector_;  // must precede fs_, which captures a pointer
   FileSystem fs_;
   std::map<Pid, std::unique_ptr<Process>> procs_;
   Pid next_pid_ = 100;

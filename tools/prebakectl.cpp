@@ -7,6 +7,8 @@
 //   prebakectl bake-info --function noop [--warmup 1]
 //   prebakectl nodes [--nodes N] [--cpus N] [--policy worst-fit|round-robin|
 //               locality] [--rate HZ] [--duration-s S] [--cache-mib M]
+//   prebakectl faults [--rate R] [--crash-rate R] [--seed S] [--attempts N]
+//               [--quarantine N] [--duration-s S]
 //
 // Functions: noop | markdown | image-resizer | synthetic-{small,medium,big}
 // Techniques: vanilla | pb-nowarmup | pb-warmup
@@ -17,6 +19,7 @@
 
 #include "core/prebaker.hpp"
 #include "exp/calibration.hpp"
+#include "exp/chaos.hpp"
 #include "exp/cli.hpp"
 #include "exp/cluster.hpp"
 #include "exp/report.hpp"
@@ -32,7 +35,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: prebakectl <list|startup|service|bake-info|trace> [flags]\n"
+               "usage: prebakectl "
+               "<list|startup|service|bake-info|trace|nodes|faults> [flags]\n"
                "  startup   --function F --technique T [--reps N] [--seed S]"
                " [--first-response]\n"
                "  service   --function F --technique T [--requests N]\n"
@@ -44,6 +48,9 @@ int usage() {
                " [--duration-s S]\n"
                "            [--cache-mib M] [--mode vanilla|prebaked]"
                " [--seed S]\n"
+               "  faults    [--rate R] [--crash-rate R] [--seed S]"
+               " [--attempts N]\n"
+               "            [--quarantine N] [--duration-s S]\n"
                "functions:  noop markdown image-resizer synthetic-small"
                " synthetic-medium synthetic-big\n"
                "techniques: vanilla pb-nowarmup pb-warmup zygote\n");
@@ -325,6 +332,74 @@ int cmd_nodes(const exp::CliArgs& args) {
   return 0;
 }
 
+// Run the chaos scenario and print the fault-injector state (plan, draw
+// and firing counts per site) plus the snapshot circuit-breaker table.
+int cmd_faults(const exp::CliArgs& args) {
+  const double rate = args.get_double_or("rate", 0.05);
+  exp::ChaosScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  cfg.duration = sim::Duration::seconds_f(args.get_double_or("duration-s", 600.0));
+  cfg.restore_max_attempts = static_cast<int>(args.get_int_or("attempts", 3));
+  cfg.quarantine_threshold =
+      static_cast<std::uint32_t>(args.get_int_or("quarantine", 3));
+  cfg.faults.seed = cfg.seed;
+  cfg.faults.image_corruption_rate = rate;
+  cfg.faults.image_read_error_rate = rate / 2;
+  cfg.faults.truncated_write_rate = rate / 2;
+  cfg.faults.registry_stall_rate = rate;
+  cfg.faults.registry_disconnect_rate = rate / 2;
+  cfg.faults.node_crash_rate = args.get_double_or("crash-rate", rate / 10);
+
+  const exp::ChaosScenarioResult r = exp::run_chaos_scenario(cfg);
+
+  std::printf("fault plan (seed %llu): corruption %s, read-error %s, "
+              "truncated-write %s,\n  registry stall %s / disconnect %s, "
+              "node crash %s\n",
+              static_cast<unsigned long long>(cfg.faults.seed),
+              exp::fmt_percent(cfg.faults.image_corruption_rate).c_str(),
+              exp::fmt_percent(cfg.faults.image_read_error_rate).c_str(),
+              exp::fmt_percent(cfg.faults.truncated_write_rate).c_str(),
+              exp::fmt_percent(cfg.faults.registry_stall_rate).c_str(),
+              exp::fmt_percent(cfg.faults.registry_disconnect_rate).c_str(),
+              exp::fmt_percent(cfg.faults.node_crash_rate).c_str());
+  std::printf("policy: %d restore attempts, quarantine after %u consecutive "
+              "failures\n\n",
+              cfg.restore_max_attempts, cfg.quarantine_threshold);
+
+  std::printf("requests %llu, answered %llu, availability %s, fallback rate "
+              "%s\n",
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.answered),
+              exp::fmt_percent(r.availability).c_str(),
+              exp::fmt_percent(r.fallback_rate).c_str());
+  std::printf("retries %llu, quarantines %llu, rebakes %llu, node crashes "
+              "%llu (recovered %llu)\n\n",
+              static_cast<unsigned long long>(r.restore_retries),
+              static_cast<unsigned long long>(r.snapshot_quarantines),
+              static_cast<unsigned long long>(r.snapshot_rebakes),
+              static_cast<unsigned long long>(r.node_crashes),
+              static_cast<unsigned long long>(r.node_recoveries));
+
+  exp::TextTable sites{{"Fault site", "Fired"}};
+  for (const auto& [site, fired] : r.fired_by_site)
+    sites.add_row({site, std::to_string(fired)});
+  std::printf("%s (%llu total)\n\n", sites.to_string().c_str(),
+              static_cast<unsigned long long>(r.faults_injected));
+
+  exp::TextTable health{{"Function", "Consecutive failures", "Quarantined",
+                         "Rebakes"}};
+  for (const auto& row : r.snapshot_health)
+    health.add_row({row.function, std::to_string(row.consecutive_failures),
+                    row.quarantined ? "yes" : "no",
+                    std::to_string(row.rebakes)});
+  if (r.snapshot_health.empty()) {
+    std::printf("quarantine table: empty (no snapshot ever failed a restore)\n");
+  } else {
+    std::printf("%s", health.to_string().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -345,6 +420,8 @@ int main(int argc, char** argv) {
       rc = cmd_trace(args);
     } else if (command == "nodes") {
       rc = cmd_nodes(args);
+    } else if (command == "faults") {
+      rc = cmd_faults(args);
     } else {
       return usage();
     }

@@ -12,24 +12,45 @@
 # results across thread counts plus the reproduced paper numbers staying in
 # range. Exits non-zero on any regression (this is the run_benches_check
 # CTest target).
+#
+# --chaos runs the fault-injection sweep (bench/chaos_restore) instead,
+# writing BENCH_chaos_restore.json at the repository root; combined with
+# --check it asserts the availability gate (>= 99% at the default 5% fault
+# rate, no request lost).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 mode_args=()
 out="${repo_root}/BENCH_harness.json"
+out_set=0
 check=0
+chaos=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --check) check=1; shift ;;
+    --chaos) chaos=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --threads) mode_args+=(--threads "$2"); shift 2 ;;
     --reps) mode_args+=(--reps "$2"); shift 2 ;;
-    --out) out="$2"; shift 2 ;;
+    --out) out="$2"; out_set=1; shift 2 ;;
     *) echo "run_benches.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$chaos" -eq 1 ]]; then
+  chaos_bin="${build_dir}/bench/chaos_restore"
+  if [[ ! -x "$chaos_bin" ]]; then
+    echo "run_benches.sh: ${chaos_bin} not found; building..." >&2
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" --target chaos_restore -j
+  fi
+  [[ "$out_set" -eq 1 ]] || out="${repo_root}/BENCH_chaos_restore.json"
+  chaos_args=(--out "$out")
+  [[ "$check" -eq 1 ]] && chaos_args+=(--check)
+  exec "$chaos_bin" "${chaos_args[@]}"
+fi
 
 harness="${build_dir}/bench/bench_harness"
 if [[ ! -x "$harness" ]]; then

@@ -26,3 +26,10 @@ cmake --build build-sanitize --target prebake_tests -j "$(nproc 2>/dev/null || e
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ./build-sanitize/tests/prebake_tests
+
+# Second pass over the fault-injection suites alone: the chaos paths throw
+# and unwind through the restore pipeline far more than the happy path, so
+# give the sanitizers a dedicated look at them.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ./build-sanitize/tests/prebake_tests --gtest_filter='Chaos*'
