@@ -21,7 +21,9 @@
 
 #include "exp/calibration.hpp"
 #include "exp/parallel_runner.hpp"
+#include "exp/run.hpp"
 #include "exp/scenario.hpp"
+#include "obs/export.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 #include "util/thread_pool.hpp"
@@ -185,6 +187,39 @@ int run_check(int threads) {
   return g_failures == 0 ? 0 : 1;
 }
 
+// --- --trace mode ----------------------------------------------------------
+
+// Trace the fig3 NOOP prebaked cell with the structured tracer on and
+// export Chrome trace_event JSON (about:tracing / Perfetto loadable). The
+// interesting nesting — scenario > replica-start > start.prebaked >
+// criu.restore > per-image reads — is asserted by tools/run_benches.sh
+// --trace against tools/trace_schema.jq.
+int run_trace(const std::string& path, int reps, int threads) {
+  exp::ScenarioConfig cfg;
+  cfg.spec = exp::noop_spec();
+  cfg.technique = exp::Technique::kPrebakeNoWarmup;
+  cfg.repetitions = reps;
+  cfg.seed = 42;
+  cfg.threads = threads;
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from(cfg);
+  spec.trace = true;
+
+  const exp::ScenarioRun run = exp::run(spec);
+  const std::string json = obs::to_chrome_json(run.trace);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_harness: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("bench_harness --trace: fig3 NOOP %s, %d reps\n",
+              exp::technique_name(cfg.technique), reps);
+  std::printf("wrote %zu spans to %s (load in about:tracing / Perfetto)\n",
+              run.trace.spans.size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,6 +227,7 @@ int main(int argc, char** argv) {
   int reps = 200;
   bool check = false;
   std::string out = "BENCH_harness.json";
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
@@ -201,15 +237,18 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_harness [--check] [--threads N] [--reps N] "
-                   "[--out FILE]\n");
+                   "[--out FILE] [--trace FILE]\n");
       return 2;
     }
   }
   if (threads < 1) threads = util::resolve_threads(0);
 
+  if (!trace_out.empty()) return run_trace(trace_out, reps, threads);
   if (check) return run_check(threads);
 
   std::printf("bench_harness: timing fig3 + fig5 sweeps "

@@ -43,8 +43,10 @@ int main() {
 
   // 4. Start one replica each way and compare.
   core::ReplicaProcess vanilla = startup.start_vanilla(spec, sim::Rng{3});
-  core::ReplicaProcess prebaked = startup.start_prebaked(
-      spec, snapshot.images, snapshot.fs_prefix, sim::Rng{3});
+  core::PrebakedStartOptions options;
+  options.restore.fs_prefix = snapshot.fs_prefix;
+  core::ReplicaProcess prebaked =
+      startup.start_prebaked(spec, snapshot.images, options, sim::Rng{3});
 
   std::printf("\n            %-10s %-10s %-10s %-10s %-10s\n", "clone", "exec",
               "rts", "appinit", "TOTAL");

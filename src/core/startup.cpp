@@ -19,22 +19,39 @@ StartupService::StartupService(os::Kernel& kernel, rt::RuntimeCosts costs,
 ReplicaProcess StartupService::start_vanilla(const rt::FunctionSpec& spec,
                                              sim::Rng rng) {
   os::Kernel& k = *kernel_;
+  obs::Tracer& tr = k.trace();
   ReplicaProcess rep;
   const sim::TimePoint t0 = k.sim().now();
 
+  obs::Span start_span = tr.span("start.vanilla", "core");
+  start_span.attr("function", spec.name);
+
   // CLONE
-  rep.pid = k.clone_process(launcher_);
+  {
+    obs::Span phase = tr.span("clone", "core.phase");
+    rep.pid = k.clone_process(launcher_);
+  }
   const sim::TimePoint t_clone = k.sim().now();
 
   // EXEC
-  k.exec(rep.pid, spec.runtime_binary, {spec.runtime_binary, spec.name});
+  {
+    obs::Span phase = tr.span("exec", "core.phase");
+    phase.attr("binary", spec.runtime_binary);
+    k.exec(rep.pid, spec.runtime_binary, {spec.runtime_binary, spec.name});
+  }
   const sim::TimePoint t_exec = k.sim().now();
 
   // RTS + APPINIT
   rep.runtime = std::make_unique<rt::ManagedRuntime>(k, rep.pid, costs_, spec,
                                                      std::move(rng));
-  rep.runtime->bootstrap();
-  rep.runtime->app_init(*assets_);
+  {
+    obs::Span phase = tr.span("rts", "core.phase");
+    rep.runtime->bootstrap();
+  }
+  {
+    obs::Span phase = tr.span("appinit", "core.phase");
+    rep.runtime->app_init(*assets_);
+  }
   const sim::TimePoint t_ready = k.sim().now();
 
   rep.breakdown.clone_time = t_clone - t0;
@@ -42,6 +59,8 @@ ReplicaProcess StartupService::start_vanilla(const rt::FunctionSpec& spec,
   rep.breakdown.rts_time = rep.runtime->rts_time();
   rep.breakdown.appinit_time = rep.runtime->appinit_time();
   rep.breakdown.total = t_ready - t0;
+  rep.breakdown.span_id = start_span.id();
+  start_span.attr("total_ms", rep.breakdown.total.to_millis());
   return rep;
 }
 
@@ -50,6 +69,8 @@ os::Pid StartupService::ensure_zygote(const rt::FunctionSpec& spec) {
   if (it != zygotes_.end() && kernel_->alive(it->second)) return it->second;
 
   // Boot a generic runtime process once (deploy-time cost, like baking).
+  obs::Span span = kernel_->trace().span("zygote.boot", "core");
+  span.attr("binary", spec.runtime_binary);
   const os::Pid pid = kernel_->clone_process(launcher_);
   kernel_->exec(pid, spec.runtime_binary, {spec.runtime_binary, "--zygote"});
   rt::FunctionSpec generic;  // no function code: just the bare runtime
@@ -64,19 +85,29 @@ os::Pid StartupService::ensure_zygote(const rt::FunctionSpec& spec) {
 ReplicaProcess StartupService::start_zygote_fork(const rt::FunctionSpec& spec,
                                                  sim::Rng rng) {
   os::Kernel& k = *kernel_;
+  obs::Tracer& tr = k.trace();
   const os::Pid zygote = ensure_zygote(spec);
 
   ReplicaProcess rep;
   const sim::TimePoint t0 = k.sim().now();
 
+  obs::Span start_span = tr.span("start.zygote", "core");
+  start_span.attr("function", spec.name);
+
   // fork(2) from the zygote: the booted runtime state arrives via COW.
-  rep.pid = k.clone_process(zygote);
+  {
+    obs::Span phase = tr.span("fork", "core.phase");
+    rep.pid = k.clone_process(zygote);
+  }
   const sim::TimePoint t_fork = k.sim().now();
 
   rep.runtime = std::make_unique<rt::ManagedRuntime>(
       rt::ManagedRuntime::attach_forked(k, rep.pid, costs_, spec,
                                         std::move(rng)));
-  rep.runtime->app_init(*assets_);
+  {
+    obs::Span phase = tr.span("appinit", "core.phase");
+    rep.runtime->app_init(*assets_);
+  }
   const sim::TimePoint t_ready = k.sim().now();
 
   rep.breakdown.clone_time = t_fork - t0;
@@ -84,6 +115,7 @@ ReplicaProcess StartupService::start_zygote_fork(const rt::FunctionSpec& spec,
   rep.breakdown.rts_time = sim::Duration{};   // bootstrap ran in the zygote
   rep.breakdown.appinit_time = t_ready - t_fork;
   rep.breakdown.total = t_ready - t0;
+  rep.breakdown.span_id = start_span.id();
   return rep;
 }
 
@@ -94,9 +126,9 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
                                               double io_contention,
                                               bool in_memory_images) {
   PrebakedStartOptions options;
-  options.fs_prefix = fs_prefix;
-  options.io_contention = io_contention;
-  options.in_memory = in_memory_images;
+  options.restore.fs_prefix = fs_prefix;
+  options.restore.io_contention = io_contention;
+  options.restore.in_memory = in_memory_images;
   return start_prebaked(spec, images, options, std::move(rng));
 }
 
@@ -105,20 +137,20 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
                                               const PrebakedStartOptions& options,
                                               sim::Rng rng) {
   os::Kernel& k = *kernel_;
+  obs::Tracer& tr = k.trace();
   ReplicaProcess rep;
   const sim::TimePoint t0 = k.sim().now();
 
-  criu::RestoreOptions opts;
-  opts.fs_prefix = options.fs_prefix;
-  opts.io_contention = options.io_contention;
-  opts.in_memory = options.in_memory;
-  opts.remote_fetch = options.remote_fetch;
-  opts.lazy_pages = options.lazy_pages;
-  opts.lazy_working_set = options.lazy_working_set;
-  opts.fetch_max_attempts = options.fetch_max_attempts;
-  opts.fetch_retry_backoff = options.fetch_retry_backoff;
-  // Replicas are restored concurrently, so the original pid cannot be
-  // reused; CRIU runs with the launcher's capabilities.
+  obs::Span start_span = tr.span("start.prebaked", "core");
+  start_span.attr("function", spec.name);
+  if (options.restore.lazy_pages) start_span.attr("lazy_pages", "true");
+  if (options.restore.remote_fetch) start_span.attr("remote_fetch", "true");
+
+  // The caller's restore knobs pass through untouched, but pid reuse and
+  // privileges are the deployment's call: replicas are restored
+  // concurrently, so the original pid cannot be reused, and CRIU runs with
+  // the launcher's capabilities.
+  criu::RestoreOptions opts = options.restore;
   opts.restore_original_pid = false;
   opts.criu_caps = k.process(launcher_).caps();
 
@@ -130,19 +162,25 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
     rep.breakdown.restore_attempts = static_cast<std::uint32_t>(attempt);
     // The failed attempts and backoffs before this try are fault time.
     rep.breakdown.fault_time = k.sim().now() - t0;
+    obs::Span attempt_span = tr.span("restore.attempt", "core");
+    attempt_span.attr("attempt", attempt);
     try {
       restored = restorer.restore(images, opts);
       break;
     } catch (const criu::RestoreError& e) {
+      attempt_span.attr("error", e.what());
+      attempt_span.end();
       const bool past_deadline = policy.deadline > sim::Duration{} &&
                                  k.sim().now() - t0 >= policy.deadline;
       if (e.transient() && attempt < max_attempts && !past_deadline) {
+        obs::Span backoff = tr.span("retry-backoff", "core");
         k.sim().advance(policy.retry_backoff * static_cast<double>(attempt));
         continue;
       }
       if (!policy.fallback_to_vanilla) throw;
       // The restore budget is spent; finish the start the slow-but-sure way.
       // The wasted attempts stay on the clock and in the breakdown.
+      tr.count("core.restore_fallbacks");
       const std::uint32_t attempts = rep.breakdown.restore_attempts;
       const sim::Duration wasted = k.sim().now() - t0;
       rep = start_vanilla(spec, rng.child(1));
@@ -150,6 +188,8 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
       rep.breakdown.fell_back_to_vanilla = true;
       rep.breakdown.fault_time = wasted;
       rep.breakdown.total = k.sim().now() - t0;
+      rep.breakdown.span_id = start_span.id();
+      start_span.attr("fell_back_to_vanilla", "true");
       return rep;
     }
   }
@@ -161,10 +201,14 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
   // Learn how warm the image is from its stats entry.
   const criu::StatsEntry stats =
       criu::decode_stats(images.get("stats.img").bytes);
-  rep.runtime = std::make_unique<rt::ManagedRuntime>(
-      rt::ManagedRuntime::attach_restored(k, rep.pid, costs_, spec,
-                                          std::move(rng),
-                                          stats.warmup_requests > 0, *assets_));
+  {
+    obs::Span phase = tr.span("appinit", "core.phase");
+    rep.runtime = std::make_unique<rt::ManagedRuntime>(
+        rt::ManagedRuntime::attach_restored(k, rep.pid, costs_, spec,
+                                            std::move(rng),
+                                            stats.warmup_requests > 0,
+                                            *assets_));
+  }
   const sim::TimePoint t_ready = k.sim().now();
 
   rep.breakdown.clone_time = sim::Duration{};
@@ -173,6 +217,9 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
   rep.breakdown.restore_time = t_restored - t0;
   rep.breakdown.appinit_time = t_ready - t_restored;
   rep.breakdown.total = t_ready - t0;
+  rep.breakdown.span_id = start_span.id();
+  start_span.attr("attempts",
+                  static_cast<std::int64_t>(rep.breakdown.restore_attempts));
   return rep;
 }
 

@@ -10,6 +10,7 @@
 #include "criu/image.hpp"
 #include "criu/restore.hpp"
 #include "funcs/handlers.hpp"
+#include "obs/tracer.hpp"
 #include "os/kernel.hpp"
 #include "rt/runtime.hpp"
 
@@ -34,6 +35,9 @@ struct StartupBreakdown {
   std::uint32_t restore_attempts = 0;
   bool fell_back_to_vanilla = false;
   sim::Duration fault_time;
+  // Id of the "start.*" span recorded for this start, linking the breakdown
+  // to its trace (0 when the kernel's tracer was disabled).
+  obs::SpanId span_id = 0;
 
   // The paper's stacked view: prebake folds restore+fixups into APPINIT.
   sim::Duration appinit_stacked() const { return appinit_time + restore_time; }
@@ -51,10 +55,6 @@ struct ReplicaProcess {
   std::uint64_t remote_bytes_fetched = 0;
 };
 
-// Knobs for the prebaking path beyond the legacy positional arguments. The
-// cluster layer uses these to express per-node image locality (fs_prefix
-// points at a node-local path, remote_fetch charges the registry transfer on
-// a cache miss) and post-copy restores.
 // How hard to fight for a restore before giving up. The defaults reproduce
 // the legacy behavior exactly: one attempt, failure propagates to the
 // caller, nothing extra is charged.
@@ -74,17 +74,24 @@ struct RestorePolicy {
   bool fallback_to_vanilla = false;
 };
 
+// Everything a prebaked start can be asked to do, in one struct. `restore`
+// is the single source of truth for the restore-side knobs (fs_prefix,
+// io_contention, in_memory, remote_fetch, lazy_pages, lazy_working_set,
+// registry-fetch retry budget — see criu::RestoreOptions) and is handed to
+// the Restorer as-is, except that the service always forces
+// restore_original_pid=false and runs CRIU with the launcher's capabilities:
+// those belong to the deployment, not the caller. `policy` governs the
+// retry / deadline / Vanilla-fallback behavior around the restore.
+//
+// Designated-initializer friendly:
+//   startup.start_prebaked(spec, images,
+//                          {.restore = {.io_contention = 4.0,
+//                                       .fs_prefix = "/node/snap"},
+//                           .policy = {.max_attempts = 3}},
+//                          rng);
 struct PrebakedStartOptions {
-  std::string fs_prefix;       // "" = images never persisted
-  double io_contention = 1.0;  // N concurrent restores sharing storage
-  bool in_memory = false;      // images pinned in page cache
-  bool remote_fetch = false;   // first uncached read pays network bandwidth
-  bool lazy_pages = false;     // post-copy (uffd) restore
-  double lazy_working_set = 0.25;
-  RestorePolicy policy;        // retry / deadline / fallback behavior
-  // Passed through to RestoreOptions: registry-fetch retry budget.
-  int fetch_max_attempts = 3;
-  sim::Duration fetch_retry_backoff = sim::Duration::millis(10);
+  criu::RestoreOptions restore;
+  RestorePolicy policy;  // retry / deadline / fallback behavior
 };
 
 class StartupService {
@@ -103,23 +110,24 @@ class StartupService {
   ReplicaProcess start_zygote_fork(const rt::FunctionSpec& spec, sim::Rng rng);
 
   // The prebaking path: CRIU-restore the snapshot, re-attach the runtime.
-  // `fs_prefix` is where the image files live in the simulated filesystem
-  // ("" if the snapshot was never persisted). `io_contention` models N
-  // concurrent restores sharing storage. Restore failures surface as typed
-  // criu::RestoreError from both overloads (the positional one delegates to
-  // the options overload, so the two behave identically) unless the policy
-  // requests retries or Vanilla fallback.
+  // This is the one canonical entry point; every knob lives on
+  // PrebakedStartOptions. Restore failures surface as typed
+  // criu::RestoreError unless options.policy requests retries or Vanilla
+  // fallback.
+  ReplicaProcess start_prebaked(const rt::FunctionSpec& spec,
+                                const criu::ImageDir& images,
+                                const PrebakedStartOptions& options,
+                                sim::Rng rng);
+
+  // Legacy positional shim, kept for one PR. Delegates to the options
+  // overload (identical behavior, including thrown error types).
+  [[deprecated(
+      "use start_prebaked(spec, images, PrebakedStartOptions{...}, rng)")]]
   ReplicaProcess start_prebaked(const rt::FunctionSpec& spec,
                                 const criu::ImageDir& images,
                                 const std::string& fs_prefix, sim::Rng rng,
                                 double io_contention = 1.0,
                                 bool in_memory_images = false);
-
-  // Options-struct variant; the positional overload delegates here.
-  ReplicaProcess start_prebaked(const rt::FunctionSpec& spec,
-                                const criu::ImageDir& images,
-                                const PrebakedStartOptions& options,
-                                sim::Rng rng);
 
   os::Pid launcher_pid() const { return launcher_; }
   os::Kernel& kernel() { return *kernel_; }

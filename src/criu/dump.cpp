@@ -8,10 +8,15 @@ namespace prebake::criu {
 
 DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
   os::Kernel& k = *kernel_;
+  obs::Tracer& tr = k.trace();
   const sim::TimePoint t0 = k.sim().now();
   os::Process& target = k.process(pid);
   if (target.state() != os::ProcState::kRunning)
     throw std::logic_error{"criu dump: target is not running"};
+
+  obs::Span dump_span = tr.span("criu.dump", "criu");
+  dump_span.attr("pid", static_cast<std::int64_t>(pid));
+  if (opts.pre_dump) dump_span.attr("pre_dump", "true");
 
   const bool privileged = os::has_cap(opts.criu_caps, os::Cap::kSysAdmin) ||
                           os::has_cap(opts.criu_caps, os::Cap::kSysPtrace) ||
@@ -21,11 +26,17 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
         "criu dump: need CAP_SYS_ADMIN, CAP_SYS_PTRACE or CAP_CHECKPOINT_RESTORE"};
 
   // 1. Seize and freeze every thread so the state cannot change under us.
-  k.ptrace_seize(pid, opts.criu_caps);
-  k.freeze(pid, opts.criu_caps);
+  {
+    obs::Span s = tr.span("freeze", "criu");
+    k.ptrace_seize(pid, opts.criu_caps);
+    k.freeze(pid, opts.criu_caps);
+  }
 
   // 2. Discover resident memory from /proc/$pid/pagemap.
+  obs::Span walk_span = tr.span("pagemap-walk", "criu");
   const std::vector<os::PagemapRange> ranges = k.pagemap(pid);
+  walk_span.attr("ranges", static_cast<std::uint64_t>(ranges.size()));
+  walk_span.end();
 
   // Parent coverage for incremental dumps: a page is skipped if the parent
   // already holds it and it has not been dirtied since.
@@ -39,8 +50,12 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
   }
 
   // 3. Inject the parasite into the frozen target.
+  obs::Span parasite_span = tr.span("parasite", "criu");
+  parasite_span.attr("blob_bytes", opts.parasite_blob_bytes);
   k.inject_parasite(pid, opts.parasite_blob_bytes);
   const std::uint64_t pipe = k.create_pipe();
+  parasite_span.end();
+  obs::Span stream_span = tr.span("page-stream", "criu");
 
   // 4. Stream page contents: the parasite reads the target address space and
   // sends pages to the criu process through the pipe.
@@ -104,7 +119,12 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
     flush();
   }
 
+  stream_span.attr("pages", pages_dumped);
+  stream_span.attr("zero_pages", zero_pages);
+  stream_span.end();
+
   // 5. Serialize metadata.
+  obs::Span serialize_span = tr.span("serialize", "criu");
   InventoryEntry inv;
   inv.root_pid = pid;
   inv.name = target.name();
@@ -158,8 +178,10 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
   stats.zero_pages = zero_pages;
   stats.payload_bytes = payload_bytes;
   stats.warmup_requests = opts.warmup_requests;
+  serialize_span.end();
 
   // 6. Cure the parasite and release the target.
+  obs::Span cure_span = tr.span("cure", "criu");
   k.cure_parasite(pid);
   if (opts.pre_dump) {
     k.clear_soft_dirty(pid);
@@ -172,6 +194,8 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
     k.reap(pid);
   }
 
+  cure_span.end();
+
   // 7. Persist to storage (image files hit the disk at write bandwidth).
   std::uint64_t metadata_bytes = 0;
   for (const auto& [name, f] : dir.files())
@@ -179,8 +203,16 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
   stats.metadata_bytes = metadata_bytes;
 
   if (!opts.fs_prefix.empty()) {
+    obs::Span persist_span = tr.span("persist", "criu.io");
     faults::Injector& inj = k.faults();
     for (const auto& [name, f] : dir.files()) {
+      // Per-image write span, mirroring the restore side's "read:<name>".
+      obs::Span write_span;
+      if (tr.enabled()) {
+        write_span = tr.span("write:" + name, "criu.io");
+        write_span.attr("bytes", f.nominal_size);
+        tr.count("criu.bytes_written", f.nominal_size);
+      }
       k.fs().create(opts.fs_prefix + name, f.nominal_size);
       // Freshly written images sit in the page cache.
       k.fs().warm(opts.fs_prefix + name);
@@ -189,8 +221,10 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
       // Restore detects the size mismatch and fails typed; the platform
       // heals it by quarantining the snapshot and re-baking.
       if (f.nominal_size > 0 && inj.enabled() &&
-          inj.fires(faults::FaultSite::kTruncatedWrite))
+          inj.fires(faults::FaultSite::kTruncatedWrite)) {
+        write_span.attr("truncated", "true");
         k.fs().truncate(opts.fs_prefix + name, f.nominal_size / 2);
+      }
     }
   }
 
@@ -204,6 +238,9 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
 
   result.stats = stats;
   result.duration = sim::Duration::nanos(stats.dump_duration_ns);
+  dump_span.attr("pages", pages_dumped);
+  dump_span.attr("payload_bytes", payload_bytes);
+  tr.measure("criu.dump_ms", result.duration.to_millis());
   return result;
 }
 

@@ -21,14 +21,21 @@ void fetch_from_registry(os::Kernel& k, const std::string& path,
                          std::uint64_t bytes, const RestoreOptions& opts,
                          RestoreResult& result) {
   faults::Injector& inj = k.faults();
+  obs::Span span = k.trace().span("registry-fetch", "criu.net");
+  span.attr("path", path);
+  span.attr("bytes", bytes);
   const int max_attempts = std::max(opts.fetch_max_attempts, 1);
   for (int attempt = 1;; ++attempt) {
     if (inj.enabled() && inj.fires(faults::FaultSite::kRegistryDisconnect)) {
+      k.trace().count("criu.fetch_retries");
       k.sim().advance(k.costs().network_rtt);
-      if (attempt >= max_attempts)
+      if (attempt >= max_attempts) {
+        span.attr("attempts", attempt);
+        span.attr("error", "disconnect");
         throw RestoreError{RestoreErrorKind::kFetchFailed,
                            "restore: registry fetch failed after " +
                                std::to_string(attempt) + " attempts: " + path};
+      }
       k.sim().advance(opts.fetch_retry_backoff *
                       (static_cast<double>(attempt) * (1.0 + inj.jitter())));
       continue;
@@ -39,6 +46,8 @@ void fetch_from_registry(os::Kernel& k, const std::string& path,
                     std::max(opts.io_contention, 1.0));
     k.fs().warm(path);
     result.remote_bytes += bytes;
+    k.trace().count("criu.remote_bytes", bytes);
+    span.attr("attempts", attempt);
     return;
   }
 }
@@ -51,6 +60,7 @@ void fetch_from_registry(os::Kernel& k, const std::string& path,
 void charge_image_reads(os::Kernel& k, const ImageDir& images,
                         const RestoreOptions& opts, RestoreResult& result) {
   faults::Injector& inj = k.faults();
+  obs::Tracer& tr = k.trace();
   for (const auto& [name, f] : images.files()) {
     std::uint64_t to_read = f.nominal_size;
     if (opts.lazy_pages && name == "pages-1.img")
@@ -58,6 +68,14 @@ void charge_image_reads(os::Kernel& k, const ImageDir& images,
           static_cast<double>(to_read) * std::clamp(opts.lazy_working_set, 0.0, 1.0));
     result.bytes_read += to_read;
     if (to_read == 0) continue;
+    // Per-image read span ("read:pages-1.img" ...). The name is built only
+    // when tracing is on so the disabled path stays allocation-free.
+    obs::Span read_span;
+    if (tr.enabled()) {
+      read_span = tr.span("read:" + name, "criu.io");
+      read_span.attr("bytes", to_read);
+      tr.count("criu.bytes_read", to_read);
+    }
     if (!opts.fs_prefix.empty()) {
       const std::string path = opts.fs_prefix + name;
       // A persisted copy shorter than the record's nominal size is the scar
@@ -84,10 +102,12 @@ void charge_image_reads(os::Kernel& k, const ImageDir& images,
     // A bit-flip in the record that the per-record CRC catches after the
     // read. The in-memory ImageDir bytes stay pristine — this models
     // corruption of the transferred/cached copy, so a retry can succeed.
-    if (inj.enabled() && inj.fires(faults::FaultSite::kImageCorruption))
+    if (inj.enabled() && inj.fires(faults::FaultSite::kImageCorruption)) {
+      read_span.attr("error", "crc-mismatch");
       throw RestoreError{RestoreErrorKind::kCorruptImage,
                          "restore: CRC mismatch reading " + name +
                              " (injected bit-flip)"};
+    }
   }
 }
 
@@ -103,23 +123,33 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
                                       const RestoreOptions& opts) {
   if (chain.empty()) throw std::invalid_argument{"restore: empty image chain"};
   os::Kernel& k = *kernel_;
+  obs::Tracer& tr = k.trace();
   const sim::TimePoint t0 = k.sim().now();
+
+  obs::Span restore_span = tr.span("criu.restore", "criu");
+  restore_span.attr("chain", static_cast<std::uint64_t>(chain.size()));
 
   // Every link of the chain is read, so every link's records get their CRCs
   // re-checked on the way in — a corrupt parent pre-dump fails the restore
   // just like a corrupt final dump. Host-side check: no simulated time.
-  for (const ImageDir* dir : chain) {
-    try {
-      dir->validate();
-    } catch (const std::runtime_error& e) {
-      throw RestoreError{RestoreErrorKind::kCorruptImage, e.what()};
+  {
+    obs::Span s = tr.span("validate", "criu");
+    for (const ImageDir* dir : chain) {
+      try {
+        dir->validate();
+      } catch (const std::runtime_error& e) {
+        throw RestoreError{RestoreErrorKind::kCorruptImage, e.what()};
+      }
     }
   }
   const ImageDir& last = *chain.back();
 
   // 1. Read and decode the metadata images (and charge their I/O).
   RestoreResult result;
-  for (const ImageDir* dir : chain) charge_image_reads(k, *dir, opts, result);
+  {
+    obs::Span s = tr.span("image-reads", "criu.io");
+    for (const ImageDir* dir : chain) charge_image_reads(k, *dir, opts, result);
+  }
 
   // The decode cache is shared across restores of the same snapshot.
   const ImageDir::Decoded& dec = last.decoded();
@@ -146,6 +176,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
 
   // 2. Transmute: clone the new process shell (optionally with the original
   // pid, which requires CAP_CHECKPOINT_RESTORE [11]).
+  obs::Span transmute_span = tr.span("transmute", "criu");
   os::CloneOptions clone_opts;
   clone_opts.caller_caps = opts.criu_caps;
   if (opts.restore_original_pid) {
@@ -184,6 +215,8 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
     proc.spawn_thread(cores[i].tid);
   for (std::size_t i = 0; i < cores.size(); ++i)
     proc.threads()[i].regs = cores[i].regs;
+  transmute_span.attr("threads", static_cast<std::uint64_t>(cores.size()));
+  transmute_span.end();
 
   // 4. Rebuild the address space from mm.img. Buffer-backed VMAs need the
   // full page payload; pattern VMAs regenerate from the recorded descriptor.
@@ -191,6 +224,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
     throw RestoreError{RestoreErrorKind::kMissingImage,
                        "restore: missing image file pages-1.img"};
   const PagesEntry& last_pages = *dec.pages;
+  obs::Span vma_span = tr.span("vma-rebuild", "criu");
   proc.replace_mm(os::AddressSpace{});
   std::map<os::VmaId, os::VmaId> vma_id_map;  // image id -> new id
   std::map<os::VmaId, std::shared_ptr<os::BufferSource>> buffers;
@@ -213,7 +247,10 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
         e.name, std::move(source), /*populate=*/false, e.backing_path);
     vma_id_map[e.id] = new_id;
   }
+  vma_span.attr("vmas", static_cast<std::uint64_t>(vmas.size()));
+  vma_span.end();
 
+  obs::Span pagemap_span = tr.span("pagemap-replay", "criu");
   // 5. Replay the pagemap(s) oldest-first: fault pages in and, for buffer
   // VMAs, copy payload bytes back into place. Under lazy_pages only a
   // prefix of each run is eagerly mapped; the tail goes to the uffd server.
@@ -270,9 +307,11 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
         if (opts.verify_pages && eager_page) {
           const os::Vma* vma = proc.mm().find(it->second);
           const std::uint64_t got = vma->source->page_digest(e.first_page + p);
-          if (cursor >= pages.digests.size() || got != pages.digests[cursor])
+          if (cursor >= pages.digests.size() || got != pages.digests[cursor]) {
+            pagemap_span.attr("error", "digest-mismatch");
             throw RestoreError{RestoreErrorKind::kCorruptImage,
                                "restore: page digest mismatch"};
+          }
           // Verification reads the page once.
           k.sim().advance(k.costs().memcpy_cost(os::kPageSize));
         }
@@ -280,14 +319,24 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
     }
   }
 
+  pagemap_span.attr("pages_restored", result.pages_restored);
+  if (opts.lazy_pages)
+    pagemap_span.attr("lazy_pending",
+                      static_cast<std::uint64_t>(lazy_pending.size()));
+  if (opts.verify_pages) pagemap_span.attr("verified", "true");
+  pagemap_span.end();
+
   // 6. Reopen file descriptors.
-  for (const FileEntry& e : files) {
-    os::FdDesc desc;
-    desc.fd = e.fd;
-    desc.kind = static_cast<os::FdKind>(e.kind);
-    desc.path = e.path;
-    desc.pipe_id = e.pipe_id;
-    proc.fds()[e.fd] = desc;
+  {
+    obs::Span s = tr.span("fds", "criu");
+    for (const FileEntry& e : files) {
+      os::FdDesc desc;
+      desc.fd = e.fd;
+      desc.kind = static_cast<os::FdKind>(e.kind);
+      desc.path = e.path;
+      desc.pipe_id = e.pipe_id;
+      proc.fds()[e.fd] = desc;
+    }
   }
 
   proc.set_state(os::ProcState::kRunning);
@@ -297,6 +346,9 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
     result.lazy_server = std::make_shared<LazyPagesServer>(
         k, pid, opts.fs_prefix, std::move(lazy_pending));
   result.duration = k.sim().now() - t0;
+  restore_span.attr("pages", result.pages_restored);
+  restore_span.attr("bytes_read", result.bytes_read);
+  tr.measure("criu.restore_ms", result.duration.to_millis());
   return result;
 }
 
@@ -312,6 +364,8 @@ std::uint64_t LazyPagesServer::page_in(std::uint64_t pages) {
   if (kernel_ == nullptr) return 0;
   os::Kernel& k = *kernel_;
   faults::Injector& inj = k.faults();
+  obs::Span span = k.trace().span("lazy.page-in", "criu");
+  span.attr("requested", pages);
   // Transient image-read errors during a page-in are retried this many times
   // before giving up — a persistently failing device means the target would
   // fault forever.
@@ -344,6 +398,8 @@ std::uint64_t LazyPagesServer::page_in(std::uint64_t pages) {
     if (k.alive(pid_)) k.fault_in(pid_, vma, page, 1, /*write=*/false);
     ++served;
   }
+  span.attr("served", served);
+  k.trace().count("criu.lazy_pages_served", served);
   return served;
 }
 

@@ -3,12 +3,20 @@
 #include <memory>
 
 #include "exp/calibration.hpp"
+#include "exp/run.hpp"
 
 namespace prebake::exp {
 
-ChaosScenarioResult run_chaos_scenario(const ChaosScenarioConfig& config) {
+ChaosScenarioResult detail::run_chaos_impl(const ChaosScenarioConfig& config,
+                                           obs::TraceReport* trace) {
   sim::Simulation sim;
   os::Kernel kernel{sim, testbed_costs()};
+  obs::Tracer& tr = kernel.trace();
+  if (trace != nullptr) tr.enable();
+  obs::Span root = tr.span("scenario", "exp");
+  root.attr("kind", "chaos");
+  root.attr("nodes", static_cast<std::uint64_t>(config.nodes));
+  root.attr("policy", faas::placement_policy_name(config.policy));
 
   faas::PlatformConfig cfg;
   cfg.idle_timeout = config.idle_timeout;
@@ -130,7 +138,18 @@ ChaosScenarioResult run_chaos_scenario(const ChaosScenarioConfig& config) {
   for (const auto& [fn, health] : platform.snapshot_health())
     out.snapshot_health.push_back({fn, health.consecutive_failures,
                                    health.quarantined, health.rebakes});
+
+  root.attr("faults_injected", out.faults_injected);
+  root.end();
+  if (trace != nullptr) {
+    trace->absorb(tr);
+    trace->finalize();
+  }
   return out;
+}
+
+ChaosScenarioResult run_chaos_scenario(const ChaosScenarioConfig& config) {
+  return run(ScenarioSpec::from(config)).chaos;
 }
 
 }  // namespace prebake::exp

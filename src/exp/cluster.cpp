@@ -3,12 +3,21 @@
 #include <memory>
 
 #include "exp/calibration.hpp"
+#include "exp/run.hpp"
 
 namespace prebake::exp {
 
-ClusterScenarioResult run_cluster_scenario(const ClusterScenarioConfig& config) {
+ClusterScenarioResult detail::run_cluster_impl(
+    const ClusterScenarioConfig& config, obs::TraceReport* trace) {
   sim::Simulation sim;
   os::Kernel kernel{sim, testbed_costs()};
+  obs::Tracer& tr = kernel.trace();
+  if (trace != nullptr) tr.enable();
+  // Everything — deploys, restores, serving — nests under one root span.
+  obs::Span root = tr.span("scenario", "exp");
+  root.attr("kind", "cluster");
+  root.attr("nodes", static_cast<std::uint64_t>(config.nodes));
+  root.attr("policy", faas::placement_policy_name(config.policy));
 
   faas::PlatformConfig cfg;
   cfg.idle_timeout = config.idle_timeout;
@@ -102,7 +111,17 @@ ClusterScenarioResult run_cluster_scenario(const ClusterScenarioConfig& config) 
     out.remote_bytes_fetched += report.remote_bytes_fetched;
     out.nodes.push_back(std::move(report));
   }
+
+  root.end();
+  if (trace != nullptr) {
+    trace->absorb(tr);
+    trace->finalize();
+  }
   return out;
+}
+
+ClusterScenarioResult run_cluster_scenario(const ClusterScenarioConfig& config) {
+  return run(ScenarioSpec::from(config)).cluster;
 }
 
 }  // namespace prebake::exp

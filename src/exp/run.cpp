@@ -1,0 +1,71 @@
+#include "exp/run.hpp"
+
+#include <stdexcept>
+
+namespace prebake::exp {
+
+const char* scenario_kind_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kStartup: return "startup";
+    case ScenarioKind::kCluster: return "cluster";
+    case ScenarioKind::kChaos: return "chaos";
+  }
+  throw std::invalid_argument{"scenario_kind_name: bad kind"};
+}
+
+ScenarioSpec ScenarioSpec::from(const ScenarioConfig& config) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kStartup;
+  spec.seed = config.seed;
+  spec.repetitions = config.repetitions;
+  spec.threads = config.threads;
+  spec.startup = config;
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from(const ClusterScenarioConfig& config) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kCluster;
+  spec.seed = config.seed;
+  spec.cluster = config;
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from(const ChaosScenarioConfig& config) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kChaos;
+  spec.seed = config.seed;
+  spec.chaos = config;
+  return spec;
+}
+
+ScenarioRun run(const ScenarioSpec& spec) {
+  ScenarioRun out;
+  out.kind = spec.kind;
+  obs::TraceReport* trace = spec.trace ? &out.trace : nullptr;
+  switch (spec.kind) {
+    case ScenarioKind::kStartup: {
+      ScenarioConfig cfg = spec.startup;
+      cfg.seed = spec.seed;
+      cfg.repetitions = spec.repetitions;
+      cfg.threads = spec.threads;
+      out.startup = detail::run_startup_impl(cfg, trace);
+      return out;
+    }
+    case ScenarioKind::kCluster: {
+      ClusterScenarioConfig cfg = spec.cluster;
+      cfg.seed = spec.seed;
+      out.cluster = detail::run_cluster_impl(cfg, trace);
+      return out;
+    }
+    case ScenarioKind::kChaos: {
+      ChaosScenarioConfig cfg = spec.chaos;
+      cfg.seed = spec.seed;
+      out.chaos = detail::run_chaos_impl(cfg, trace);
+      return out;
+    }
+  }
+  throw std::invalid_argument{"exp::run: bad scenario kind"};
+}
+
+}  // namespace prebake::exp

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "exp/run.hpp"
 #include "faas/builder.hpp"
 #include "sim/simulation.hpp"
 #include "util/thread_pool.hpp"
@@ -65,8 +66,10 @@ core::ReplicaProcess start_replica(Testbed& bed, const rt::FunctionSpec& spec,
     return bed.startup.start_vanilla(spec, std::move(rng));
   if (technique == Technique::kZygoteFork)
     return bed.startup.start_zygote_fork(spec, std::move(rng));
-  return bed.startup.start_prebaked(spec, snapshot->images,
-                                    snapshot->fs_prefix, std::move(rng));
+  core::PrebakedStartOptions options;
+  options.restore.fs_prefix = snapshot->fs_prefix;
+  return bed.startup.start_prebaked(spec, snapshot->images, options,
+                                    std::move(rng));
 }
 
 std::optional<core::PrebakeConfig> prebake_config(Technique technique,
@@ -119,20 +122,31 @@ void warm_testbed(Testbed& bed, const rt::FunctionSpec& spec,
     fs.warm(spec.init_io_path);
 }
 
+// Trace track layout for the parallel startup runner (a pure function of
+// the config, never the thread count): track 0 carries a synthesized
+// "scenario" root, track 1 the build/bake testbed, track 2+s shard s.
+constexpr std::uint32_t kBuildTrack = 1;
+constexpr std::uint32_t kFirstShardTrack = 2;
+
 }  // namespace
 
-ScenarioResult run_startup_scenario(const ScenarioConfig& config) {
+ScenarioResult detail::run_startup_impl(const ScenarioConfig& config,
+                                        obs::TraceReport* trace) {
   const rt::RuntimeCosts runtime = config.runtime.value_or(testbed_runtime());
   funcs::SharedAssets& assets = process_assets();
+  const obs::SpanId root_id = obs::make_span_id(0, 1);
 
   // Build the function artifacts once in a scratch testbed; bake the
   // snapshot if the technique needs one. Every shard installs this result
   // instead of repeating the (expensive) bake.
   faas::BuildResult built = [&] {
     Testbed scratch{runtime, assets};
-    return scratch.builder.build(
+    if (trace != nullptr) scratch.kernel.trace().enable(kBuildTrack, root_id);
+    faas::BuildResult b = scratch.builder.build(
         config.spec, prebake_config(config.technique, config.warmup_requests),
         sim::Rng{sim::splitmix64(config.seed, kBuildStream)});
+    if (trace != nullptr) trace->absorb(scratch.kernel.trace());
+    return b;
   }();
   const rt::FunctionSpec& spec = built.spec;
   const core::BakedSnapshot* snapshot =
@@ -145,48 +159,98 @@ ScenarioResult run_startup_scenario(const ScenarioConfig& config) {
   }
 
   const int reps = config.repetitions;
-  if (reps <= 0) return result;
-  result.breakdowns.resize(static_cast<std::size_t>(reps));
-  result.startup_ms.resize(static_cast<std::size_t>(reps));
+  if (reps > 0) {
+    result.breakdowns.resize(static_cast<std::size_t>(reps));
+    result.startup_ms.resize(static_cast<std::size_t>(reps));
 
-  const funcs::Request first_request = funcs::sample_request(spec.handler_id);
-  const std::size_t n_shards =
-      (static_cast<std::size_t>(reps) + kShardSize - 1) / kShardSize;
+    const funcs::Request first_request = funcs::sample_request(spec.handler_id);
+    const std::size_t n_shards =
+        (static_cast<std::size_t>(reps) + kShardSize - 1) / kShardSize;
 
-  util::parallel_for(
-      n_shards,
-      [&](std::size_t shard) {
-        Testbed bed{runtime, assets};
-        bed.builder.install(built);
-        warm_testbed(bed, spec, config.technique, snapshot,
-                     sim::Rng{sim::splitmix64(config.seed, kWarmStream)});
+    // Per-shard trace slots, filled inside parallel_for and merged in shard
+    // order afterwards so the merged report never depends on scheduling.
+    std::vector<obs::TraceReport> shard_traces(trace != nullptr ? n_shards : 0);
 
-        const int begin = static_cast<int>(shard) * kShardSize;
-        const int end = std::min(begin + kShardSize, reps);
-        for (int rep = begin; rep < end; ++rep) {
-          sim::Rng rng{
-              sim::splitmix64(config.seed, static_cast<std::uint64_t>(rep))};
-          const sim::TimePoint t0 = bed.sim.now();
-          core::ReplicaProcess replica = start_replica(
-              bed, spec, config.technique, snapshot, std::move(rng));
+    util::parallel_for(
+        n_shards,
+        [&](std::size_t shard) {
+          Testbed bed{runtime, assets};
+          obs::Tracer& tr = bed.kernel.trace();
+          if (trace != nullptr)
+            tr.enable(kFirstShardTrack + static_cast<std::uint32_t>(shard),
+                      root_id);
+          bed.builder.install(built);
+          warm_testbed(bed, spec, config.technique, snapshot,
+                       sim::Rng{sim::splitmix64(config.seed, kWarmStream)});
 
-          if (config.measure_first_response) {
-            // The load generator holds the first request until the replica
-            // is ready, then start-up is measured to the first response.
-            const funcs::Response res = replica.runtime->handle(first_request);
-            if (!res.ok())
-              throw std::runtime_error{"scenario: request failed"};
-            replica.breakdown.total = bed.sim.now() - t0;
+          const int begin = static_cast<int>(shard) * kShardSize;
+          const int end = std::min(begin + kShardSize, reps);
+          for (int rep = begin; rep < end; ++rep) {
+            sim::Rng rng{
+                sim::splitmix64(config.seed, static_cast<std::uint64_t>(rep))};
+            const sim::TimePoint t0 = bed.sim.now();
+            obs::Span rep_span;
+            if (tr.enabled()) {
+              rep_span = tr.span("replica-start", "exp");
+              rep_span.attr("rep", rep);
+            }
+            core::ReplicaProcess replica = start_replica(
+                bed, spec, config.technique, snapshot, std::move(rng));
+
+            if (config.measure_first_response) {
+              // The load generator holds the first request until the replica
+              // is ready, then start-up is measured to the first response.
+              const funcs::Response res =
+                  replica.runtime->handle(first_request);
+              if (!res.ok())
+                throw std::runtime_error{"scenario: request failed"};
+              replica.breakdown.total = bed.sim.now() - t0;
+            }
+            rep_span.end();
+
+            const auto slot = static_cast<std::size_t>(rep);
+            result.breakdowns[slot] = replica.breakdown;
+            result.startup_ms[slot] = replica.breakdown.total.to_millis();
+            bed.startup.reclaim(replica);
           }
+          if (trace != nullptr) shard_traces[shard].absorb(tr);
+        },
+        config.threads);
 
-          const auto slot = static_cast<std::size_t>(rep);
-          result.breakdowns[slot] = replica.breakdown;
-          result.startup_ms[slot] = replica.breakdown.total.to_millis();
-          bed.startup.reclaim(replica);
-        }
-      },
-      config.threads);
+    if (trace != nullptr)
+      for (obs::TraceReport& shard_trace : shard_traces) {
+        trace->spans.insert(trace->spans.end(),
+                            std::make_move_iterator(shard_trace.spans.begin()),
+                            std::make_move_iterator(shard_trace.spans.end()));
+        trace->metrics.merge_from(shard_trace.metrics);
+      }
+  }
+
+  if (trace != nullptr) {
+    // Synthesize the cross-track root. Every testbed runs its own sim clock
+    // from 0, so the root spans [0, max end] of the merged records.
+    obs::SpanRecord root;
+    root.id = root_id;
+    root.track = 0;
+    root.seq = 1;
+    root.start_ns = 0;
+    root.end_ns = 0;
+    for (const obs::SpanRecord& s : trace->spans)
+      root.end_ns = std::max(root.end_ns, s.end_ns);
+    root.name = "scenario";
+    root.category = "exp";
+    root.attrs = {{"kind", "startup"},
+                  {"function", spec.name},
+                  {"technique", technique_name(config.technique)},
+                  {"repetitions", std::to_string(reps)}};
+    trace->spans.push_back(std::move(root));
+    trace->finalize();
+  }
   return result;
+}
+
+ScenarioResult run_startup_scenario(const ScenarioConfig& config) {
+  return run(ScenarioSpec::from(config)).startup;
 }
 
 ScenarioResult run_startup_scenario_reference(const ScenarioConfig& config) {

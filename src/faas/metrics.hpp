@@ -6,43 +6,19 @@
 // request into this fixed-size structure instead: counters plus log-spaced
 // latency histograms that answer percentile queries with bounded error
 // (~5.9% per bucket step at 40 buckets/decade).
+//
+// The histogram implementation lives in obs::LogHistogram so the metrics
+// registry and this aggregate share one bucketing; the alias keeps the
+// original faas spelling working.
 #pragma once
 
-#include <array>
 #include <cstdint>
+
+#include "obs/histogram.hpp"
 
 namespace prebake::faas {
 
-class LatencyHistogram {
- public:
-  // Log-spaced buckets covering 1 us .. ~10^4 s of milliseconds.
-  static constexpr int kBucketsPerDecade = 40;
-  static constexpr double kMinMs = 1e-3;
-  static constexpr int kDecades = 10;
-  static constexpr int kBuckets = kBucketsPerDecade * kDecades + 2;
-
-  void record(double ms);
-
-  std::uint64_t count() const { return count_; }
-  double sum_ms() const { return sum_ms_; }
-  double mean_ms() const { return count_ == 0 ? 0.0 : sum_ms_ / count_; }
-  double min_ms() const { return count_ == 0 ? 0.0 : min_ms_; }
-  double max_ms() const { return count_ == 0 ? 0.0 : max_ms_; }
-
-  // Quantile `p` in [0, 1] from the histogram (bucket lower edge; exact
-  // recorded min/max at the extremes). 0 when empty.
-  double percentile(double p) const;
-
- private:
-  static int bucket_of(double ms);
-  static double bucket_floor_ms(int bucket);
-
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  double sum_ms_ = 0.0;
-  double min_ms_ = 0.0;
-  double max_ms_ = 0.0;
-};
+using LatencyHistogram = obs::LogHistogram;
 
 // Aggregated view of the request stream, one instance per platform. Holds
 // everything the full log is queried for in benches (counts, cold-start

@@ -109,6 +109,14 @@ Platform::Replica* Platform::start_replica(const std::string& function,
   const std::optional<NodeId> node = resources_.place(request);
   if (!node.has_value()) return nullptr;
 
+  obs::Tracer& tr = kernel_->trace();
+  {
+    obs::Span placed = tr.instant("placement", "faas");
+    placed.attr("function", function);
+    placed.attr("node", resources_.node(*node).name());
+    placed.attr("mem_bytes", est);
+  }
+
   auto replica = std::make_unique<Replica>();
   replica->id = next_replica_id_++;
   replica->function = function;
@@ -121,7 +129,12 @@ Platform::Replica* Platform::start_replica(const std::string& function,
   // cache warmth, process creation) apply now, in call order — then the
   // clock is rewound and the elapsed work is queued on the owning node's
   // CPU timeline; the replica becomes idle at the node's completion time.
+  // The replica-start span covers the measured window (ended explicitly at
+  // t_end before the rewind), with the core start.* spans nested inside.
   const sim::TimePoint t0 = kernel_->sim().now();
+  obs::Span start_span = tr.span("replica-start", "faas");
+  start_span.attr("function", function);
+  start_span.attr("node", resources_.node(*node).name());
 
   if (config_.containerized) {
     // Provision the execution environment first (Section 2, component 1).
@@ -140,8 +153,8 @@ Platform::Replica* Platform::start_replica(const std::string& function,
     // it: fall back to the fork-exec path and count the incident.
     try {
       core::PrebakedStartOptions opts;
-      opts.lazy_pages = config_.lazy_restore;
-      opts.lazy_working_set = config_.lazy_working_set;
+      opts.restore.lazy_pages = config_.lazy_restore;
+      opts.restore.lazy_working_set = config_.lazy_working_set;
       opts.policy.max_attempts = config_.restore_max_attempts;
       opts.policy.retry_backoff = config_.restore_retry_backoff;
       opts.policy.deadline = config_.restore_deadline;
@@ -156,6 +169,14 @@ Platform::Replica* Platform::start_replica(const std::string& function,
         const std::string local = node_image_prefix(*node, snap->fs_prefix);
         const WorkerNode::CacheAdmit admit = wn.cache_admit(
             snap->fs_prefix, local, snap->images.nominal_total());
+        {
+          obs::Span cache_span = tr.instant(
+              admit.hit ? "snapshot-cache.hit" : "snapshot-cache.miss",
+              "faas");
+          cache_span.attr("function", function);
+          tr.count(admit.hit ? "faas.snapshot_cache.hits"
+                             : "faas.snapshot_cache.misses");
+        }
         for (const std::string& prefix : admit.evicted_prefixes)
           for (const std::string& path : kernel_->fs().list(prefix))
             kernel_->fs().remove(path);
@@ -174,10 +195,10 @@ Platform::Replica* Platform::start_replica(const std::string& function,
               kernel_->fs().truncate(path, f.nominal_size / 2);
           }
         }
-        opts.fs_prefix = local;
-        opts.remote_fetch = true;
+        opts.restore.fs_prefix = local;
+        opts.restore.remote_fetch = true;
       } else {
-        opts.fs_prefix = snap->fs_prefix;
+        opts.restore.fs_prefix = snap->fs_prefix;
       }
       replica->proc = startup_.start_prebaked(fn.spec, snap->images, opts,
                                               rng.child(0));
@@ -213,6 +234,8 @@ Platform::Replica* Platform::start_replica(const std::string& function,
       ++stats_.oom_kills;
       containers_.destroy(*replica->container);
       const sim::TimePoint t_end = kernel_->sim().now();
+      start_span.attr("oom_killed", "true");
+      start_span.end_at(t_end);
       kernel_->sim().rewind_to(t0);
       resources_.node_mut(*node).run(t0, t_end - t0);  // the work still ran
       resources_.release(*node, est);
@@ -220,7 +243,11 @@ Platform::Replica* Platform::start_replica(const std::string& function,
     }
   }
 
+  if (replica->proc.breakdown.restore_attempts > 1)
+    tr.count("faas.restore_retries",
+             replica->proc.breakdown.restore_attempts - 1);
   const sim::TimePoint t_end = kernel_->sim().now();
+  start_span.end_at(t_end);
   kernel_->sim().rewind_to(t0);
   const sim::TimePoint ready_at =
       resources_.node_mut(*node).run(t0, t_end - t0);
@@ -327,6 +354,17 @@ void Platform::serve(Replica& replica, Pending pending) {
   metrics.arrival = pending.arrival;
   metrics.retries = pending.retries;
   metrics.queue_wait = kernel_->sim().now() - pending.enqueued;
+  metrics.node = replica.node;
+  obs::Tracer& tr = kernel_->trace();
+  {
+    // Retroactive: the wait is only known once a replica picks the request
+    // up, so the span is opened with the enqueue timestamp and closed now.
+    obs::Span wait = tr.span_at("queue-wait", "faas", pending.enqueued);
+    wait.attr("function", replica.function);
+    if (pending.retries > 0)
+      wait.attr("retries", static_cast<std::uint64_t>(pending.retries));
+    tr.measure("faas.queue_wait_ms", metrics.queue_wait.to_millis());
+  }
   // A cold start is a request that had to wait for a replica to be created
   // on its behalf; pre-warmed pool replicas serve warm (Lin & Glikson [14]).
   if (!replica.served_any && !replica.prewarmed) {
@@ -342,12 +380,17 @@ void Platform::serve(Replica& replica, Pending pending) {
   // window so concurrent arrivals trigger scale-out (one request per
   // replica, as in public clouds — Section 4.1).
   const sim::TimePoint service_start = kernel_->sim().now();
+  obs::Span serve_span = tr.span("serve", "faas");
+  serve_span.attr("function", replica.function);
+  serve_span.attr("node", resources_.node(replica.node).name());
+  if (metrics.cold_start) serve_span.attr("cold_start", "true");
   // A lazy (post-copy) restore left pages behind: the first touch of the
   // working set faults them in, billed to this request's service time.
   if (replica.proc.lazy_server != nullptr && !replica.proc.lazy_server->done())
     replica.proc.lazy_server->page_in_all();
   const funcs::Response response = replica.proc.runtime->handle(pending.req);
   const sim::TimePoint service_end = kernel_->sim().now();
+  serve_span.end_at(service_end);
   kernel_->sim().rewind_to(service_start);
   const sim::TimePoint completion =
       resources_.node_mut(replica.node).run(service_start,
@@ -458,6 +501,13 @@ void Platform::note_restore_failure(const std::string& function) {
   h.quarantined = true;
   ++h.quarantine_epoch;
   ++stats_.snapshot_quarantines;
+  {
+    obs::Span mark = kernel_->trace().instant("quarantine.enter", "faas");
+    mark.attr("function", function);
+    mark.attr("consecutive_failures",
+              static_cast<std::uint64_t>(h.consecutive_failures));
+    kernel_->trace().count("faas.quarantines");
+  }
   rebake(function);
 }
 
@@ -501,6 +551,10 @@ void Platform::rebake(const std::string& function) {
     h.consecutive_failures = 0;
     ++h.rebakes;
     ++stats_.snapshot_rebakes;
+    obs::Span mark = kernel_->trace().instant("quarantine.lift", "faas");
+    mark.attr("function", function);
+    mark.attr("rebakes", static_cast<std::uint64_t>(h.rebakes));
+    kernel_->trace().count("faas.rebakes");
   });
 }
 

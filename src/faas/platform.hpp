@@ -44,6 +44,11 @@ struct RequestMetrics {
   // request reports its real queueing delay, not the lost service time;
   // `total` still spans arrival -> response.
   std::uint32_t retries = 0;
+  // Worker node whose replica served the request. Recorded at serve time, so
+  // it survives drain/fail requeues (the re-serving node wins); kNoNode for
+  // requests that never reached a replica (e.g. 503 rejects).
+  static constexpr NodeId kNoNode = 0xffffffffu;
+  NodeId node = kNoNode;
 };
 
 using InvokeCallback =

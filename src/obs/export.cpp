@@ -1,0 +1,432 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace prebake::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// Microseconds with 3 decimals: keeps full nanosecond precision through the
+// JSON round trip while staying in the unit about:tracing expects.
+std::string micros(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+std::string dec(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+// ---- minimal JSON reader (exactly the subset to_chrome_json emits) ----
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+struct JsonReader {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("parse_chrome_json: " + std::string{what} +
+                             " at offset " + std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\n' ||
+                                 text[pos] == '\t' || text[pos] == '\r'))
+      ++pos;
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      if (text.compare(pos, 4, "null") != 0) fail("bad literal");
+      pos += 4;
+      return {};
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos;
+      return v;
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.obj.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(parse_value());
+      const char c = peek();
+      ++pos;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      c = text[pos++];
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("bad \\u escape");
+          const unsigned code =
+              std::stoul(text.substr(pos, 4), nullptr, 16);
+          pos += 4;
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::kBool;
+    if (text.compare(pos, 4, "true") == 0) {
+      v.boolean = true;
+      pos += 4;
+    } else if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E'))
+      ++pos;
+    if (pos == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::kNumber;
+    v.number = std::stod(text.substr(start, pos - start));
+    return v;
+  }
+};
+
+std::int64_t micros_to_ns(double us) {
+  return static_cast<std::int64_t>(std::llround(us * 1e3));
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceReport& report) {
+  std::string out;
+  out.reserve(256 + report.spans.size() * 160);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n";
+
+  // Histogram summaries ride in otherData: about:tracing ignores it and the
+  // round-trip parser skips it, but humans and jq can read the percentiles.
+  out += "\"otherData\": {\"tool\": \"prebake-obs\", \"spans\": ";
+  out += dec(report.spans.size());
+  out += ", \"histograms\": [";
+  {
+    bool first = true;
+    for (const auto& entry : report.metrics.histograms()) {
+      if (!first) out += ", ";
+      first = false;
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "{\"count\": %" PRIu64
+                    ", \"mean\": %.6g, \"p50\": %.6g, \"p95\": %.6g, "
+                    "\"p99\": %.6g, \"max\": %.6g, \"name\": ",
+                    entry.hist.count(), entry.hist.mean_ms(),
+                    entry.hist.percentile(0.50), entry.hist.percentile(0.95),
+                    entry.hist.percentile(0.99), entry.hist.max_ms());
+      out += buf;
+      append_escaped(out, entry.name);
+      out += "}";
+    }
+  }
+  out += "]},\n\"traceEvents\": [\n";
+
+  bool first = true;
+  auto event_sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  event_sep();
+  out +=
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"prebake-sim\"}}";
+  std::set<std::uint32_t> tracks;
+  for (const SpanRecord& s : report.spans) tracks.insert(s.track);
+  for (std::uint32_t track : tracks) {
+    event_sep();
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    out += dec(track);
+    out += ", \"args\": {\"name\": \"track-";
+    out += dec(track);
+    out += "\"}}";
+  }
+
+  std::int64_t last_ns = 0;
+  for (const SpanRecord& s : report.spans) {
+    last_ns = std::max(last_ns, s.end_ns);
+    event_sep();
+    out += "{\"name\": ";
+    append_escaped(out, s.name);
+    out += ", \"cat\": ";
+    append_escaped(out, s.category);
+    out += ", \"ph\": \"X\", \"ts\": ";
+    out += micros(s.start_ns);
+    out += ", \"dur\": ";
+    out += micros(std::max<std::int64_t>(0, s.end_ns - s.start_ns));
+    out += ", \"pid\": 1, \"tid\": ";
+    out += dec(s.track);
+    // Ids as decimal strings: JSON numbers lose precision past 2^53 and
+    // span ids are full 64-bit values. "id"/"parent"/"seq" are reserved
+    // arg keys — attr keys must not collide with them.
+    out += ", \"args\": {\"id\": \"";
+    out += dec(s.id);
+    out += "\", \"parent\": \"";
+    out += dec(s.parent);
+    out += "\", \"seq\": ";
+    out += dec(s.seq);
+    for (const auto& [key, value] : s.attrs) {
+      out += ", ";
+      append_escaped(out, key);
+      out += ": ";
+      append_escaped(out, value);
+    }
+    out += "}}";
+  }
+
+  for (const auto& entry : report.metrics.counters()) {
+    event_sep();
+    out += "{\"name\": ";
+    append_escaped(out, entry.name);
+    out += ", \"ph\": \"C\", \"ts\": ";
+    out += micros(last_ns);
+    out += ", \"pid\": 1, \"tid\": 0, \"args\": {\"value\": ";
+    out += dec(entry.value);
+    out += "}}";
+  }
+
+  out += "\n]\n}\n";
+  return out;
+}
+
+std::string to_text_tree(const TraceReport& report) {
+  std::string out;
+  out += "trace: " + dec(report.spans.size()) + " spans\n";
+
+  // Children keyed by parent id, preserving the report's canonical
+  // (start, track, seq) order within each bucket.
+  std::unordered_map<SpanId, std::vector<std::size_t>> children;
+  std::set<SpanId> ids;
+  for (const SpanRecord& s : report.spans) ids.insert(s.id);
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < report.spans.size(); ++i) {
+    const SpanRecord& s = report.spans[i];
+    if (s.parent != 0 && ids.count(s.parent) != 0)
+      children[s.parent].push_back(i);
+    else
+      roots.push_back(i);
+  }
+
+  auto emit = [&](auto&& self, std::size_t index, int depth) -> void {
+    const SpanRecord& s = report.spans[index];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += s.name;
+    out += " [" + s.category + "]";
+    char buf[80];
+    std::snprintf(buf, sizeof buf, " @%.3fms +%.3fms",
+                  static_cast<double>(s.start_ns) / 1e6,
+                  static_cast<double>(s.end_ns - s.start_ns) / 1e6);
+    out += buf;
+    for (const auto& [key, value] : s.attrs) out += " " + key + "=" + value;
+    out.push_back('\n');
+    auto it = children.find(s.id);
+    if (it != children.end())
+      for (std::size_t child : it->second) self(self, child, depth + 1);
+  };
+  for (std::size_t root : roots) emit(emit, root, 0);
+
+  const auto counters = report.metrics.counters();
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& entry : counters)
+      out += "  " + entry.name + " = " + dec(entry.value) + "\n";
+  }
+  const auto hists = report.metrics.histograms();
+  if (!hists.empty()) {
+    out += "histograms:\n";
+    for (const auto& entry : hists) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "  %s  n=%" PRIu64
+                    " mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+                    entry.name.c_str(), entry.hist.count(),
+                    entry.hist.mean_ms(), entry.hist.percentile(0.50),
+                    entry.hist.percentile(0.95), entry.hist.percentile(0.99),
+                    entry.hist.max_ms());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+TraceReport parse_chrome_json(const std::string& json) {
+  JsonReader reader{json};
+  const JsonValue root = reader.parse_value();
+  if (root.kind != JsonValue::kObject)
+    throw std::runtime_error("parse_chrome_json: top level is not an object");
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::kArray)
+    throw std::runtime_error("parse_chrome_json: missing traceEvents array");
+
+  TraceReport report;
+  for (const JsonValue& ev : events->arr) {
+    if (ev.kind != JsonValue::kObject)
+      throw std::runtime_error("parse_chrome_json: event is not an object");
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* name = ev.find("name");
+    if (ph == nullptr || ph->kind != JsonValue::kString || name == nullptr)
+      throw std::runtime_error("parse_chrome_json: event missing ph/name");
+    const JsonValue* args = ev.find("args");
+    if (ph->str == "C") {
+      const JsonValue* value =
+          args != nullptr ? args->find("value") : nullptr;
+      if (value == nullptr || value->kind != JsonValue::kNumber)
+        throw std::runtime_error("parse_chrome_json: counter missing value");
+      report.metrics.add(name->str,
+                         static_cast<std::uint64_t>(value->number));
+      continue;
+    }
+    if (ph->str != "X") continue;  // metadata etc.
+    const JsonValue* cat = ev.find("cat");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* dur = ev.find("dur");
+    const JsonValue* tid = ev.find("tid");
+    if (cat == nullptr || ts == nullptr || dur == nullptr || tid == nullptr ||
+        args == nullptr)
+      throw std::runtime_error("parse_chrome_json: span event incomplete");
+    SpanRecord rec;
+    rec.name = name->str;
+    rec.category = cat->str;
+    rec.start_ns = micros_to_ns(ts->number);
+    rec.end_ns = rec.start_ns + micros_to_ns(dur->number);
+    rec.track = static_cast<std::uint32_t>(tid->number);
+    for (const auto& [key, value] : args->obj) {
+      if (key == "id") {
+        rec.id = std::stoull(value.str);
+      } else if (key == "parent") {
+        rec.parent = std::stoull(value.str);
+      } else if (key == "seq") {
+        rec.seq = static_cast<std::uint32_t>(value.number);
+      } else if (value.kind == JsonValue::kString) {
+        rec.attrs.emplace_back(key, value.str);
+      }
+    }
+    report.spans.push_back(std::move(rec));
+  }
+  return report;
+}
+
+}  // namespace prebake::obs

@@ -1,0 +1,27 @@
+// Trace exporters: Chrome trace_event JSON and a compact text tree.
+//
+// The JSON form loads directly in about:tracing / Perfetto ("Open trace
+// file"): spans become ph:"X" complete events (ts/dur in microseconds with
+// nanosecond precision kept in three decimals), tracks become tids, span
+// ids/parents ride in args, and registry counters are appended as ph:"C"
+// counter events. parse_chrome_json() reads back exactly the subset this
+// emitter writes — enough for the exporter round-trip test and for external
+// tools that post-process our own traces; it is not a general JSON-trace
+// loader.
+#pragma once
+
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace prebake::obs {
+
+std::string to_chrome_json(const TraceReport& report);
+std::string to_text_tree(const TraceReport& report);
+
+// Inverse of to_chrome_json for our own output (spans + counters; histogram
+// summaries in otherData are not reconstructed). Throws std::runtime_error
+// on malformed input.
+TraceReport parse_chrome_json(const std::string& json);
+
+}  // namespace prebake::obs

@@ -1,24 +1,24 @@
-#include "faas/metrics.hpp"
+#include "obs/histogram.hpp"
 
 #include <algorithm>
 #include <cmath>
 
-namespace prebake::faas {
+namespace prebake::obs {
 
-int LatencyHistogram::bucket_of(double ms) {
+int LogHistogram::bucket_of(double ms) {
   if (!(ms > kMinMs)) return 0;
   const int b = 1 + static_cast<int>(std::floor(std::log10(ms / kMinMs) *
                                                 kBucketsPerDecade));
   return std::min(b, kBuckets - 1);
 }
 
-double LatencyHistogram::bucket_floor_ms(int bucket) {
+double LogHistogram::bucket_floor_ms(int bucket) {
   if (bucket <= 0) return 0.0;
   return kMinMs * std::pow(10.0, static_cast<double>(bucket - 1) /
                                      kBucketsPerDecade);
 }
 
-void LatencyHistogram::record(double ms) {
+void LogHistogram::record(double ms) {
   if (ms < 0) ms = 0;
   ++buckets_[static_cast<std::size_t>(bucket_of(ms))];
   if (count_ == 0) {
@@ -31,7 +31,7 @@ void LatencyHistogram::record(double ms) {
   sum_ms_ += ms;
 }
 
-double LatencyHistogram::percentile(double p) const {
+double LogHistogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
   // Rank of the p-th sample (nearest-rank definition).
@@ -50,4 +50,20 @@ double LatencyHistogram::percentile(double p) const {
   return max_ms_;
 }
 
-}  // namespace prebake::faas
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ms_ = other.min_ms_;
+    max_ms_ = other.max_ms_;
+  } else {
+    min_ms_ = std::min(min_ms_, other.min_ms_);
+    max_ms_ = std::max(max_ms_, other.max_ms_);
+  }
+  for (int b = 0; b < kBuckets; ++b)
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  count_ += other.count_;
+  sum_ms_ += other.sum_ms_;
+}
+
+}  // namespace prebake::obs

@@ -1,0 +1,54 @@
+// Log-bucket histogram shared by the metrics registry and the platform's
+// aggregated request log.
+//
+// This is the bucketing that used to live on faas::LatencyHistogram: log-
+// spaced buckets covering 1 us .. ~10^4 s of milliseconds, answering
+// percentile queries with bounded error (~5.9% per bucket step at 40
+// buckets/decade) in O(1) memory. It moved here so obs::Registry and
+// faas::RequestAggregate share one implementation; faas keeps a
+// `LatencyHistogram` alias for source compatibility.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace prebake::obs {
+
+class LogHistogram {
+ public:
+  // Log-spaced buckets covering 1 us .. ~10^4 s of milliseconds.
+  static constexpr int kBucketsPerDecade = 40;
+  static constexpr double kMinMs = 1e-3;
+  static constexpr int kDecades = 10;
+  static constexpr int kBuckets = kBucketsPerDecade * kDecades + 2;
+
+  void record(double ms);
+
+  std::uint64_t count() const { return count_; }
+  double sum_ms() const { return sum_ms_; }
+  double mean_ms() const { return count_ == 0 ? 0.0 : sum_ms_ / count_; }
+  double min_ms() const { return count_ == 0 ? 0.0 : min_ms_; }
+  double max_ms() const { return count_ == 0 ? 0.0 : max_ms_; }
+
+  // Quantile `p` in [0, 1] from the histogram (bucket lower edge; exact
+  // recorded min/max at the extremes). 0 when empty.
+  double percentile(double p) const;
+
+  // Fold another histogram into this one. Bucket counts add exactly;
+  // min/max/sum/count merge so the result equals recording both sample
+  // streams into one histogram (the percentile clamp uses the combined
+  // extremes). Used to combine per-shard registries deterministically.
+  void merge(const LogHistogram& other);
+
+ private:
+  static int bucket_of(double ms);
+  static double bucket_floor_ms(int bucket);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double min_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
+}  // namespace prebake::obs

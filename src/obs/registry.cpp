@@ -1,0 +1,60 @@
+#include "obs/registry.hpp"
+
+namespace prebake::obs {
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string{name}, delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::record(std::string_view name, double value) {
+  auto it = hists_.find(name);
+  if (it == hists_.end())
+    it = hists_.emplace(std::string{name}, LogHistogram{}).first;
+  it->second.record(value);
+}
+
+const LogHistogram* Registry::histogram(std::string_view name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+std::vector<Registry::CounterEntry> Registry::counters() const {
+  std::vector<CounterEntry> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) out.push_back({name, value});
+  return out;
+}
+
+std::vector<Registry::HistogramEntry> Registry::histograms() const {
+  std::vector<HistogramEntry> out;
+  out.reserve(hists_.size());
+  for (const auto& [name, hist] : hists_) out.push_back({name, hist});
+  return out;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, value] : other.counters_) add(name, value);
+  for (const auto& [name, hist] : other.hists_) {
+    auto it = hists_.find(name);
+    if (it == hists_.end())
+      it = hists_.emplace(name, LogHistogram{}).first;
+    it->second.merge(hist);
+  }
+}
+
+void Registry::clear() {
+  counters_.clear();
+  hists_.clear();
+}
+
+}  // namespace prebake::obs

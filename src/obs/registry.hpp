@@ -1,0 +1,57 @@
+// Named-metric registry: counters and log-bucket histograms.
+//
+// A Registry is a flat namespace of monotonically increasing counters and
+// LogHistogram distributions, keyed by dotted names ("faas.cache.hit",
+// "criu.restore_ms"). It is snapshot-able mid-run — counters() and
+// histograms() return name-sorted copies without disturbing recording — and
+// mergeable, so per-shard registries from a parallel scenario fold into one
+// deterministic aggregate regardless of thread count (std::map keeps the
+// iteration order a pure function of the recorded names).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace prebake::obs {
+
+class Registry {
+ public:
+  // Counters.
+  void add(std::string_view name, std::uint64_t delta = 1);
+  std::uint64_t counter(std::string_view name) const;
+
+  // Histograms (milliseconds; any non-negative double works — byte counts
+  // recorded as doubles are fine, the bucketing is unit-agnostic).
+  void record(std::string_view name, double value);
+  const LogHistogram* histogram(std::string_view name) const;
+
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    LogHistogram hist;
+  };
+
+  // Name-sorted snapshots; safe to call mid-run.
+  std::vector<CounterEntry> counters() const;
+  std::vector<HistogramEntry> histograms() const;
+
+  // Fold another registry into this one (counters add, histograms merge).
+  void merge_from(const Registry& other);
+
+  bool empty() const { return counters_.empty() && hists_.empty(); }
+  void clear();
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, LogHistogram, std::less<>> hists_;
+};
+
+}  // namespace prebake::obs

@@ -1,0 +1,34 @@
+// A harvested trace: merged span list + merged metric registry.
+//
+// Scenario runners build one TraceReport per run by absorbing each
+// testbed's Tracer (per-shard tracks) and finalizing, which sorts spans
+// into the canonical (start, track, seq) order. Everything here is plain
+// data — copyable, comparable, and independent of the kernels it came from.
+#pragma once
+
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
+
+namespace prebake::obs {
+
+struct TraceReport {
+  std::vector<SpanRecord> spans;
+  Registry metrics;
+
+  bool empty() const { return spans.empty() && metrics.empty(); }
+
+  // Drain `tracer` into this report (records appended, metrics merged).
+  void absorb(Tracer& tracer) {
+    std::vector<SpanRecord> recs = tracer.take_records();
+    spans.insert(spans.end(), std::make_move_iterator(recs.begin()),
+                 std::make_move_iterator(recs.end()));
+    metrics.merge_from(tracer.metrics());
+  }
+
+  // Sort spans into canonical merged order. Call once after all absorbs.
+  void finalize() { sort_spans(spans); }
+};
+
+}  // namespace prebake::obs

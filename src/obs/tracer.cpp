@@ -1,0 +1,132 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace prebake::obs {
+
+void sort_spans(std::vector<SpanRecord>& spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.track != b.track) return a.track < b.track;
+              return a.seq < b.seq;
+            });
+}
+
+bool Span::live() const {
+  return tracer_ != nullptr && tracer_->epoch_ == epoch_;
+}
+
+SpanId Span::id() const { return live() ? tracer_->records_[index_].id : 0; }
+
+void Span::attr(std::string_view key, std::string_view value) {
+  if (!live()) return;
+  tracer_->records_[index_].attrs.emplace_back(std::string{key},
+                                               std::string{value});
+}
+
+void Span::attr(std::string_view key, std::int64_t value) {
+  if (!live()) return;
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  attr(key, std::string_view{buf});
+}
+
+void Span::attr(std::string_view key, std::uint64_t value) {
+  if (!live()) return;
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  attr(key, std::string_view{buf});
+}
+
+void Span::attr(std::string_view key, double value) {
+  if (!live()) return;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  attr(key, std::string_view{buf});
+}
+
+void Span::end() {
+  if (live()) tracer_->end_span(index_, tracer_->now_ns());
+  tracer_ = nullptr;
+}
+
+void Span::end_at(sim::TimePoint when) {
+  if (live()) tracer_->end_span(index_, when.nanos_since_origin());
+  tracer_ = nullptr;
+}
+
+void Tracer::enable(std::uint32_t track, SpanId root_parent) {
+  enabled_ = true;
+  track_ = track;
+  root_parent_ = root_parent;
+}
+
+SpanId Tracer::current() const {
+  return open_.empty() ? root_parent_ : records_[open_.back()].id;
+}
+
+Span Tracer::open_span(std::string_view name, std::string_view category,
+                       std::int64_t start_ns, bool push_open) {
+  SpanRecord rec;
+  rec.track = track_;
+  rec.seq = next_seq_++;
+  rec.id = make_span_id(rec.track, rec.seq);
+  rec.parent = current();
+  rec.start_ns = start_ns;
+  rec.name = name;
+  rec.category = category;
+  const auto index = static_cast<std::uint32_t>(records_.size());
+  records_.push_back(std::move(rec));
+  if (push_open) open_.push_back(index);
+  return Span{this, index, epoch_};
+}
+
+Span Tracer::span(std::string_view name, std::string_view category) {
+  if (!enabled_) return Span{};
+  return open_span(name, category, now_ns(), /*push_open=*/true);
+}
+
+Span Tracer::span_at(std::string_view name, std::string_view category,
+                     sim::TimePoint start) {
+  if (!enabled_) return Span{};
+  return open_span(name, category, start.nanos_since_origin(),
+                   /*push_open=*/true);
+}
+
+Span Tracer::instant(std::string_view name, std::string_view category) {
+  if (!enabled_) return Span{};
+  Span s = open_span(name, category, now_ns(), /*push_open=*/false);
+  records_[s.index_].end_ns = records_[s.index_].start_ns;
+  return s;
+}
+
+void Tracer::end_span(std::uint32_t index, std::int64_t end_ns) {
+  SpanRecord& rec = records_[index];
+  if (rec.end_ns < 0) rec.end_ns = std::max(end_ns, rec.start_ns);
+  // Spans normally close LIFO, but event-driven call sites may not; drop
+  // the index wherever it sits so current() never points at a dead span.
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (*it == index) {
+      open_.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+std::vector<SpanRecord> Tracer::take_records() {
+  const std::int64_t now = now_ns();
+  for (std::uint32_t index : open_) {
+    SpanRecord& rec = records_[index];
+    if (rec.end_ns < 0) rec.end_ns = std::max(now, rec.start_ns);
+  }
+  open_.clear();
+  ++epoch_;  // invalidate outstanding Span handles; late end()/attr() no-op
+  std::vector<SpanRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+}  // namespace prebake::obs

@@ -126,8 +126,9 @@ Deployment::WatchdogReplica* Deployment::start_replica(const std::string& name) 
   sim::Rng rng = rng_.child(replicas_.size() + 17);
   if (image.has_snapshot) {
     // The Watchdog runs `criu restore` on the snapshot inside the image.
-    replica->proc = startup_.start_prebaked(spec, *image.snapshot,
-                                            image.snapshot_fs_prefix,
+    core::PrebakedStartOptions options;
+    options.restore.fs_prefix = image.snapshot_fs_prefix;
+    replica->proc = startup_.start_prebaked(spec, *image.snapshot, options,
                                             std::move(rng));
   } else {
     replica->proc = startup_.start_vanilla(spec, std::move(rng));

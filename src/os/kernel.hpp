@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "os/cost_model.hpp"
 #include "os/faults.hpp"
 #include "os/filesystem.hpp"
@@ -42,7 +43,8 @@ struct PagemapRange {
 class Kernel {
  public:
   Kernel(sim::Simulation& sim, CostModel costs = {})
-      : sim_{&sim}, costs_{std::move(costs)}, fs_{sim, costs_, &injector_} {}
+      : sim_{&sim}, costs_{std::move(costs)}, fs_{sim, costs_, &injector_},
+        tracer_{sim} {}
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
@@ -54,6 +56,10 @@ class Kernel {
   // chaos scenarios configure it with a FaultPlan before running traffic.
   faults::Injector& faults() { return injector_; }
   const faults::Injector& faults() const { return injector_; }
+  // The kernel-wide tracer (disabled and zero-cost by default); scenario
+  // runners enable it per-testbed to capture a structured timeline.
+  obs::Tracer& trace() { return tracer_; }
+  const obs::Tracer& trace() const { return tracer_; }
 
   // --- process lifecycle -------------------------------------------------
   // clone(2): duplicates `parent` (COW address space). Returns the child pid.
@@ -114,6 +120,7 @@ class Kernel {
   CostModel costs_;
   faults::Injector injector_;  // must precede fs_, which captures a pointer
   FileSystem fs_;
+  obs::Tracer tracer_;
   std::map<Pid, std::unique_ptr<Process>> procs_;
   Pid next_pid_ = 100;
   std::uint64_t next_pipe_ = 1;

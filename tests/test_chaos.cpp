@@ -159,14 +159,19 @@ TEST_F(ChaosStartup, LegacyAndOptionsOverloadsThrowIdenticalTypedErrors) {
   std::string legacy_what, options_what;
   criu::RestoreErrorKind legacy_kind{}, options_kind{};
   try {
+    // The sole sanctioned caller of the deprecated positional shim: this
+    // test pins the shim's behaviour for the one PR it survives.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     startup_.start_prebaked(baked_spec_, broken, snap.fs_prefix, sim::Rng{4});
+#pragma GCC diagnostic pop
     FAIL() << "legacy overload accepted a snapshot without files.img";
   } catch (const criu::RestoreError& e) {
     legacy_kind = e.kind();
     legacy_what = e.what();
   }
   core::PrebakedStartOptions opts;
-  opts.fs_prefix = snap.fs_prefix;
+  opts.restore.fs_prefix = snap.fs_prefix;
   try {
     startup_.start_prebaked(baked_spec_, broken, opts, sim::Rng{4});
     FAIL() << "options overload accepted a snapshot without files.img";
@@ -186,7 +191,7 @@ TEST_F(ChaosStartup, RetriesAbsorbTransientReadErrors) {
   kernel_.faults().configure(plan);
 
   core::PrebakedStartOptions opts;
-  opts.fs_prefix = snap.fs_prefix;
+  opts.restore.fs_prefix = snap.fs_prefix;
   opts.policy.max_attempts = 50;
   core::ReplicaProcess rep =
       startup_.start_prebaked(baked_spec_, snap.images, opts, sim::Rng{4});
@@ -205,7 +210,7 @@ TEST_F(ChaosStartup, ExhaustedRetriesFallBackToVanilla) {
   kernel_.faults().configure(plan);
 
   core::PrebakedStartOptions opts;
-  opts.fs_prefix = snap.fs_prefix;
+  opts.restore.fs_prefix = snap.fs_prefix;
   opts.policy.max_attempts = 3;
   opts.policy.fallback_to_vanilla = true;
   core::ReplicaProcess rep =
@@ -229,7 +234,7 @@ TEST_F(ChaosStartup, WithoutFallbackTheTypedErrorPropagates) {
   kernel_.faults().configure(plan);
 
   core::PrebakedStartOptions opts;
-  opts.fs_prefix = snap.fs_prefix;
+  opts.restore.fs_prefix = snap.fs_prefix;
   opts.policy.max_attempts = 2;
   try {
     startup_.start_prebaked(baked_spec_, snap.images, opts, sim::Rng{4});
@@ -246,7 +251,7 @@ TEST_F(ChaosStartup, DeadlineShortCircuitsRetryBudget) {
   kernel_.faults().configure(plan);
 
   core::PrebakedStartOptions opts;
-  opts.fs_prefix = snap.fs_prefix;
+  opts.restore.fs_prefix = snap.fs_prefix;
   opts.policy.max_attempts = 100;
   opts.policy.retry_backoff = sim::Duration::millis(5);
   opts.policy.deadline = sim::Duration::millis(1);
@@ -267,7 +272,7 @@ TEST_F(ChaosStartup, NonTransientFaultSkipsRetries) {
   kernel_.fs().truncate(path, kernel_.fs().size_of(path) / 2);
 
   core::PrebakedStartOptions opts;
-  opts.fs_prefix = snap.fs_prefix;
+  opts.restore.fs_prefix = snap.fs_prefix;
   opts.policy.max_attempts = 10;
   opts.policy.fallback_to_vanilla = true;
   core::ReplicaProcess rep =

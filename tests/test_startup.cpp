@@ -21,6 +21,13 @@ class StartupTest : public ::testing::Test {
     return builder_.build(spec, std::nullopt, sim::Rng{1}).spec;
   }
 
+  // All tests restore from images persisted at the snapshot's fs prefix.
+  static PrebakedStartOptions images_at(const std::string& fs_prefix) {
+    PrebakedStartOptions options;
+    options.restore.fs_prefix = fs_prefix;
+    return options;
+  }
+
   BakedSnapshot bake(const rt::FunctionSpec& spec, SnapshotPolicy policy) {
     PrebakeConfig cfg;
     cfg.policy = policy;
@@ -75,8 +82,9 @@ TEST_F(StartupTest, VanillaReplicaServesRequests) {
 
 TEST_F(StartupTest, PrebakedBreakdownHasZeroRts) {
   const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::no_warmup());
-  ReplicaProcess rep = startup_.start_prebaked(baked_spec_, snap.images,
-                                               snap.fs_prefix, sim::Rng{4});
+  ReplicaProcess rep = startup_.start_prebaked(
+      baked_spec_, snap.images, images_at(snap.fs_prefix),
+      sim::Rng{4});
   // "Prebaking brings the RTS down to 0 ms."
   EXPECT_EQ(rep.breakdown.rts_time.to_millis(), 0.0);
   EXPECT_EQ(rep.breakdown.clone_time.to_millis(), 0.0);
@@ -89,7 +97,8 @@ TEST_F(StartupTest, PrebakedFasterThanVanilla) {
   const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::no_warmup());
   ReplicaProcess vanilla = startup_.start_vanilla(baked_spec_, sim::Rng{5});
   ReplicaProcess prebaked = startup_.start_prebaked(
-      baked_spec_, snap.images, snap.fs_prefix, sim::Rng{5});
+      baked_spec_, snap.images, images_at(snap.fs_prefix),
+      sim::Rng{5});
   EXPECT_LT(prebaked.breakdown.total.to_millis(),
             vanilla.breakdown.total.to_millis());
 }
@@ -99,22 +108,25 @@ TEST_F(StartupTest, PrebakedReplicaServesIdenticalResponses) {
       bake(exp::markdown_spec(), SnapshotPolicy::no_warmup());
   ReplicaProcess vanilla = startup_.start_vanilla(baked_spec_, sim::Rng{6});
   ReplicaProcess prebaked = startup_.start_prebaked(
-      baked_spec_, snap.images, snap.fs_prefix, sim::Rng{6});
+      baked_spec_, snap.images, images_at(snap.fs_prefix),
+      sim::Rng{6});
   const funcs::Request req = funcs::sample_request("markdown");
   EXPECT_EQ(vanilla.runtime->handle(req).body, prebaked.runtime->handle(req).body);
 }
 
 TEST_F(StartupTest, WarmSnapshotKnowsItsWarm) {
   const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::warmup(1));
-  ReplicaProcess rep = startup_.start_prebaked(baked_spec_, snap.images,
-                                               snap.fs_prefix, sim::Rng{7});
+  ReplicaProcess rep = startup_.start_prebaked(
+      baked_spec_, snap.images, images_at(snap.fs_prefix),
+      sim::Rng{7});
   EXPECT_TRUE(rep.runtime->warmed());
 }
 
 TEST_F(StartupTest, NoWarmupSnapshotIsNotWarm) {
   const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::no_warmup());
-  ReplicaProcess rep = startup_.start_prebaked(baked_spec_, snap.images,
-                                               snap.fs_prefix, sim::Rng{7});
+  ReplicaProcess rep = startup_.start_prebaked(
+      baked_spec_, snap.images, images_at(snap.fs_prefix),
+      sim::Rng{7});
   EXPECT_FALSE(rep.runtime->warmed());
 }
 
@@ -179,9 +191,9 @@ TEST_F(StartupTest, ManyReplicasFromOneSnapshot) {
   const BakedSnapshot snap = bake(exp::noop_spec(), SnapshotPolicy::no_warmup());
   std::vector<ReplicaProcess> reps;
   for (int i = 0; i < 5; ++i)
-    reps.push_back(startup_.start_prebaked(baked_spec_, snap.images,
-                                           snap.fs_prefix,
-                                           sim::Rng{static_cast<std::uint64_t>(i)}));
+    reps.push_back(startup_.start_prebaked(
+        baked_spec_, snap.images, images_at(snap.fs_prefix),
+        sim::Rng{static_cast<std::uint64_t>(i)}));
   for (auto& rep : reps) {
     EXPECT_TRUE(kernel_.alive(rep.pid));
     EXPECT_TRUE(rep.runtime->handle(funcs::Request{}).ok());

@@ -23,9 +23,11 @@
 #include "exp/cli.hpp"
 #include "exp/cluster.hpp"
 #include "exp/report.hpp"
+#include "exp/run.hpp"
 #include "exp/scenario.hpp"
 #include "faas/builder.hpp"
 #include "faas/trace.hpp"
+#include "obs/export.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 
@@ -44,6 +46,9 @@ int usage() {
                "  trace generate --out FILE [--function F] [--rate HZ]"
                " [--duration-s S] [--diurnal] [--peak HZ] [--period-s S]\n"
                "  trace replay --in FILE [--mode vanilla|prebaked]\n"
+               "  trace startup|cluster|chaos [scenario flags] [--out FILE]\n"
+               "            (span tree to stdout; --out writes Chrome"
+               " trace_event JSON)\n"
                "  nodes     [--nodes N] [--cpus N] [--policy P] [--rate HZ]"
                " [--duration-s S]\n"
                "            [--cache-mib M] [--mode vanilla|prebaked]"
@@ -75,10 +80,60 @@ exp::Technique resolve_technique(const std::string& name) {
   throw std::invalid_argument{"unknown technique: " + name};
 }
 
+faas::PlacementPolicy resolve_policy(const std::string& name);
+
+// `prebakectl trace startup|cluster|chaos`: run one scenario with the
+// structured tracer on and print the span tree (or export Chrome
+// trace_event JSON for about:tracing / Perfetto with --out).
+int cmd_trace_scenario(const std::string& kind, const exp::CliArgs& args) {
+  exp::ScenarioSpec spec;
+  spec.trace = true;
+  spec.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  if (kind == "startup") {
+    spec.kind = exp::ScenarioKind::kStartup;
+    spec.startup.spec = resolve_function(args.get_or("function", "noop"));
+    spec.startup.technique =
+        resolve_technique(args.get_or("technique", "pb-nowarmup"));
+    spec.repetitions = static_cast<int>(args.get_int_or("reps", 25));
+    spec.threads = static_cast<int>(args.get_int_or("threads", 0));
+  } else if (kind == "cluster") {
+    spec.kind = exp::ScenarioKind::kCluster;
+    spec.cluster.policy = resolve_policy(args.get_or("policy", "locality"));
+    spec.cluster.rate_hz = args.get_double_or("rate", 0.5);
+    spec.cluster.duration =
+        sim::Duration::seconds_f(args.get_double_or("duration-s", 60.0));
+  } else {
+    spec.kind = exp::ScenarioKind::kChaos;
+    const double rate = args.get_double_or("rate", 0.05);
+    spec.chaos.duration =
+        sim::Duration::seconds_f(args.get_double_or("duration-s", 60.0));
+    spec.chaos.faults.seed = spec.seed;
+    spec.chaos.faults.image_corruption_rate = rate;
+    spec.chaos.faults.image_read_error_rate = rate / 2;
+    spec.chaos.faults.registry_stall_rate = rate;
+  }
+
+  const exp::ScenarioRun run = exp::run(spec);
+  if (const auto out = args.get("out"); out.has_value() && !out->empty()) {
+    std::ofstream file{*out};
+    if (!file) throw std::runtime_error{"cannot write " + *out};
+    file << obs::to_chrome_json(run.trace);
+    std::printf("wrote %zu spans to %s (load in about:tracing / Perfetto)\n",
+                run.trace.spans.size(), out->c_str());
+  } else {
+    std::printf("%s", obs::to_text_tree(run.trace).c_str());
+  }
+  return 0;
+}
+
 int cmd_trace(const exp::CliArgs& args) {
   if (args.positional().size() < 2)
-    throw std::invalid_argument{"trace: expected 'generate' or 'replay'"};
+    throw std::invalid_argument{
+        "trace: expected 'generate', 'replay', 'startup', 'cluster' or "
+        "'chaos'"};
   const std::string& sub = args.positional()[1];
+  if (sub == "startup" || sub == "cluster" || sub == "chaos")
+    return cmd_trace_scenario(sub, args);
 
   if (sub == "generate") {
     const std::string out = args.get_or("out", "trace.csv");

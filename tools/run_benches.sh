@@ -17,6 +17,11 @@
 # writing BENCH_chaos_restore.json at the repository root; combined with
 # --check it asserts the availability gate (>= 99% at the default 5% fault
 # rate, no request lost).
+#
+# --trace runs a short traced fig3 scenario through `bench_harness --trace`,
+# writes BENCH_trace.json (Chrome trace_event format, loadable in
+# about:tracing / Perfetto) and validates it against tools/trace_schema.jq.
+# Exits non-zero if the export violates the schema.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,14 +31,17 @@ out="${repo_root}/BENCH_harness.json"
 out_set=0
 check=0
 chaos=0
+trace=0
+reps_set=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --check) check=1; shift ;;
     --chaos) chaos=1; shift ;;
+    --trace) trace=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --threads) mode_args+=(--threads "$2"); shift 2 ;;
-    --reps) mode_args+=(--reps "$2"); shift 2 ;;
+    --reps) mode_args+=(--reps "$2"); reps_set=1; shift 2 ;;
     --out) out="$2"; out_set=1; shift 2 ;;
     *) echo "run_benches.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -57,6 +65,20 @@ if [[ ! -x "$harness" ]]; then
   echo "run_benches.sh: ${harness} not found; building..." >&2
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" --target bench_harness -j
+fi
+
+if [[ "$trace" -eq 1 ]]; then
+  [[ "$out_set" -eq 1 ]] || out="${repo_root}/BENCH_trace.json"
+  # A short traced run is enough for the schema smoke: the span *shape* is
+  # rep-count independent, only the volume grows.
+  [[ "$reps_set" -eq 1 ]] || mode_args+=(--reps 5)
+  "$harness" --trace "$out" "${mode_args[@]+"${mode_args[@]}"}"
+  if command -v jq >/dev/null 2>&1; then
+    jq -r -f "${repo_root}/tools/trace_schema.jq" "$out"
+  else
+    echo "run_benches.sh: jq not found; skipping trace schema validation" >&2
+  fi
+  exit 0
 fi
 
 if [[ "$check" -eq 1 ]]; then

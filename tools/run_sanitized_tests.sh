@@ -33,3 +33,10 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ./build-sanitize/tests/prebake_tests --gtest_filter='Chaos*'
+
+# Third pass over the tracing suites: the Span/Tracer lifetime rules
+# (handles outliving take_records, the replaced-operator-new allocation
+# counter) are exactly the kind of thing ASan is for.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ./build-sanitize/tests/prebake_tests --gtest_filter='Trace*'

@@ -1,0 +1,59 @@
+# Schema check for the Chrome trace_event JSON emitted by obs::to_chrome_json
+# (prebakectl trace / bench_harness --trace). Runs under the stock jq 1.6 —
+# no extra dependencies.
+#
+#   jq -r -f tools/trace_schema.jq BENCH_trace.json
+#
+# Prints "trace schema: OK (...)" and exits 0 when the file is well-formed;
+# prints every violation to stderr and exits 1 otherwise (run_benches.sh
+# --trace treats that as a smoke-test failure).
+
+. as $root
+| ($root.traceEvents // []) as $ev
+| ($ev | map(select(type == "object" and .ph == "X"))) as $spans
+| ($ev | map(select(type == "object" and .ph == "C"))) as $counters
+| ($spans | map(.args.id)) as $ids
+| [
+    (select(($root | type) != "object") | "top level is not an object"),
+    (select($root.displayTimeUnit != "ms") | "displayTimeUnit is not \"ms\""),
+    (select(($root.traceEvents | type) != "array")
+     | "traceEvents missing or not an array"),
+    (select(($spans | length) == 0) | "no X (complete-span) events"),
+    ($ev[] | select(type != "object") | "event is not an object"),
+    ($ev[] | select(type == "object" and ((.name | type) != "string"))
+     | "event missing string name"),
+    ($ev[] | select(type == "object" and (((.ph // "") | IN("X", "M", "C")) | not))
+     | "event ph not one of X/M/C: \(.ph)"),
+    ($spans[] | select((.cat | type) != "string")
+     | "span \(.name): missing cat"),
+    ($spans[] | select((.ts | type) != "number" or .ts < 0)
+     | "span \(.name): bad ts"),
+    ($spans[] | select((.dur | type) != "number" or .dur < 0)
+     | "span \(.name): bad dur"),
+    ($spans[] | select(.pid != 1) | "span \(.name): pid is not 1"),
+    ($spans[] | select((.tid | type) != "number") | "span \(.name): bad tid"),
+    ($spans[] | select((.args | type) != "object")
+     | "span \(.name): missing args"),
+    # Span ids are 64-bit; the exporter writes them as decimal strings so
+    # they survive double-precision JSON numbers.
+    ($spans[] | select((.args.id | type) != "string"
+                       or ((.args.id | test("^[0-9]+$")) | not))
+     | "span \(.name): args.id is not a decimal string"),
+    ($spans[] | select((.args.parent | type) != "string"
+                       or ((.args.parent | test("^[0-9]+$")) | not))
+     | "span \(.name): args.parent is not a decimal string"),
+    ($spans[] | select((.args.seq | type) != "number" or .args.seq < 1)
+     | "span \(.name): bad args.seq"),
+    (select(($ids | unique | length) != ($spans | length))
+     | "duplicate span ids"),
+    ($spans[] | select(.args.parent != "0" and ((.args.parent | IN($ids[])) | not))
+     | "span \(.name): parent \(.args.parent) not present in trace"),
+    ($counters[] | select((.args.value | type) != "number" or .args.value < 0)
+     | "counter \(.name): bad args.value"),
+    (select(($root.otherData.spans // -1) != ($spans | length))
+     | "otherData.spans (\($root.otherData.spans)) != X-event count (\($spans | length))")
+  ] as $errors
+| if ($errors | length) == 0
+  then "trace schema: OK (\($spans | length) spans, \($counters | length) counters)"
+  else (($errors | unique | join("\n")) + "\ntrace schema: FAIL") | halt_error(1)
+  end
