@@ -45,6 +45,48 @@ void BM_PageDigest(benchmark::State& state) {
 }
 BENCHMARK(BM_PageDigest);
 
+// Host-side cost of producing the digest list a delta negotiation ships:
+// decoding the payload record from the raw image bytes every time...
+void BM_DigestListDecode(benchmark::State& state) {
+  std::vector<std::uint64_t> digests;
+  const os::PatternSource src{42};
+  for (int i = 0; i < state.range(0); ++i)
+    digests.push_back(src.page_digest(static_cast<std::uint64_t>(i)));
+  criu::PagesEntry entry;
+  entry.mode = criu::PayloadMode::kDigest;
+  entry.digests = digests;
+  const std::vector<std::uint8_t> img = criu::encode_pages(entry);
+  for (auto _ : state) {
+    const criu::PagesEntry decoded = criu::decode_pages(img);
+    benchmark::DoNotOptimize(decoded.digests.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DigestListDecode)->Arg(256)->Arg(4096)->Arg(65536);
+
+// ...versus reading it out of the ImageDir's shared decode cache, the path
+// the page store's per-fetch negotiation actually takes (satellite of
+// DESIGN.md §6f: re-hashing/re-decoding per fetch would dominate the RTT).
+void BM_DigestListCached(benchmark::State& state) {
+  std::vector<std::uint64_t> digests;
+  const os::PatternSource src{42};
+  for (int i = 0; i < state.range(0); ++i)
+    digests.push_back(src.page_digest(static_cast<std::uint64_t>(i)));
+  criu::PagesEntry entry;
+  entry.mode = criu::PayloadMode::kDigest;
+  entry.digests = std::move(digests);
+  criu::ImageDir images;
+  images.put("pages-1.img", criu::encode_pages(entry));
+  for (auto _ : state) {
+    const criu::ImageDir::Decoded& dec = images.decoded();
+    benchmark::DoNotOptimize(dec.pages->digests.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DigestListCached)->Arg(256)->Arg(4096)->Arg(65536);
+
 void BM_EncodeDecodePagemap(benchmark::State& state) {
   std::vector<criu::PagemapEntry> entries;
   for (int i = 0; i < state.range(0); ++i)

@@ -196,6 +196,11 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
   rep.pid = restored.pid;
   rep.lazy_server = restored.lazy_server;
   rep.remote_bytes_fetched = restored.remote_bytes;
+  rep.store_hit_pages = restored.store_hit_pages;
+  rep.store_delta_bytes = restored.store_delta_bytes;
+  rep.template_clone = restored.template_clone;
+  rep.template_materialized = restored.template_materialized;
+  if (restored.template_clone) start_span.attr("template_clone", "true");
   const sim::TimePoint t_restored = k.sim().now();
 
   // Learn how warm the image is from its stats entry.

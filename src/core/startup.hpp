@@ -53,6 +53,12 @@ struct ReplicaProcess {
   // Bytes the restore pulled from a remote snapshot registry (0 unless
   // remote_fetch was set and the node-local cache was cold).
   std::uint64_t remote_bytes_fetched = 0;
+  // Page-store accounting (zero / false unless the restore ran with a
+  // node-local content-addressed store attached — see criu::PageStore).
+  std::uint64_t store_hit_pages = 0;
+  std::uint64_t store_delta_bytes = 0;
+  bool template_clone = false;
+  bool template_materialized = false;
 };
 
 // How hard to fight for a restore before giving up. The defaults reproduce

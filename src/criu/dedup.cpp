@@ -1,9 +1,25 @@
 #include "criu/dedup.hpp"
 
+#include <stdexcept>
+
 namespace prebake::criu {
 
+namespace {
+
+// Both add and remove walk the snapshot's page digests. The decode cache on
+// ImageDir keeps the vector alive across calls, so indexing N replicas of a
+// snapshot decodes its payload once instead of N times.
+const PagesEntry& payload_of(const ImageDir& images) {
+  const ImageDir::Decoded& dec = images.decoded();
+  if (!dec.pages)
+    throw std::invalid_argument{"DedupIndex: snapshot has no pages-1.img"};
+  return *dec.pages;
+}
+
+}  // namespace
+
 std::uint64_t DedupIndex::add(const ImageDir& images) {
-  const PagesEntry pages = decode_pages(images.get("pages-1.img").bytes);
+  const PagesEntry& pages = payload_of(images);
   std::uint64_t fresh = 0;
   for (const std::uint64_t digest : pages.digests) {
     auto [it, inserted] = pages_.emplace(digest, 0);
@@ -15,6 +31,23 @@ std::uint64_t DedupIndex::add(const ImageDir& images) {
     ++stats_.total_pages;
   }
   return fresh;
+}
+
+std::uint64_t DedupIndex::remove(const ImageDir& images) {
+  const PagesEntry& pages = payload_of(images);
+  std::uint64_t freed = 0;
+  for (const std::uint64_t digest : pages.digests) {
+    const auto it = pages_.find(digest);
+    if (it == pages_.end() || it->second == 0)
+      throw std::logic_error{"DedupIndex::remove: refcount underflow"};
+    --stats_.total_pages;
+    if (--it->second == 0) {
+      pages_.erase(it);
+      --stats_.unique_pages;
+      ++freed;
+    }
+  }
+  return freed;
 }
 
 std::uint32_t DedupIndex::refcount(std::uint64_t digest) const {

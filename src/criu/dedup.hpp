@@ -34,6 +34,11 @@ class DedupIndex {
   // Index every dumped page of a snapshot; returns how many of its pages
   // were new to the store.
   std::uint64_t add(const ImageDir& images);
+  // Drop a snapshot from the index: decrement each of its pages' refcounts,
+  // forgetting digests that reach zero. Returns how many unique page
+  // contents left the store. Removing images that were never added corrupts
+  // the counts, exactly like a double-free — callers keep add/remove paired.
+  std::uint64_t remove(const ImageDir& images);
 
   const DedupStats& stats() const { return stats_; }
   // How many snapshots reference a given page digest (0 if unknown).

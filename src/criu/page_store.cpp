@@ -1,0 +1,114 @@
+#include "criu/page_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace prebake::criu {
+
+std::uint64_t PageStore::missing_unique_pages(
+    std::span<const std::uint64_t> digests) const {
+  std::unordered_set<std::uint64_t> missing;
+  for (const std::uint64_t d : digests)
+    if (!pages_.contains(d)) missing.insert(d);
+  return missing.size();
+}
+
+std::uint64_t PageStore::insert(std::span<const std::uint64_t> digests) {
+  ++tick_;
+  std::uint64_t fresh = 0;
+  for (const std::uint64_t d : digests) {
+    auto [it, inserted] = pages_.try_emplace(d);
+    it->second.tick = tick_;
+    if (inserted) ++fresh;
+  }
+  evict_to_fit();
+  return fresh;
+}
+
+void PageStore::pin(std::span<const std::uint64_t> digests) {
+  ++tick_;
+  for (const std::uint64_t d : digests) {
+    auto [it, inserted] = pages_.try_emplace(d);
+    ++it->second.refcount;
+    it->second.tick = tick_;
+  }
+}
+
+void PageStore::unpin(std::span<const std::uint64_t> digests) {
+  for (const std::uint64_t d : digests) {
+    const auto it = pages_.find(d);
+    if (it == pages_.end() || it->second.refcount == 0)
+      throw std::logic_error{"PageStore::unpin: refcount underflow"};
+    --it->second.refcount;
+  }
+  evict_to_fit();
+}
+
+std::uint32_t PageStore::refcount(std::uint64_t digest) const {
+  const auto it = pages_.find(digest);
+  return it == pages_.end() ? 0 : it->second.refcount;
+}
+
+void PageStore::set_capacity(std::uint64_t bytes) {
+  capacity_ = bytes;
+  evict_to_fit();
+}
+
+void PageStore::evict_to_fit() {
+  if (capacity_ == 0 || stored_bytes() <= capacity_) return;
+  // Unpinned pages only, least recently inserted/pinned first. Collect and
+  // sort (digest breaks tick ties) so eviction order is deterministic.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> victims;  // (tick, digest)
+  for (const auto& [digest, rec] : pages_)
+    if (rec.refcount == 0) victims.emplace_back(rec.tick, digest);
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [tick, digest] : victims) {
+    if (stored_bytes() <= capacity_) break;
+    pages_.erase(digest);
+    ++stats_.evicted_pages;
+  }
+}
+
+const PageStore::TemplateInfo* PageStore::find_template(
+    const std::string& key) const {
+  const auto it = templates_.find(key);
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+void PageStore::register_template(const std::string& key, TemplateInfo info) {
+  if (templates_.contains(key))
+    throw std::logic_error{"PageStore::register_template: duplicate key " + key};
+  pin(info.digests);
+  ++stats_.templates_materialized;
+  templates_.emplace(key, std::move(info));
+}
+
+os::Pid PageStore::drop_template(const std::string& key) {
+  const auto it = templates_.find(key);
+  if (it == templates_.end()) return os::kNoPid;
+  const os::Pid pid = it->second.pid;
+  // Move the digests out before erasing; unpin may evict.
+  const std::vector<std::uint64_t> digests = std::move(it->second.digests);
+  templates_.erase(it);
+  unpin(digests);
+  return pid;
+}
+
+std::vector<os::Pid> PageStore::drop_all_templates() {
+  std::vector<os::Pid> pids;
+  while (!templates_.empty()) {
+    const os::Pid pid = drop_template(templates_.begin()->first);
+    if (pid != os::kNoPid) pids.push_back(pid);
+  }
+  return pids;
+}
+
+void PageStore::clear_pages() {
+  if (!templates_.empty())
+    throw std::logic_error{"PageStore::clear_pages: templates still registered"};
+  pages_.clear();
+}
+
+}  // namespace prebake::criu

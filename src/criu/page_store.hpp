@@ -1,0 +1,121 @@
+// Content-addressed node-local page store (DESIGN.md §6f).
+//
+// Every dumped page is identified by its 64-bit content digest (the same
+// hashes digest-mode images already carry). A node that keeps a store of the
+// digests it has materialized can
+//
+//   * negotiate delta transfers with the snapshot registry: ship the digest
+//     list first (one RTT + 8 bytes/page), then pull only the pages the node
+//     is missing — a node that restored the JVM-base snapshot of one
+//     function fetches only the app-delta of the next;
+//   * keep one frozen *template* process per snapshot: the first restore on
+//     a node materializes it, later replicas clone it with COW mappings
+//     (Catalyzer's sandbox-fork), skipping image reads entirely;
+//   * give the scheduler a byte-accurate locality signal (missing unique
+//     bytes) instead of whole-file hit/miss.
+//
+// Records are refcounted: template registration pins its pages; eviction
+// under a byte budget removes unpinned pages only, LRU first, so pinned
+// pages can exceed the budget while their template lives (they are the
+// template's RSS, resident regardless). Like every other container in the
+// model, mutation is not thread-safe — each WorkerNode owns one store and
+// each simulation runs its scenario single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "os/page_source.hpp"
+#include "os/process.hpp"
+
+namespace prebake::criu {
+
+struct PageStoreStats {
+  // Delta negotiations: page occurrences already held locally vs pages that
+  // had to cross the wire (unique within each transferred image).
+  std::uint64_t hit_pages = 0;
+  std::uint64_t miss_pages = 0;
+  std::uint64_t delta_bytes = 0;   // page payload actually transferred
+  std::uint64_t digest_bytes = 0;  // negotiation overhead (digest lists)
+  std::uint64_t evicted_pages = 0;
+  std::uint64_t template_clones = 0;
+  std::uint64_t templates_materialized = 0;
+};
+
+class PageStore {
+ public:
+  // A frozen restore template: the process to clone replicas from, the
+  // mapping from image VmaEntry ids to the template's VMA ids (clones share
+  // those ids), and the pinned page digests of its snapshot chain.
+  struct TemplateInfo {
+    os::Pid pid = os::kNoPid;
+    std::map<os::VmaId, os::VmaId> vma_map;
+    std::vector<std::uint64_t> digests;
+  };
+
+  // --- content-addressed pages ---------------------------------------------
+  bool contains(std::uint64_t digest) const { return pages_.contains(digest); }
+  // Digests (unique within the list) the store does not hold — what a delta
+  // transfer must move.
+  std::uint64_t missing_unique_pages(
+      std::span<const std::uint64_t> digests) const;
+  std::uint64_t missing_unique_bytes(
+      std::span<const std::uint64_t> digests) const {
+    return missing_unique_pages(digests) * os::kPageSize;
+  }
+  // Record every digest as locally materialized (refcount unchanged — a page
+  // enters unpinned and is pinned only by templates). Refreshes recency,
+  // evicts unpinned overflow, returns how many digests were new.
+  std::uint64_t insert(std::span<const std::uint64_t> digests);
+  // Refcount ++/-- per digest occurrence (callers keep pin/unpin symmetric).
+  void pin(std::span<const std::uint64_t> digests);
+  void unpin(std::span<const std::uint64_t> digests);
+  std::uint32_t refcount(std::uint64_t digest) const;
+
+  // --- byte budget ----------------------------------------------------------
+  // 0 = unbounded. Shrinking evicts unpinned pages immediately (LRU first);
+  // pinned pages are never evicted and may exceed the budget.
+  void set_capacity(std::uint64_t bytes);
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t stored_pages() const { return pages_.size(); }
+  std::uint64_t stored_bytes() const { return pages_.size() * os::kPageSize; }
+
+  // --- frozen templates -----------------------------------------------------
+  bool has_template(const std::string& key) const {
+    return templates_.contains(key);
+  }
+  const TemplateInfo* find_template(const std::string& key) const;
+  // Pins (and inserts) the template's digests for its lifetime.
+  void register_template(const std::string& key, TemplateInfo info);
+  // Unpins the template's digests and forgets it. Returns the template pid
+  // (kNoPid if the key was unknown); the caller owns killing/reaping it.
+  os::Pid drop_template(const std::string& key);
+  std::vector<os::Pid> drop_all_templates();
+  std::size_t template_count() const { return templates_.size(); }
+
+  // Node crash: the store's RAM is gone. Drops every page record (templates
+  // must have been dropped first); stats survive for reporting.
+  void clear_pages();
+
+  const PageStoreStats& stats() const { return stats_; }
+  PageStoreStats& stats_mut() { return stats_; }
+
+ private:
+  struct PageRecord {
+    std::uint32_t refcount = 0;  // pinning templates
+    std::uint64_t tick = 0;      // recency for LRU eviction
+  };
+
+  void evict_to_fit();
+
+  std::map<std::uint64_t, PageRecord> pages_;  // digest -> record
+  std::map<std::string, TemplateInfo> templates_;
+  std::uint64_t capacity_ = 0;  // bytes; 0 = unbounded
+  std::uint64_t tick_ = 0;
+  PageStoreStats stats_;
+};
+
+}  // namespace prebake::criu

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "criu/page_store.hpp"
+
 namespace prebake::criu {
 
 namespace {
@@ -52,6 +54,41 @@ void fetch_from_registry(os::Kernel& k, const std::string& path,
   }
 }
 
+// Delta-aware payload negotiation (DESIGN.md §6f): instead of shipping the
+// whole page payload, the registry first sends the image's per-page digest
+// list (one extra round trip plus 8 bytes per page) and the node answers
+// with the digests its content-addressed store is missing; only those pages
+// then cross the wire. Duplicate pages within the image transfer once.
+// Returns the payload bytes that still have to be fetched.
+std::uint64_t negotiate_delta(os::Kernel& k, const PagesEntry& pe,
+                              const RestoreOptions& opts,
+                              RestoreResult& result) {
+  PageStore& store = *opts.page_store;
+  obs::Span span = k.trace().span("delta-negotiate", "criu.net");
+  const std::uint64_t total = pe.digests.size();
+  const std::uint64_t digest_bytes = total * sizeof(std::uint64_t);
+  k.sim().advance(k.costs().network_rtt);
+  k.sim().advance(k.costs().network_fetch_cost(digest_bytes) *
+                  std::max(opts.io_contention, 1.0));
+  result.remote_bytes += digest_bytes;
+  k.trace().count("criu.remote_bytes", digest_bytes);
+  const std::uint64_t missing = store.missing_unique_pages(pe.digests);
+  const std::uint64_t hit = total - missing;
+  const std::uint64_t delta = missing * os::kPageSize;
+  result.store_hit_pages += hit;
+  result.store_delta_bytes += delta;
+  PageStoreStats& st = store.stats_mut();
+  st.hit_pages += hit;
+  st.miss_pages += missing;
+  st.delta_bytes += delta;
+  st.digest_bytes += digest_bytes;
+  k.trace().count("store.hit_pages", hit);
+  k.trace().count("store.delta_bytes", delta);
+  span.attr("pages", total);
+  span.attr("missing", missing);
+  return delta;
+}
+
 // Charge the storage cost of reading every image file of one snapshot. A
 // lazy-pages restore only reads the eager fraction of the page payload; the
 // rest is read on demand by the LazyPagesServer. Accumulates read/remote
@@ -86,8 +123,20 @@ void charge_image_reads(os::Kernel& k, const ImageDir& images,
                            "restore: truncated image file " + path + " (" +
                                std::to_string(k.fs().size_of(path)) + " < " +
                                std::to_string(f.nominal_size) + " bytes)"};
-      if (opts.remote_fetch && !k.fs().is_cached(path))
-        fetch_from_registry(k, path, to_read, opts, result);
+      if (opts.remote_fetch && !k.fs().is_cached(path)) {
+        if (opts.page_store != nullptr && !opts.lazy_pages &&
+            name == "pages-1.img" && images.decoded().pages) {
+          const PagesEntry& pe = *images.decoded().pages;
+          const std::uint64_t delta = negotiate_delta(k, pe, opts, result);
+          if (delta > 0)
+            fetch_from_registry(k, path, delta, opts, result);
+          else
+            k.fs().warm(path);  // every page already on the node
+          opts.page_store->insert(pe.digests);
+        } else {
+          fetch_from_registry(k, path, to_read, opts, result);
+        }
+      }
       if (opts.in_memory) k.fs().warm(path);
       try {
         k.fs().charge_read(path, to_read, opts.io_contention);
@@ -111,6 +160,31 @@ void charge_image_reads(os::Kernel& k, const ImageDir& images,
   }
 }
 
+// COW-clone a frozen template process into a fresh replica: the clone shares
+// every resident page with the template (first writes are charged a page
+// copy by the kernel) and takes over the checkpointed identity.
+os::Pid spawn_template_clone(os::Kernel& k, os::Pid tpl,
+                             const InventoryEntry& inv,
+                             const RestoreOptions& opts) {
+  os::CloneOptions copts;
+  copts.caller_caps = opts.criu_caps;
+  copts.cow_tracked = true;
+  const os::Pid pid = k.clone_process(tpl, copts);
+  os::Process& proc = k.process(pid);
+  const os::Process& t = k.process(tpl);
+  proc.set_name(inv.name);
+  proc.set_argv(inv.argv);
+  proc.grant(static_cast<os::Cap>(inv.caps));
+  proc.threads()[0].tid = t.threads()[0].tid;
+  for (std::size_t i = 1; i < t.threads().size(); ++i)
+    proc.spawn_thread(t.threads()[i].tid);
+  for (std::size_t i = 0; i < t.threads().size(); ++i) {
+    proc.threads()[i].regs = t.threads()[i].regs;
+    proc.threads()[i].state = os::ThreadState::kRunning;
+  }
+  return pid;
+}
+
 }  // namespace
 
 RestoreResult Restorer::restore(const ImageDir& images,
@@ -122,6 +196,11 @@ RestoreResult Restorer::restore(const ImageDir& images,
 RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
                                       const RestoreOptions& opts) {
   if (chain.empty()) throw std::invalid_argument{"restore: empty image chain"};
+  // Fast path (DESIGN.md §6f): the node store already holds a frozen template
+  // for this snapshot — COW-clone it instead of replaying the images.
+  if (opts.page_store != nullptr && !opts.lazy_pages &&
+      !opts.store_key.empty() && opts.page_store->has_template(opts.store_key))
+    return clone_from_template(chain, opts);
   os::Kernel& k = *kernel_;
   obs::Tracer& tr = k.trace();
   const sim::TimePoint t0 = k.sim().now();
@@ -148,7 +227,16 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   RestoreResult result;
   {
     obs::Span s = tr.span("image-reads", "criu.io");
-    for (const ImageDir* dir : chain) charge_image_reads(k, *dir, opts, result);
+    // Pre-dump links live under nested parent/ subdirectories of the final
+    // image dir (CRIU's --prev-images-dir layout): every link names its
+    // payload pages-1.img, so a flat prefix would alias their files.
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      RestoreOptions link = opts;
+      if (!link.fs_prefix.empty())
+        for (std::size_t j = i + 1; j < chain.size(); ++j)
+          link.fs_prefix += "parent/";
+      charge_image_reads(k, *chain[i], link, result);
+    }
   }
 
   // The decode cache is shared across restores of the same snapshot.
@@ -342,6 +430,34 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   proc.set_state(os::ProcState::kRunning);
   cleanup.armed = false;
   result.pid = pid;
+  if (opts.page_store != nullptr && !opts.lazy_pages) {
+    PageStore& store = *opts.page_store;
+    // Whatever the payload source was, the node now holds these pages.
+    for (const ImageDir* dir : chain)
+      if (dir->decoded().pages) store.insert(dir->decoded().pages->digests);
+    if (!opts.store_key.empty() && !store.has_template(opts.store_key)) {
+      // First restore of this snapshot on the node: freeze the restored
+      // process into an immutable template and hand back a COW clone
+      // ("restore once, clone many"). Later replicas of the same snapshot
+      // skip the image reads entirely via clone_from_template.
+      obs::Span tspan = tr.span("template-materialize", "criu");
+      tspan.attr("key", opts.store_key);
+      k.freeze(pid, opts.criu_caps);
+      proc.set_name(inv.name + " [template]");
+      PageStore::TemplateInfo info;
+      info.pid = pid;
+      info.vma_map = vma_id_map;
+      for (const ImageDir* dir : chain) {
+        const ImageDir::Decoded& ddec = dir->decoded();
+        if (ddec.pages)
+          info.digests.insert(info.digests.end(), ddec.pages->digests.begin(),
+                              ddec.pages->digests.end());
+      }
+      store.register_template(opts.store_key, std::move(info));
+      result.template_materialized = true;
+      result.pid = spawn_template_clone(k, pid, inv, opts);
+    }
+  }
   if (opts.lazy_pages)
     result.lazy_server = std::make_shared<LazyPagesServer>(
         k, pid, opts.fs_prefix, std::move(lazy_pending));
@@ -349,6 +465,69 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   restore_span.attr("pages", result.pages_restored);
   restore_span.attr("bytes_read", result.bytes_read);
   tr.measure("criu.restore_ms", result.duration.to_millis());
+  return result;
+}
+
+RestoreResult Restorer::clone_from_template(
+    std::span<const ImageDir* const> chain, const RestoreOptions& opts) {
+  os::Kernel& k = *kernel_;
+  obs::Tracer& tr = k.trace();
+  const sim::TimePoint t0 = k.sim().now();
+  PageStore& store = *opts.page_store;
+  const PageStore::TemplateInfo& tpl = *store.find_template(opts.store_key);
+
+  obs::Span span = tr.span("template-clone", "criu");
+  span.attr("key", opts.store_key);
+
+  const ImageDir::Decoded& dec = chain.back()->decoded();
+  if (!dec.inventory)
+    throw RestoreError{RestoreErrorKind::kMissingImage,
+                       "restore: missing image file inventory.img"};
+  const InventoryEntry& inv = *dec.inventory;
+
+  RestoreResult result;
+  result.pid = spawn_template_clone(k, tpl.pid, inv, opts);
+  result.template_clone = true;
+  os::Process& proc = k.process(result.pid);
+  result.pages_restored = proc.mm().resident_pages();
+
+  if (opts.verify_pages) {
+    // Integrity check on the clone: recompute each payload page's digest and
+    // compare against the image chain, exactly as the slow path would. COW
+    // sharing is read-transparent, so a clone that already broke some pages
+    // still verifies as long as nothing rewrote the checkpointed contents.
+    for (const ImageDir* dir : chain) {
+      const ImageDir::Decoded& ddec = dir->decoded();
+      if (!ddec.pages) continue;
+      const PagesEntry& pages = *ddec.pages;
+      std::size_t cursor = 0;
+      for (const PagemapEntry& e : ddec.pagemap) {
+        if (e.zero) continue;
+        const auto it = tpl.vma_map.find(e.vma);
+        if (it == tpl.vma_map.end())
+          throw RestoreError{RestoreErrorKind::kCorruptImage,
+                             "restore: pagemap references unknown vma"};
+        const os::Vma* vma = proc.mm().find(it->second);
+        for (std::uint64_t p = 0; p < e.pages; ++p, ++cursor) {
+          const std::uint64_t got = vma->source->page_digest(e.first_page + p);
+          if (cursor >= pages.digests.size() || got != pages.digests[cursor]) {
+            span.attr("error", "digest-mismatch");
+            throw RestoreError{RestoreErrorKind::kCorruptImage,
+                               "restore: page digest mismatch"};
+          }
+          // Verification reads the page once.
+          k.sim().advance(k.costs().memcpy_cost(os::kPageSize));
+        }
+      }
+    }
+    span.attr("verified", "true");
+  }
+
+  ++store.stats_mut().template_clones;
+  tr.count("template.clone");
+  result.duration = k.sim().now() - t0;
+  span.attr("pages", result.pages_restored);
+  tr.measure("criu.template_clone_ms", result.duration.to_millis());
   return result;
 }
 

@@ -17,6 +17,8 @@
 
 namespace prebake::criu {
 
+class PageStore;
+
 struct RestoreOptions {
   // Reuse the checkpointed pid (requires CAP_CHECKPOINT_RESTORE or root).
   bool restore_original_pid = false;
@@ -33,6 +35,10 @@ struct RestoreOptions {
   os::Cap criu_caps = os::Cap::kSysPtrace | os::Cap::kSysAdmin;
   // Where the image files live in the simulated filesystem ("" = images were
   // never persisted; no storage read is charged, only decode + mapping).
+  // For a pre-dump chain this is the *final* link's directory; earlier links
+  // are read from nested "parent/" subdirectories of it, mirroring CRIU's
+  // --prev-images-dir layout (each link names its payload pages-1.img, so a
+  // flat directory would alias the links' files).
   std::string fs_prefix;
   // The images live on a remote snapshot registry ("checkpoint/restore as
   // a service", Section 7): a node's first read of each file is charged at
@@ -51,6 +57,17 @@ struct RestoreOptions {
   // these knobs charge nothing.
   int fetch_max_attempts = 3;
   sim::Duration fetch_retry_backoff = sim::Duration::millis(10);
+  // Node-local content-addressed page store (DESIGN.md §6f). When set,
+  // remote fetches of the page payload negotiate per-page digests and
+  // transfer only what the store is missing, and restores materialize (or
+  // clone) a frozen per-snapshot template keyed by `store_key`. Ignored
+  // under lazy_pages (the uffd server owns the page lifecycle there).
+  // Null = the legacy behavior everywhere.
+  PageStore* page_store = nullptr;
+  // The snapshot's identity in the node store (e.g. its node-local image
+  // prefix). Empty disables template materialization/cloning even with a
+  // store attached; delta transfer still applies.
+  std::string store_key;
 };
 
 // The uffd page server left behind by a lazy restore: it owns the pages that
@@ -98,6 +115,15 @@ struct RestoreResult {
   sim::Duration duration;
   // Present iff the restore ran with lazy_pages.
   std::shared_ptr<LazyPagesServer> lazy_server;
+  // Page-store accounting (zero / false without opts.page_store). Hit pages
+  // are payload pages the delta negotiation found already materialized on
+  // the node; delta bytes are the payload that actually crossed the wire.
+  std::uint64_t store_hit_pages = 0;
+  std::uint64_t store_delta_bytes = 0;
+  // This restore was served by COW-cloning the node's frozen template.
+  bool template_clone = false;
+  // This restore left a frozen template behind (first restore on the node).
+  bool template_materialized = false;
 };
 
 class Restorer {
@@ -111,6 +137,11 @@ class Restorer {
                               const RestoreOptions& opts = {});
 
  private:
+  // Fast path: the node store already holds a frozen template for
+  // opts.store_key — COW-clone it, skipping image reads entirely.
+  RestoreResult clone_from_template(std::span<const ImageDir* const> chain,
+                                    const RestoreOptions& opts);
+
   os::Kernel* kernel_;
 };
 

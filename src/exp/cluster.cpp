@@ -23,6 +23,8 @@ ClusterScenarioResult detail::run_cluster_impl(
   cfg.idle_timeout = config.idle_timeout;
   cfg.remote_registry = config.remote_registry;
   cfg.node_snapshot_cache_bytes = config.node_snapshot_cache_bytes;
+  cfg.page_store = config.page_store;
+  cfg.node_page_store_bytes = config.node_page_store_bytes;
   cfg.aggregate_request_log = true;
   faas::Platform platform{kernel, testbed_runtime(), cfg, config.seed};
   platform.resources().set_policy(config.policy);
@@ -106,9 +108,17 @@ ClusterScenarioResult detail::run_cluster_impl(
     report.cache_entries = n.cache_entries();
     report.cache_bytes = n.cache_bytes();
     report.busy_ms = n.stats().busy.to_millis();
+    report.store_hit_pages = n.stats().store_hit_pages;
+    report.store_delta_bytes = n.stats().store_delta_bytes;
+    report.template_clones = n.stats().template_clones;
+    report.store_pages = n.store().stored_pages();
+    report.store_templates = n.store().template_count();
     out.snapshot_hits += report.snapshot_hits;
     out.snapshot_misses += report.snapshot_misses;
     out.remote_bytes_fetched += report.remote_bytes_fetched;
+    out.store_hit_pages += report.store_hit_pages;
+    out.store_delta_bytes += report.store_delta_bytes;
+    out.template_clones += report.template_clones;
     out.nodes.push_back(std::move(report));
   }
 

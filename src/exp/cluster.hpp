@@ -24,6 +24,10 @@ struct ClusterScenarioConfig {
   std::uint64_t node_snapshot_cache_bytes = 120ull << 20;
   faas::PlacementPolicy policy = faas::PlacementPolicy::kWorstFit;
   bool remote_registry = true;
+  // Content-addressed page store per node (DESIGN.md §6f): delta-aware
+  // registry transfers + COW template restores. Off = legacy file cache.
+  bool page_store = false;
+  std::uint64_t node_page_store_bytes = 0;  // 0 = unbounded
   faas::StartMode mode = faas::StartMode::kPrebaked;
   // Sparse arrivals against a short idle timeout: pools drain between
   // requests, so cold starts recur and placement decides their cost.
@@ -48,6 +52,12 @@ struct ClusterNodeReport {
   std::size_t cache_entries = 0;
   std::uint64_t cache_bytes = 0;
   double busy_ms = 0.0;
+  // Page-store accounting (zero with page_store off).
+  std::uint64_t store_hit_pages = 0;
+  std::uint64_t store_delta_bytes = 0;
+  std::uint64_t template_clones = 0;
+  std::uint64_t store_pages = 0;       // resident records at end of run
+  std::size_t store_templates = 0;
 };
 
 struct ClusterScenarioResult {
@@ -67,6 +77,9 @@ struct ClusterScenarioResult {
   std::uint64_t snapshot_hits = 0;
   std::uint64_t snapshot_misses = 0;
   std::uint64_t remote_bytes_fetched = 0;
+  std::uint64_t store_hit_pages = 0;
+  std::uint64_t store_delta_bytes = 0;
+  std::uint64_t template_clones = 0;
   std::vector<ClusterNodeReport> nodes;
 };
 

@@ -140,6 +140,25 @@ WorkerNode* Scheduler::pick(std::vector<WorkerNode>& nodes,
     }
 
     case PlacementPolicy::kSnapshotLocality: {
+      // Page-store mode: score every candidate by the unique bytes its store
+      // is missing (what the delta fetch would actually transfer); least
+      // missing wins, most free memory breaks ties. A node missing the whole
+      // image scores like any other cold node, so this subsumes worst-fit.
+      if (request.snapshot_digests != nullptr) {
+        WorkerNode* best = nullptr;
+        std::uint64_t best_missing = 0;
+        for (WorkerNode& n : nodes) {
+          if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
+          const std::uint64_t missing =
+              n.store().missing_unique_bytes(*request.snapshot_digests);
+          if (best == nullptr || missing < best_missing ||
+              (missing == best_missing && n.mem_free() > best->mem_free())) {
+            best = &n;
+            best_missing = missing;
+          }
+        }
+        return best;
+      }
       // Among nodes already holding the snapshot, take the one with most
       // free memory; otherwise fall back to worst-fit (which also covers
       // vanilla replicas, whose request carries no snapshot key).

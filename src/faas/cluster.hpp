@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "criu/page_store.hpp"
 #include "sim/time.hpp"
 
 namespace prebake::faas {
@@ -40,6 +41,10 @@ struct NodeStats {
   std::uint64_t snapshot_evictions = 0;
   std::uint64_t remote_bytes_fetched = 0;
   sim::Duration busy;                  // CPU time executed on this node
+  // Page-store accounting (zero unless the platform runs with page_store on).
+  std::uint64_t store_hit_pages = 0;
+  std::uint64_t store_delta_bytes = 0;
+  std::uint64_t template_clones = 0;
 };
 
 class WorkerNode {
@@ -101,6 +106,12 @@ class WorkerNode {
   std::uint64_t cache_bytes() const { return cache_bytes_; }
   std::size_t cache_entries() const { return cache_.size(); }
 
+  // --- node-local content-addressed page store (DESIGN.md §6f) -------------
+  // Replaces the file-grain cache above when the platform runs with
+  // page_store on: dedup-aware delta transfer plus frozen restore templates.
+  criu::PageStore& store() { return store_; }
+  const criu::PageStore& store() const { return store_; }
+
   NodeStats& stats() { return stats_; }
   const NodeStats& stats() const { return stats_; }
 
@@ -124,6 +135,7 @@ class WorkerNode {
   std::vector<std::string> cache_lru_;  // front = least recently used
   std::uint64_t cache_capacity_ = 0;
   std::uint64_t cache_bytes_ = 0;
+  criu::PageStore store_;
   NodeStats stats_;
 };
 
@@ -142,6 +154,12 @@ struct PlacementRequest {
   // Snapshot cache key ("<function>/<policy tag>"); empty for vanilla
   // replicas (locality then degrades to worst-fit for the request).
   std::string snapshot_key;
+  // Page digests of the snapshot's payload (page-store mode). When set, the
+  // locality policy scores nodes by the unique bytes their store is missing
+  // instead of by whole-file cache membership — a node sharing most of the
+  // image through another function's snapshot is nearly as good as one that
+  // restored this very snapshot. Null = file-grain scoring.
+  const std::vector<std::uint64_t>* snapshot_digests = nullptr;
 };
 
 class Scheduler {

@@ -106,6 +106,8 @@ Platform::Replica* Platform::start_replica(const std::string& function,
   PlacementRequest request;
   request.mem_bytes = est;
   if (snap != nullptr) request.snapshot_key = snap->fs_prefix;
+  if (config_.page_store && snap != nullptr && snap->images.decoded().pages)
+    request.snapshot_digests = &snap->images.decoded().pages->digests;
   const std::optional<NodeId> node = resources_.place(request);
   if (!node.has_value()) return nullptr;
 
@@ -164,22 +166,27 @@ Platform::Replica* Platform::start_replica(const std::string& function,
       opts.policy.fallback_to_vanilla = true;
       if (config_.remote_registry) {
         WorkerNode& wn = resources_.node_mut(*node);
-        if (config_.node_snapshot_cache_bytes > 0 && wn.cache_capacity() == 0)
-          wn.set_cache_capacity(config_.node_snapshot_cache_bytes);
         const std::string local = node_image_prefix(*node, snap->fs_prefix);
-        const WorkerNode::CacheAdmit admit = wn.cache_admit(
-            snap->fs_prefix, local, snap->images.nominal_total());
-        {
-          obs::Span cache_span = tr.instant(
-              admit.hit ? "snapshot-cache.hit" : "snapshot-cache.miss",
-              "faas");
-          cache_span.attr("function", function);
-          tr.count(admit.hit ? "faas.snapshot_cache.hits"
-                             : "faas.snapshot_cache.misses");
+        if (!config_.page_store) {
+          // File-grain LRU cache (legacy): whole image dirs are admitted and
+          // evicted together. The page store supersedes this — page records
+          // are budgeted individually there.
+          if (config_.node_snapshot_cache_bytes > 0 && wn.cache_capacity() == 0)
+            wn.set_cache_capacity(config_.node_snapshot_cache_bytes);
+          const WorkerNode::CacheAdmit admit = wn.cache_admit(
+              snap->fs_prefix, local, snap->images.nominal_total());
+          {
+            obs::Span cache_span = tr.instant(
+                admit.hit ? "snapshot-cache.hit" : "snapshot-cache.miss",
+                "faas");
+            cache_span.attr("function", function);
+            tr.count(admit.hit ? "faas.snapshot_cache.hits"
+                               : "faas.snapshot_cache.misses");
+          }
+          for (const std::string& prefix : admit.evicted_prefixes)
+            for (const std::string& path : kernel_->fs().list(prefix))
+              kernel_->fs().remove(path);
         }
-        for (const std::string& prefix : admit.evicted_prefixes)
-          for (const std::string& path : kernel_->fs().list(prefix))
-            kernel_->fs().remove(path);
         // Materialize the node-local image files; ones never fetched (or
         // evicted above) start cold, so the restore pays the registry
         // transfer for exactly the uncached bytes. The materialization
@@ -200,11 +207,31 @@ Platform::Replica* Platform::start_replica(const std::string& function,
       } else {
         opts.restore.fs_prefix = snap->fs_prefix;
       }
+      if (config_.page_store) {
+        WorkerNode& wn = resources_.node_mut(*node);
+        if (config_.node_page_store_bytes > 0 && wn.store().capacity() == 0)
+          wn.store().set_capacity(config_.node_page_store_bytes);
+        opts.restore.page_store = &wn.store();
+        opts.restore.store_key = opts.restore.fs_prefix;
+      }
       replica->proc = startup_.start_prebaked(fn.spec, snap->images, opts,
                                               rng.child(0));
       if (config_.remote_registry)
         resources_.node_mut(*node).stats().remote_bytes_fetched +=
             replica->proc.remote_bytes_fetched;
+      if (config_.page_store) {
+        NodeStats& ns = resources_.node_mut(*node).stats();
+        ns.store_hit_pages += replica->proc.store_hit_pages;
+        ns.store_delta_bytes += replica->proc.store_delta_bytes;
+        if (replica->proc.template_clone) {
+          // Served from the node's frozen template: the page-store analogue
+          // of a snapshot cache hit.
+          ++ns.template_clones;
+          ++ns.snapshot_hits;
+        } else if (!replica->proc.breakdown.fell_back_to_vanilla) {
+          ++ns.snapshot_misses;
+        }
+      }
       if (replica->proc.breakdown.restore_attempts > 1)
         stats_.restore_retries += replica->proc.breakdown.restore_attempts - 1;
       if (replica->proc.breakdown.fell_back_to_vanilla) {
@@ -520,9 +547,19 @@ void Platform::rebake(const std::string& function) {
     const core::BakedSnapshot& old = snapshots_.get(function, fn.policy);
     for (WorkerNode& wn : resources_.nodes_mut()) {
       const std::string prefix = wn.cache_drop(old.fs_prefix);
-      if (prefix.empty()) continue;
-      for (const std::string& path : kernel_->fs().list(prefix))
-        kernel_->fs().remove(path);
+      if (!prefix.empty())
+        for (const std::string& path : kernel_->fs().list(prefix))
+          kernel_->fs().remove(path);
+      // A quarantined snapshot's frozen template descends from the poisoned
+      // images: kill it too. Unpinning may evict its now-unreferenced pages.
+      const std::string key = config_.remote_registry
+                                  ? node_image_prefix(wn.id(), old.fs_prefix)
+                                  : old.fs_prefix;
+      const os::Pid tpl = wn.store().drop_template(key);
+      if (tpl != os::kNoPid && kernel_->alive(tpl)) {
+        kernel_->kill_process(tpl);
+        kernel_->reap(tpl);
+      }
     }
   } catch (const std::exception&) {
     // No stored snapshot: nothing cached to drop.
@@ -592,6 +629,17 @@ void Platform::drain_node(NodeId node) {
 void Platform::fail_node(NodeId node) {
   resources_.fail(node);
   ++stats_.node_failures;
+
+  // The node's RAM is gone: its frozen templates die with it and the page
+  // store forgets everything it had materialized (a recovered node starts
+  // cold and re-pulls deltas).
+  WorkerNode& failed = resources_.node_mut(node);
+  for (const os::Pid tpl : failed.store().drop_all_templates())
+    if (kernel_->alive(tpl)) {
+      kernel_->kill_process(tpl);
+      kernel_->reap(tpl);
+    }
+  failed.store().clear_pages();
 
   std::vector<std::string> affected;
   for (auto& r : replicas_) {

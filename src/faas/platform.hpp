@@ -76,6 +76,15 @@ struct PlatformConfig {
   // Applied to nodes on their first remote restore; explicit per-node
   // set_cache_capacity calls take precedence.
   std::uint64_t node_snapshot_cache_bytes = 0;
+  // Content-addressed page store per node (DESIGN.md §6f): registry fetches
+  // negotiate per-page deltas, the first restore of a snapshot on a node
+  // freezes a template that later replicas COW-clone, and locality placement
+  // scores nodes by missing unique bytes. Replaces the file-grain snapshot
+  // cache above on the prebaked path. Off = legacy behavior everywhere.
+  bool page_store = false;
+  // Per-node byte budget for unpinned store pages (0 = unbounded); applied
+  // lazily like node_snapshot_cache_bytes.
+  std::uint64_t node_page_store_bytes = 0;
   // Restore replicas with CRIU lazy-pages (post-copy): only
   // `lazy_working_set` of the memory is mapped at start; the remainder
   // faults in on first use, charged to the first request's service time.

@@ -15,6 +15,24 @@ std::uint64_t Vma::dirty_pages() const {
   return static_cast<std::uint64_t>(std::count(dirty.begin(), dirty.end(), true));
 }
 
+std::uint64_t Vma::cow_pages() const {
+  return static_cast<std::uint64_t>(std::count(cow.begin(), cow.end(), true));
+}
+
+namespace {
+
+// A VMA is going away (unmap/clear): its still-shared pages stop referencing
+// the template's frames.
+void release_cow_shares(Vma& vma) {
+  if (vma.cow.empty() || vma.cow_shares == nullptr) return;
+  for (std::size_t p = 0; p < vma.cow.size(); ++p)
+    if (vma.cow[p] && (*vma.cow_shares)[p] > 0) --(*vma.cow_shares)[p];
+  vma.cow.clear();
+  vma.cow_shares.reset();
+}
+
+}  // namespace
+
 VmaId AddressSpace::map(std::uint64_t length, Prot prot, VmaKind kind,
                         std::string name, std::shared_ptr<PageSource> source,
                         bool populate, std::string backing_path) {
@@ -41,10 +59,14 @@ void AddressSpace::unmap(VmaId id) {
   const auto it = std::find_if(vmas_.begin(), vmas_.end(),
                                [id](const Vma& v) { return v.id == id; });
   if (it == vmas_.end()) throw std::invalid_argument{"AddressSpace::unmap: unknown vma"};
+  release_cow_shares(*it);
   vmas_.erase(it);
 }
 
-void AddressSpace::clear() { vmas_.clear(); }
+void AddressSpace::clear() {
+  for (Vma& vma : vmas_) release_cow_shares(vma);
+  vmas_.clear();
+}
 
 const Vma* AddressSpace::find(VmaId id) const {
   const auto it = std::find_if(vmas_.begin(), vmas_.end(),
@@ -56,25 +78,32 @@ Vma* AddressSpace::find_mutable(VmaId id) {
   return const_cast<Vma*>(std::as_const(*this).find(id));
 }
 
-std::uint64_t AddressSpace::touch(VmaId id, std::uint64_t first_page,
-                                  std::uint64_t pages, bool write) {
+AddressSpace::TouchResult AddressSpace::touch(VmaId id,
+                                              std::uint64_t first_page,
+                                              std::uint64_t pages, bool write) {
   Vma* vma = find_mutable(id);
   if (vma == nullptr) throw std::invalid_argument{"AddressSpace::touch: unknown vma"};
   if (write && !has_prot(vma->prot, Prot::kWrite))
     throw std::logic_error{"AddressSpace::touch: write to read-only vma"};
   const std::uint64_t end = std::min(first_page + pages, vma->page_count());
-  std::uint64_t newly = 0;
+  TouchResult out;
   for (std::uint64_t p = first_page; p < end; ++p) {
     if (!vma->present[p]) {
+      // A page first faulted after the clone is private from the start.
       vma->present[p] = true;
-      ++newly;
+      ++out.newly_resident;
+    } else if (write && !vma->cow.empty() && vma->cow[p]) {
+      vma->cow[p] = false;
+      if (vma->cow_shares != nullptr && (*vma->cow_shares)[p] > 0)
+        --(*vma->cow_shares)[p];
+      ++out.cow_broken;
     }
     if (write) vma->dirty[p] = true;
   }
-  return newly;
+  return out;
 }
 
-std::uint64_t AddressSpace::touch_all(VmaId id, bool write) {
+AddressSpace::TouchResult AddressSpace::touch_all(VmaId id, bool write) {
   const Vma* vma = find(id);
   if (vma == nullptr) throw std::invalid_argument{"AddressSpace::touch_all: unknown vma"};
   return touch(id, 0, vma->page_count(), write);
@@ -109,6 +138,32 @@ AddressSpace AddressSpace::clone_for_fork() const {
   child.next_id_ = next_id_;
   child.next_addr_ = next_addr_;
   return child;
+}
+
+AddressSpace AddressSpace::clone_cow() {
+  AddressSpace child = clone_for_fork();
+  for (std::size_t i = 0; i < vmas_.size(); ++i) {
+    Vma& parent = vmas_[i];
+    Vma& clone = child.vmas_[i];
+    if (parent.resident_pages() == 0) continue;
+    if (parent.cow_shares == nullptr)
+      parent.cow_shares = std::make_shared<std::vector<std::uint32_t>>(
+          parent.page_count(), 0);
+    clone.cow.assign(parent.page_count(), false);
+    clone.cow_shares = parent.cow_shares;
+    for (std::uint64_t p = 0; p < parent.page_count(); ++p) {
+      if (!parent.present[p]) continue;
+      clone.cow[p] = true;
+      ++(*parent.cow_shares)[p];
+    }
+  }
+  return child;
+}
+
+std::uint64_t AddressSpace::cow_pages() const {
+  std::uint64_t total = 0;
+  for (const Vma& vma : vmas_) total += vma.cow_pages();
+  return total;
 }
 
 }  // namespace prebake::os

@@ -42,11 +42,20 @@ struct Vma {
   std::shared_ptr<PageSource> source;
   std::vector<bool> present;  // one bit per page
   std::vector<bool> dirty;    // set on write faults; cleared by soft-dirty reset
+  // Tracked COW sharing (template-clone restore, DESIGN.md §6f). `cow` marks
+  // pages whose frame is shared with the clone source: a write fault copies
+  // the page (the kernel charges memcpy_cost(page)) and clears the bit.
+  // `cow_shares` is the per-page sharer count, one vector shared by the
+  // template VMA and every clone. Both stay empty on the plain fork path —
+  // zygote forks keep their legacy free-write semantics.
+  std::vector<bool> cow;
+  std::shared_ptr<std::vector<std::uint32_t>> cow_shares;
 
   std::uint64_t page_count() const { return length / kPageSize; }
   std::uint64_t resident_pages() const;
   std::uint64_t resident_bytes() const { return resident_pages() * kPageSize; }
   std::uint64_t dirty_pages() const;
+  std::uint64_t cow_pages() const;  // pages still sharing their frame
 };
 
 class AddressSpace {
@@ -61,12 +70,24 @@ class AddressSpace {
   void unmap(VmaId id);
   void clear();  // exec() semantics: drop every mapping
 
+  // What a touch() did, so the kernel can charge each effect: a minor fault
+  // per newly resident page, a page copy per COW break.
+  struct TouchResult {
+    std::uint64_t newly_resident = 0;
+    std::uint64_t cow_broken = 0;  // shared pages privatized by a write
+    TouchResult& operator+=(const TouchResult& o) {
+      newly_resident += o.newly_resident;
+      cow_broken += o.cow_broken;
+      return *this;
+    }
+  };
+
   // Fault in `pages` pages of `id` starting at `first_page` (clamped to the
-  // VMA size). Returns the number of pages that were newly made resident.
-  std::uint64_t touch(VmaId id, std::uint64_t first_page, std::uint64_t pages,
-                      bool write = false);
+  // VMA size). A write to a COW-shared page breaks the sharing.
+  TouchResult touch(VmaId id, std::uint64_t first_page, std::uint64_t pages,
+                    bool write = false);
   // Fault in everything.
-  std::uint64_t touch_all(VmaId id, bool write = false);
+  TouchResult touch_all(VmaId id, bool write = false);
 
   // Soft-dirty tracking (used by CRIU pre-dump / incremental dumps).
   void clear_soft_dirty();
@@ -82,6 +103,15 @@ class AddressSpace {
   // Deep copy with fresh VMA identity preserved (used by fork/COW and by the
   // CRIU restorer when rebuilding a process image).
   AddressSpace clone_for_fork() const;
+
+  // Like clone_for_fork, but with explicit COW accounting (template-clone
+  // restore): every currently resident page is marked shared in the child
+  // and counted in a sharer vector common to both sides, so the child's
+  // first write to each shared page is charged as a page copy. Non-const:
+  // lazily creates the parent-side sharer vectors.
+  AddressSpace clone_cow();
+
+  std::uint64_t cow_pages() const;
 
  private:
   std::vector<Vma> vmas_;

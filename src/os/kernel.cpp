@@ -63,9 +63,10 @@ Pid Kernel::clone_process(Pid parent, const CloneOptions& opts) {
   std::string name = "child";
   auto child = std::make_unique<Process>(child_pid, parent, name);
   if (parent != kNoPid) {
-    const Process& par = process(parent);
+    Process& par = require_mut(parent);
     child->set_name(par.name() + "-child");
-    child->replace_mm(par.mm().clone_for_fork());
+    child->replace_mm(opts.cow_tracked ? par.mm().clone_cow()
+                                       : par.mm().clone_for_fork());
     child->ns() = par.ns();
     // File descriptors are inherited across fork.
     for (const auto& [fd, desc] : par.fds()) child->fds()[fd] = desc;
@@ -150,14 +151,21 @@ void Kernel::munmap(Pid pid, VmaId id) { require_mut(pid).mm().unmap(id); }
 void Kernel::fault_in(Pid pid, VmaId id, std::uint64_t first_page,
                       std::uint64_t pages, bool write) {
   Process& p = require_mut(pid);
-  const std::uint64_t newly = p.mm().touch(id, first_page, pages, write);
-  sim_->advance(costs_.minor_fault * static_cast<double>(newly));
+  charge_faults(p.mm().touch(id, first_page, pages, write));
 }
 
 void Kernel::fault_in_all(Pid pid, VmaId id, bool write) {
   Process& p = require_mut(pid);
-  const std::uint64_t newly = p.mm().touch_all(id, write);
-  sim_->advance(costs_.minor_fault * static_cast<double>(newly));
+  charge_faults(p.mm().touch_all(id, write));
+}
+
+void Kernel::charge_faults(const AddressSpace::TouchResult& touched) {
+  sim_->advance(costs_.minor_fault *
+                static_cast<double>(touched.newly_resident));
+  // Breaking COW sharing copies the page before the write proceeds.
+  if (touched.cow_broken > 0)
+    sim_->advance(costs_.memcpy_cost(kPageSize) *
+                  static_cast<double>(touched.cow_broken));
 }
 
 void Kernel::freeze(Pid pid, Cap tracer_caps) {

@@ -27,6 +27,11 @@ struct CloneOptions {
   bool new_pid_ns = false;
   bool new_mnt_ns = false;
   bool new_net_ns = false;
+  // Track COW sharing explicitly (template-clone restore, DESIGN.md §6f):
+  // the child's resident pages are marked shared with the parent and each
+  // first write is charged as a page copy. Off = the legacy fork semantics
+  // (shared sources, free writes) used by zygotes and the CRIU restorer.
+  bool cow_tracked = false;
   // Capabilities of the calling context (used when `parent` is kNoPid or the
   // privilege does not come from the parent process, e.g. the CRIU restorer).
   Cap caller_caps = Cap::kNone;
@@ -115,6 +120,7 @@ class Kernel {
 
  private:
   Process& require_mut(Pid pid);
+  void charge_faults(const AddressSpace::TouchResult& touched);
 
   sim::Simulation* sim_;
   CostModel costs_;

@@ -50,15 +50,15 @@ TEST(AddressSpace, UnpopulatedStartsEmpty) {
 TEST(AddressSpace, TouchFaultsPagesOnce) {
   AddressSpace mm;
   const VmaId id = mm.map(kPageSize * 10, Prot::kReadWrite, VmaKind::kAnon, "x", source());
-  EXPECT_EQ(mm.touch(id, 2, 3), 3u);
-  EXPECT_EQ(mm.touch(id, 2, 3), 0u);  // already resident
+  EXPECT_EQ(mm.touch(id, 2, 3).newly_resident, 3u);
+  EXPECT_EQ(mm.touch(id, 2, 3).newly_resident, 0u);  // already resident
   EXPECT_EQ(mm.find(id)->resident_pages(), 3u);
 }
 
 TEST(AddressSpace, TouchClampsToVmaEnd) {
   AddressSpace mm;
   const VmaId id = mm.map(kPageSize * 4, Prot::kReadWrite, VmaKind::kAnon, "x", source());
-  EXPECT_EQ(mm.touch(id, 2, 100), 2u);
+  EXPECT_EQ(mm.touch(id, 2, 100).newly_resident, 2u);
 }
 
 TEST(AddressSpace, WriteTouchSetsDirty) {

@@ -93,6 +93,46 @@ TEST_F(DedupTest, RefcountsTrackSharing) {
   EXPECT_EQ(index.refcount(pages.digests.front()), 2u);
 }
 
+TEST_F(DedupTest, RemoveDecrementsAndFrees) {
+  DedupIndex index;
+  const auto noop = bake(exp::noop_spec(), core::SnapshotPolicy::no_warmup(), 1);
+  const auto md =
+      bake(exp::markdown_spec(), core::SnapshotPolicy::no_warmup(), 2);
+  index.add(noop.images);
+  index.add(md.images);
+  const DedupStats before = index.stats();
+
+  // Dropping markdown frees exactly its non-shared pages; the runtime base
+  // noop still references survives with its refcount decremented.
+  const std::uint64_t freed = index.remove(md.images);
+  EXPECT_GT(freed, 0u);
+  EXPECT_LT(freed, md.stats.pages_dumped);
+  EXPECT_EQ(index.stats().unique_pages, before.unique_pages - freed);
+  EXPECT_EQ(index.stats().total_pages,
+            before.total_pages - md.stats.pages_dumped);
+  const PagesEntry& md_pages = *md.images.decoded().pages;
+  std::uint64_t still_shared = 0;
+  std::uint64_t gone = 0;
+  for (const std::uint64_t d : md_pages.digests)
+    index.refcount(d) > 0 ? ++still_shared : ++gone;
+  EXPECT_EQ(still_shared + gone, md.stats.pages_dumped);
+  EXPECT_GE(gone, freed);  // freed counts unique contents, gone occurrences
+
+  // Removing the last snapshot empties the index completely.
+  index.remove(noop.images);
+  EXPECT_EQ(index.stats().total_pages, 0u);
+  EXPECT_EQ(index.stats().unique_pages, 0u);
+}
+
+TEST_F(DedupTest, RemoveUnknownSnapshotThrows) {
+  DedupIndex index;
+  const auto snap = bake(exp::noop_spec(), core::SnapshotPolicy::no_warmup(), 1);
+  EXPECT_THROW(index.remove(snap.images), std::logic_error);
+  index.add(snap.images);
+  index.remove(snap.images);
+  EXPECT_THROW(index.remove(snap.images), std::logic_error);
+}
+
 TEST_F(DedupTest, SavedBytesArithmetic) {
   DedupStats s;
   s.total_pages = 100;

@@ -38,7 +38,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: prebakectl "
-               "<list|startup|service|bake-info|trace|nodes|faults> [flags]\n"
+               "<list|startup|service|bake-info|trace|nodes|store|faults>"
+               " [flags]\n"
                "  startup   --function F --technique T [--reps N] [--seed S]"
                " [--first-response]\n"
                "  service   --function F --technique T [--requests N]\n"
@@ -53,6 +54,11 @@ int usage() {
                " [--duration-s S]\n"
                "            [--cache-mib M] [--mode vanilla|prebaked]"
                " [--seed S]\n"
+               "  store stats [--nodes N] [--cpus N] [--policy P]"
+               " [--rate HZ]\n"
+               "            [--duration-s S] [--store-mib M] [--seed S]\n"
+               "            (cluster run with the content-addressed page"
+               " store on)\n"
                "  faults    [--rate R] [--crash-rate R] [--seed S]"
                " [--attempts N]\n"
                "            [--quarantine N] [--duration-s S]\n"
@@ -387,6 +393,65 @@ int cmd_nodes(const exp::CliArgs& args) {
   return 0;
 }
 
+// Run the cluster scenario with the content-addressed page store enabled
+// (DESIGN.md §6f) and print per-node store statistics: delta-transfer
+// savings, template clones, resident store footprint.
+int cmd_store(const exp::CliArgs& args) {
+  const std::string sub =
+      args.positional().size() > 1 ? args.positional()[1] : "stats";
+  if (sub != "stats") {
+    std::fprintf(stderr, "prebakectl store: unknown subcommand '%s'\n",
+                 sub.c_str());
+    return usage();
+  }
+  exp::ClusterScenarioConfig cfg;
+  cfg.nodes = static_cast<std::uint32_t>(args.get_int_or("nodes", 4));
+  cfg.cpus_per_node = static_cast<std::uint32_t>(args.get_int_or("cpus", 2));
+  cfg.policy = resolve_policy(args.get_or("policy", "locality"));
+  cfg.rate_hz = args.get_double_or("rate", 0.5);
+  cfg.duration = sim::Duration::seconds_f(args.get_double_or("duration-s", 600.0));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  cfg.page_store = true;
+  cfg.node_page_store_bytes =
+      static_cast<std::uint64_t>(args.get_int_or("store-mib", 0)) << 20;
+
+  const exp::ClusterScenarioResult r = exp::run_cluster_scenario(cfg);
+
+  std::printf("%u nodes x %u cpus, %s placement, page store %s (seed %llu)\n",
+              cfg.nodes, cfg.cpus_per_node,
+              faas::placement_policy_name(cfg.policy),
+              cfg.node_page_store_bytes == 0
+                  ? "unbounded"
+                  : (exp::fmt_mib(cfg.node_page_store_bytes) + "/node").c_str(),
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("requests %llu (%llu ok), %llu cold starts, cold p50/p95 "
+              "%s / %s\n",
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.responses_ok),
+              static_cast<unsigned long long>(r.cold_starts),
+              exp::fmt_ms(r.cold_startup_p50_ms).c_str(),
+              exp::fmt_ms(r.cold_startup_p95_ms).c_str());
+  std::printf("store: %llu page hits (%s not refetched), delta traffic %s, "
+              "%llu template clones\n\n",
+              static_cast<unsigned long long>(r.store_hit_pages),
+              exp::fmt_mib(r.store_hit_pages * 4096).c_str(),
+              exp::fmt_mib(r.store_delta_bytes).c_str(),
+              static_cast<unsigned long long>(r.template_clones));
+
+  exp::TextTable table{{"Node", "State", "Hit pages", "Delta MiB", "Clones",
+                        "Stored", "Templates", "Registry MiB"}};
+  for (const exp::ClusterNodeReport& n : r.nodes)
+    table.add_row({n.name, n.state, std::to_string(n.store_hit_pages),
+                   exp::fmt_mib(n.store_delta_bytes),
+                   std::to_string(n.template_clones),
+                   std::to_string(n.store_pages) + " (" +
+                       exp::fmt_mib(n.store_pages * 4096) + ")",
+                   std::to_string(n.store_templates),
+                   exp::fmt_mib(n.remote_bytes_fetched)});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
 // Run the chaos scenario and print the fault-injector state (plan, draw
 // and firing counts per site) plus the snapshot circuit-breaker table.
 int cmd_faults(const exp::CliArgs& args) {
@@ -475,6 +540,8 @@ int main(int argc, char** argv) {
       rc = cmd_trace(args);
     } else if (command == "nodes") {
       rc = cmd_nodes(args);
+    } else if (command == "store") {
+      rc = cmd_store(args);
     } else if (command == "faults") {
       rc = cmd_faults(args);
     } else {

@@ -22,6 +22,12 @@
 # writes BENCH_trace.json (Chrome trace_event format, loadable in
 # about:tracing / Perfetto) and validates it against tools/trace_schema.jq.
 # Exits non-zero if the export violates the schema.
+#
+# --dedup runs the content-addressed page-store sweep (bench/dedup_store),
+# writing BENCH_dedup_store.json at the repository root; combined with
+# --check it asserts the store gates (template-clone p95 < 30% of the
+# first-restore p95, cross-function delta < 50% of the full payload,
+# bit-identical JSON at 1 and 4 engine threads).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,6 +38,7 @@ out_set=0
 check=0
 chaos=0
 trace=0
+dedup=0
 reps_set=0
 
 while [[ $# -gt 0 ]]; do
@@ -39,6 +46,7 @@ while [[ $# -gt 0 ]]; do
     --check) check=1; shift ;;
     --chaos) chaos=1; shift ;;
     --trace) trace=1; shift ;;
+    --dedup) dedup=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --threads) mode_args+=(--threads "$2"); shift 2 ;;
     --reps) mode_args+=(--reps "$2"); reps_set=1; shift 2 ;;
@@ -46,6 +54,19 @@ while [[ $# -gt 0 ]]; do
     *) echo "run_benches.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$dedup" -eq 1 ]]; then
+  dedup_bin="${build_dir}/bench/dedup_store"
+  if [[ ! -x "$dedup_bin" ]]; then
+    echo "run_benches.sh: ${dedup_bin} not found; building..." >&2
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" --target dedup_store -j
+  fi
+  [[ "$out_set" -eq 1 ]] || out="${repo_root}/BENCH_dedup_store.json"
+  dedup_args=(--out "$out")
+  [[ "$check" -eq 1 ]] && dedup_args+=(--check)
+  exec "$dedup_bin" "${dedup_args[@]}"
+fi
 
 if [[ "$chaos" -eq 1 ]]; then
   chaos_bin="${build_dir}/bench/chaos_restore"

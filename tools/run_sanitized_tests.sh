@@ -40,3 +40,10 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ./build-sanitize/tests/prebake_tests --gtest_filter='Trace*'
+
+# Fourth pass over the page-store suites: COW sharing tracks refcounts
+# across process teardown and template drops, the classic use-after-free
+# shape ASan exists to catch.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ./build-sanitize/tests/prebake_tests --gtest_filter='Store*:Template*'
