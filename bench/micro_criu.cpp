@@ -80,7 +80,7 @@ void BM_DigestListCached(benchmark::State& state) {
   images.put("pages-1.img", criu::encode_pages(entry));
   for (auto _ : state) {
     const criu::ImageDir::Decoded& dec = images.decoded();
-    benchmark::DoNotOptimize(dec.pages->digests.data());
+    benchmark::DoNotOptimize(dec.pages->digests().data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));

@@ -1,0 +1,304 @@
+// Restore-throughput hot-path bench (DESIGN.md §6g): how many restores per
+// second the *host* can execute — the wall-clock cost of the simulation
+// engine itself, not the simulated restore latency (which must not change).
+//
+// Sweeps snapshot sizes over three restore modes:
+//
+//   full-eager — every payload page installed during the restore call
+//   lazy       — 25% working set eager, tail handed to the uffd server
+//   cow-clone  — template already frozen on the node; restore = COW clone
+//
+// Each cell reports wall-clock restores/sec plus deterministic fields
+// (simulated per-restore duration, pages, and a fingerprint of the restored
+// process state). `--check` is the regression gate: it runs the sweep at 1
+// and 4 engine threads, requires the deterministic fields bit-identical, and
+// enforces >= 5x restores/sec over the recorded pre-PR baseline (decode-copy
+// era, captured on the reference container; see EXPERIMENTS.md).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "criu/dump.hpp"
+#include "criu/page_store.hpp"
+#include "criu/restore.hpp"
+#include "exp/calibration.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/report.hpp"
+
+using namespace prebake;
+
+namespace {
+
+struct Cell {
+  const char* mode;  // "full-eager" | "lazy" | "cow-clone"
+  int heap_mib;
+};
+
+constexpr Cell kCells[] = {
+    {"full-eager", 16}, {"full-eager", 64}, {"lazy", 16},
+    {"lazy", 64},       {"cow-clone", 16},  {"cow-clone", 64},
+};
+
+// Pre-PR restores/sec on the reference container (per-page replay loop,
+// decode-copy image path), recorded with this same bench built against the
+// pre-PR tree — the denominators of the --check speedup gate. Keyed in
+// kCells order.
+constexpr double kBaselineRestoresPerSec[] = {
+    64694.0, 18855.0, 60934.0, 17305.0, 35591.0, 9309.0,
+};
+constexpr double kMinSpeedup = 5.0;
+
+// Timed repetitions per cell. The simulated durations are rep-independent
+// after the first (steady-state warm fs), so reps only trade wall-clock
+// noise for bench runtime.
+constexpr int kReps = 400;
+
+struct CellResult {
+  const char* mode = "";
+  int heap_mib = 0;
+  double restores_per_sec = 0.0;  // wall-clock; excluded from determinism
+  double sim_ms = 0.0;            // simulated duration of a steady-state restore
+  std::uint64_t pages_restored = 0;
+  std::uint64_t state_fingerprint = 0;
+};
+
+// Order-sensitive hash of the restored process's full state: VMA layout,
+// residency bitmaps, and the content digest of every resident page. Two
+// restores with equal fingerprints restored bit-identical processes.
+std::uint64_t fingerprint(const os::Process& proc) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  for (const os::Thread& t : proc.threads()) {
+    mix(static_cast<std::uint64_t>(t.tid));
+    for (const std::uint64_t r : t.regs) mix(r);
+  }
+  for (const os::Vma& vma : proc.mm().vmas()) {
+    mix(vma.start);
+    mix(vma.length);
+    mix(static_cast<std::uint64_t>(vma.prot));
+    mix(static_cast<std::uint64_t>(vma.kind));
+    const std::uint64_t n = vma.page_count();
+    for (std::uint64_t p = 0; p < n; ++p) {
+      if (!vma.present[p]) continue;
+      mix(p);
+      mix(vma.source->page_digest(p));
+    }
+  }
+  return h;
+}
+
+CellResult run_cell(const Cell& cell) {
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  kernel.fs().create("/bin/app", 1024 * 1024);
+
+  // Bake the workload: a process with `heap_mib` of deterministic pattern
+  // pages, dumped to a persisted image directory.
+  const os::Pid pid = kernel.clone_process(os::kNoPid);
+  kernel.exec(pid, "/bin/app", {"/bin/app"});
+  const os::VmaId heap = kernel.mmap(
+      pid, static_cast<std::uint64_t>(cell.heap_mib) * 1024 * 1024,
+      os::Prot::kReadWrite, os::VmaKind::kAnon, "[heap]",
+      std::make_shared<os::PatternSource>(0x9e11 + cell.heap_mib), false);
+  kernel.fault_in_all(pid, heap, /*write=*/true);
+  criu::DumpOptions dopts;
+  dopts.fs_prefix = "/img/";
+  const criu::DumpResult dump = criu::Dumper{kernel}.dump(pid, dopts);
+
+  criu::RestoreOptions opts;
+  opts.fs_prefix = "/img/";
+  const bool lazy = std::strcmp(cell.mode, "lazy") == 0;
+  const bool clone = std::strcmp(cell.mode, "cow-clone") == 0;
+  if (lazy) opts.lazy_pages = true;
+
+  criu::PageStore store;
+  if (clone) {
+    opts.page_store = &store;
+    opts.store_key = "/img/";
+    // Materialize the template outside the timed loop; every timed restore
+    // below is a COW clone of it.
+    const criu::RestoreResult first =
+        criu::Restorer{kernel}.restore(dump.images, opts);
+    kernel.kill_process(first.pid);
+    kernel.reap(first.pid);
+  }
+
+  CellResult out;
+  out.mode = cell.mode;
+  out.heap_mib = cell.heap_mib;
+
+  criu::Restorer restorer{kernel};
+  // Untimed warm-up restore: first restore pays the simulated cold reads and
+  // the host-side decode; steady state is what the throughput gate measures.
+  {
+    const criu::RestoreResult r = restorer.restore(dump.images, opts);
+    kernel.kill_process(r.pid);
+    kernel.reap(r.pid);
+  }
+
+  // The clock covers restore + kill + reap only. The last-rep fingerprint is
+  // a determinism artifact — it re-hashes every resident page, which costs
+  // orders of magnitude more than the restore under test and would otherwise
+  // swamp the thing being measured.
+  std::chrono::steady_clock::duration timed{};
+  for (int i = 0; i < kReps; ++i) {
+    const sim::TimePoint s0 = sim.now();
+    const auto t0 = std::chrono::steady_clock::now();
+    const criu::RestoreResult r = restorer.restore(dump.images, opts);
+    timed += std::chrono::steady_clock::now() - t0;
+    if (i + 1 == kReps) {
+      out.sim_ms = (sim.now() - s0).to_millis();
+      out.pages_restored = r.pages_restored;
+      out.state_fingerprint = fingerprint(kernel.process(r.pid));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    kernel.kill_process(r.pid);
+    kernel.reap(r.pid);
+    timed += std::chrono::steady_clock::now() - t1;
+  }
+  const double secs = std::chrono::duration<double>(timed).count();
+  out.restores_per_sec = static_cast<double>(kReps) / secs;
+  return out;
+}
+
+std::vector<CellResult> run_sweep(int threads) {
+  const exp::ParallelRunner runner{threads};
+  std::vector<CellResult> results{std::size(kCells)};
+  runner.for_each(std::size(kCells),
+                  [&](std::size_t i) { results[i] = run_cell(kCells[i]); });
+  return results;
+}
+
+// `deterministic` drops the wall-clock field so the 1-vs-4-thread compare
+// only sees simulation-derived values.
+std::string to_json(const std::vector<CellResult>& results, bool deterministic) {
+  std::string out = "{\n  \"cells\": [\n";
+  char buf[512];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    if (deterministic) {
+      std::snprintf(buf, sizeof buf,
+                    "    {\"mode\": \"%s\", \"heap_mib\": %d, "
+                    "\"sim_ms\": %.6f, \"pages_restored\": %llu, "
+                    "\"state_fingerprint\": \"%016llx\"}%s\n",
+                    r.mode, r.heap_mib, r.sim_ms,
+                    static_cast<unsigned long long>(r.pages_restored),
+                    static_cast<unsigned long long>(r.state_fingerprint),
+                    i + 1 < results.size() ? "," : "");
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "    {\"mode\": \"%s\", \"heap_mib\": %d, "
+                    "\"restores_per_sec\": %.1f, \"sim_ms\": %.6f, "
+                    "\"pages_restored\": %llu, "
+                    "\"state_fingerprint\": \"%016llx\"}%s\n",
+                    r.mode, r.heap_mib, r.restores_per_sec, r.sim_ms,
+                    static_cast<unsigned long long>(r.pages_restored),
+                    static_cast<unsigned long long>(r.state_fingerprint),
+                    i + 1 < results.size() ? "," : "");
+    }
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "restore_throughput: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+}
+
+void print_table(const std::vector<CellResult>& results) {
+  exp::TextTable table{{"Mode", "Heap", "Restores/s", "Sim per restore",
+                        "Pages", "Baseline", "Speedup"}};
+  char buf[64];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::snprintf(buf, sizeof buf, "%.0f", r.restores_per_sec);
+    std::string rps = buf;
+    std::snprintf(buf, sizeof buf, "%.0f", kBaselineRestoresPerSec[i]);
+    std::string base = buf;
+    std::snprintf(buf, sizeof buf, "%.1fx",
+                  r.restores_per_sec / kBaselineRestoresPerSec[i]);
+    table.add_row({r.mode, std::to_string(r.heap_mib) + " MiB", rps,
+                   exp::fmt_ms(r.sim_ms), std::to_string(r.pages_restored),
+                   base, buf});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+int check_gates(const std::vector<CellResult>& results) {
+  int failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    const double speedup = r.restores_per_sec / kBaselineRestoresPerSec[i];
+    if (speedup < kMinSpeedup) {
+      std::printf("FAIL: %s/%d MiB %.0f restores/s is %.1fx the pre-PR "
+                  "baseline %.0f (need >= %.1fx)\n",
+                  r.mode, r.heap_mib, r.restores_per_sec, speedup,
+                  kBaselineRestoresPerSec[i], kMinSpeedup);
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_restore_throughput.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: restore_throughput [--out FILE] [--check]\n");
+      return 2;
+    }
+  }
+
+  std::printf("== Restore throughput: zero-copy image path + batched page "
+              "replay (DESIGN.md §6g) ==\n\n");
+
+  if (check) {
+    const std::vector<CellResult> serial = run_sweep(1);
+    const std::vector<CellResult> parallel = run_sweep(4);
+    print_table(serial);
+    int failures = check_gates(serial);
+    // Restored process state (and every other simulation-derived field) must
+    // be bit-identical whether the cells ran inline or across four engine
+    // threads; wall-clock throughput is exempt.
+    const std::string a = to_json(serial, /*deterministic=*/true);
+    const std::string b = to_json(parallel, /*deterministic=*/true);
+    if (a != b) {
+      std::printf("FAIL: sweep is not bit-identical across engine threads\n");
+      ++failures;
+    }
+    write_file(out, to_json(serial, /*deterministic=*/false));
+    std::printf("wrote %s\n", out.c_str());
+    std::printf("%s\n", failures == 0 ? "CHECK PASSED" : "CHECK FAILED");
+    return failures == 0 ? 0 : 1;
+  }
+
+  const std::vector<CellResult> results = run_sweep(0);
+  print_table(results);
+  write_file(out, to_json(results, /*deterministic=*/false));
+  std::printf("wrote %s\n", out.c_str());
+  std::printf(
+      "\nShape: restores/sec is host wall-clock (the harness's own speed);\n"
+      "sim_ms is the simulated restore latency, which this bench must never\n"
+      "change. The --check gate compares against the recorded pre-PR\n"
+      "baseline of the per-page replay loop.\n");
+  return 0;
+}

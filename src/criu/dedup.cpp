@@ -6,22 +6,22 @@ namespace prebake::criu {
 
 namespace {
 
-// Both add and remove walk the snapshot's page digests. The decode cache on
-// ImageDir keeps the vector alive across calls, so indexing N replicas of a
-// snapshot decodes its payload once instead of N times.
-const PagesEntry& payload_of(const ImageDir& images) {
+// Both add and remove walk the snapshot's page digests. The digest span is
+// borrowed straight from the ImageDir decode cache (zero-copy, §6g), so
+// indexing N replicas of a snapshot decodes its payload once and never
+// copies the digest list.
+std::span<const std::uint64_t> payload_digests(const ImageDir& images) {
   const ImageDir::Decoded& dec = images.decoded();
   if (!dec.pages)
     throw std::invalid_argument{"DedupIndex: snapshot has no pages-1.img"};
-  return *dec.pages;
+  return dec.pages->digests();
 }
 
 }  // namespace
 
 std::uint64_t DedupIndex::add(const ImageDir& images) {
-  const PagesEntry& pages = payload_of(images);
   std::uint64_t fresh = 0;
-  for (const std::uint64_t digest : pages.digests) {
+  for (const std::uint64_t digest : payload_digests(images)) {
     auto [it, inserted] = pages_.emplace(digest, 0);
     ++it->second;
     if (inserted) {
@@ -34,9 +34,8 @@ std::uint64_t DedupIndex::add(const ImageDir& images) {
 }
 
 std::uint64_t DedupIndex::remove(const ImageDir& images) {
-  const PagesEntry& pages = payload_of(images);
   std::uint64_t freed = 0;
-  for (const std::uint64_t digest : pages.digests) {
+  for (const std::uint64_t digest : payload_digests(images)) {
     const auto it = pages_.find(digest);
     if (it == pages_.end() || it->second == 0)
       throw std::logic_error{"DedupIndex::remove: refcount underflow"};

@@ -1,5 +1,7 @@
 #include "criu/image.hpp"
 
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 #include "criu/crc32.hpp"
@@ -159,6 +161,10 @@ std::vector<std::uint8_t> encode_pages(const PagesEntry& e) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(e.mode));
   w.u32(static_cast<std::uint32_t>(e.digests.size()));
+  // Seven zero bytes place the digest array at file offset 24 (the frame
+  // header is 12 bytes), an 8-byte boundary: decode_pages_spans can then
+  // hand out a borrowed uint64 span straight over the stored bytes.
+  w.pad(7);
   for (std::uint64_t d : e.digests) w.u64(d);
   w.u64(e.raw.size());
   w.raw(e.raw);
@@ -170,11 +176,24 @@ PagesEntry decode_pages(std::span<const std::uint8_t> img) {
   PagesEntry e;
   e.mode = static_cast<PayloadMode>(r.u8());
   const std::uint32_t n = r.u32();
+  r.skip(7);
   e.digests.resize(n);
   for (std::uint64_t& d : e.digests) d = r.u64();
   const std::uint64_t raw_len = r.u64();
   e.raw = r.raw(raw_len);
   return e;
+}
+
+PagesSpans decode_pages_spans(std::span<const std::uint8_t> img) {
+  Reader r = unframe(ImageType::kPages, img);
+  PagesSpans s;
+  s.mode = static_cast<PayloadMode>(r.u8());
+  s.n_pages = r.u32();
+  r.skip(7);
+  s.digest_bytes = r.view(static_cast<std::size_t>(s.n_pages) * 8);
+  const std::uint64_t raw_len = r.u64();
+  s.raw = r.view(raw_len);
+  return s;
 }
 
 std::vector<std::uint8_t> encode_files(const std::vector<FileEntry>& es) {
@@ -225,15 +244,53 @@ StatsEntry decode_stats(std::span<const std::uint8_t> img) {
   return e;
 }
 
+ImageDir::ImageDir(const ImageDir& o) : files_{o.files_} {
+  // Fresh mutex, liveness token and (empty) decode cache: a copy re-derives
+  // its caches from its own bytes and never aliases the source's buffers —
+  // and two independent snapshots never serialize on one lock.
+  validated_ = o.validated_;
+}
+
+ImageDir& ImageDir::operator=(const ImageDir& o) {
+  if (this == &o) return *this;
+  const std::lock_guard lock{*cache_mu_};
+  live_gen_->store(false, std::memory_order_release);
+  live_gen_ = std::make_shared<std::atomic<bool>>(true);
+  decoded_.reset();
+  files_ = o.files_;
+  validated_ = o.validated_;
+  return *this;
+}
+
+ImageDir& ImageDir::operator=(ImageDir&& o) noexcept {
+  if (this == &o) return *this;
+  // The overwritten directory's borrowed views die with its bytes; flip
+  // their token before the buffers go away. The moved-in views stay valid:
+  // their spans point into vector buffers that move wholesale.
+  live_gen_->store(false, std::memory_order_release);
+  files_ = std::move(o.files_);
+  cache_mu_ = std::move(o.cache_mu_);
+  decoded_ = std::move(o.decoded_);
+  live_gen_ = std::move(o.live_gen_);
+  validated_ = o.validated_;
+  return *this;
+}
+
 void ImageDir::put(const std::string& name, std::vector<std::uint8_t> bytes,
                    std::optional<std::uint64_t> nominal_size) {
+  {
+    const std::lock_guard lock{*cache_mu_};
+    // Invalidate borrowed views *before* the old bytes can go away, so a
+    // stale PagesView fails loudly instead of reading freed memory.
+    live_gen_->store(false, std::memory_order_release);
+    live_gen_ = std::make_shared<std::atomic<bool>>(true);
+    decoded_.reset();
+    validated_ = false;
+  }
   ImageFile f;
   f.nominal_size = nominal_size.value_or(bytes.size());
   f.bytes = std::move(bytes);
   files_[name] = std::move(f);
-  const std::lock_guard lock{*cache_mu_};
-  decoded_.reset();
-  validated_ = false;
 }
 
 const ImageDir::ImageFile& ImageDir::get(const std::string& name) const {
@@ -289,7 +346,34 @@ const ImageDir::Decoded& ImageDir::decoded() const {
     if (has("mm.img")) d->vmas = decode_mm(get("mm.img").bytes);
     if (has("files.img")) d->files = decode_files(get("files.img").bytes);
     if (has("pagemap.img")) d->pagemap = decode_pagemap(get("pagemap.img").bytes);
-    if (has("pages-1.img")) d->pages = decode_pages(get("pages-1.img").bytes);
+    if (has("pages-1.img")) {
+      // Zero-copy: the view's spans borrow the stored file bytes (v4 pads
+      // the digest array to an 8-byte file offset for exactly this).
+      const PagesSpans ps = decode_pages_spans(get("pages-1.img").bytes);
+      PagesView v;
+      v.mode_ = ps.mode;
+      v.n_pages_ = ps.n_pages;
+      v.raw_ = ps.raw;
+      if constexpr (std::endian::native == std::endian::little) {
+        const auto* base = ps.digest_bytes.data();
+        if (reinterpret_cast<std::uintptr_t>(base) % alignof(std::uint64_t) == 0)
+          v.digests_ = {reinterpret_cast<const std::uint64_t*>(base), ps.n_pages};
+      }
+      if (v.digests_.data() == nullptr && ps.n_pages > 0) {
+        // Fallback: misaligned buffer or big-endian host — decode into
+        // cache-owned storage (still one decode per content generation).
+        d->digest_storage.resize(ps.n_pages);
+        for (std::uint32_t i = 0; i < ps.n_pages; ++i) {
+          std::uint64_t w = 0;
+          for (std::size_t b = 0; b < 8; ++b)
+            w |= static_cast<std::uint64_t>(ps.digest_bytes[i * 8 + b]) << (8 * b);
+          d->digest_storage[i] = w;
+        }
+        v.digests_ = d->digest_storage;
+      }
+      v.live_ = live_gen_;
+      d->pages = v;
+    }
     decoded_ = std::move(d);
   }
   return *decoded_;

@@ -20,11 +20,14 @@
 // PatternSource contents are a pure function of the recorded descriptor.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,7 +36,10 @@
 namespace prebake::criu {
 
 inline constexpr std::uint32_t kImageMagic = 0x50424B31;  // "PBK1"
-inline constexpr std::uint32_t kFormatVersion = 3;
+// v4: pages-1.img pads the digest array to an 8-byte file offset so the
+// decode cache can hand out a borrowed uint64 span over the stored bytes
+// (the zero-copy image path, DESIGN.md §6g).
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 enum class ImageType : std::uint32_t {
   kInventory = 1,
@@ -109,13 +115,25 @@ struct StatsEntry {
 };
 
 // Page payload: one digest per dumped page (in pagemap order); raw bytes are
-// kept only in kFull mode.
+// kept only in kFull mode. This is the *owning* form used by the dump side
+// and by round-trip tests; the restore hot path reads the zero-copy
+// ImageDir::PagesView instead.
 struct PagesEntry {
   PayloadMode mode = PayloadMode::kDigest;
   std::vector<std::uint64_t> digests;
   std::vector<std::uint8_t> raw;  // kFull: pages*4096 bytes
   bool operator==(const PagesEntry&) const = default;
 };
+
+// Zero-copy decode of a pages image: the returned spans borrow from `img`
+// and are valid only while those bytes stay alive and unchanged.
+struct PagesSpans {
+  PayloadMode mode = PayloadMode::kDigest;
+  std::uint32_t n_pages = 0;
+  std::span<const std::uint8_t> digest_bytes;  // n_pages * 8, little-endian
+  std::span<const std::uint8_t> raw;           // kFull payload bytes
+};
+PagesSpans decode_pages_spans(std::span<const std::uint8_t> img);
 
 // --- per-file encode/decode (each returns/accepts a full image file body,
 // i.e. header + payload + trailing CRC) ------------------------------------
@@ -143,6 +161,39 @@ class ImageDir {
     std::uint64_t nominal_size = 0;
   };
 
+  // Borrowed, zero-copy view of a decoded pages-1.img: the digest and raw
+  // spans alias the directory's stored bytes — no per-restore payload copy.
+  // put() (any content change) flips the view's liveness token, so touching
+  // a stale view is a hard std::logic_error instead of a silent
+  // use-after-free; re-call decoded() for a fresh view.
+  class PagesView {
+   public:
+    PagesView() = default;
+    PayloadMode mode() const { return mode_; }
+    std::uint64_t page_count() const { return n_pages_; }
+    std::span<const std::uint64_t> digests() const {
+      check();
+      return digests_;
+    }
+    std::span<const std::uint8_t> raw() const {
+      check();
+      return raw_;
+    }
+
+   private:
+    friend class ImageDir;
+    void check() const {
+      if (live_ == nullptr || !live_->load(std::memory_order_acquire))
+        throw std::logic_error{
+            "ImageDir::PagesView: stale view (directory changed after decode)"};
+    }
+    PayloadMode mode_ = PayloadMode::kDigest;
+    std::uint64_t n_pages_ = 0;
+    std::span<const std::uint64_t> digests_;
+    std::span<const std::uint8_t> raw_;
+    std::shared_ptr<const std::atomic<bool>> live_;
+  };
+
   // Decoded view of the standard image files, built lazily on first access
   // and reused by every restore of this directory. Re-parsing (and
   // CRC-checking) the same unchanged bytes on each of the harness's hundreds
@@ -154,8 +205,20 @@ class ImageDir {
     std::vector<VmaEntry> vmas;         // mm.img
     std::vector<FileEntry> files;       // files.img
     std::vector<PagemapEntry> pagemap;  // pagemap.img
-    std::optional<PagesEntry> pages;    // pages-1.img
+    std::optional<PagesView> pages;     // pages-1.img (borrows file bytes)
+    // Owned digest storage for the rare case where the stored bytes cannot
+    // back the span directly (misaligned buffer or big-endian host).
+    std::vector<std::uint64_t> digest_storage;
   };
+
+  ImageDir() = default;
+  // Copies re-derive their own caches and never alias the source's buffers:
+  // snapshots travel by value, and two independent directories must not
+  // serialize on one lock or see each other's invalidations.
+  ImageDir(const ImageDir& o);
+  ImageDir& operator=(const ImageDir& o);
+  ImageDir(ImageDir&& o) noexcept = default;
+  ImageDir& operator=(ImageDir&& o) noexcept;
 
   void put(const std::string& name, std::vector<std::uint8_t> bytes,
            std::optional<std::uint64_t> nominal_size = std::nullopt);
@@ -179,11 +242,17 @@ class ImageDir {
 
  private:
   std::map<std::string, ImageFile> files_;
-  // The mutex lives behind a shared_ptr so directories stay copyable
-  // (snapshots travel by value); a copy shares the lock but re-derives its
-  // own caches after any put().
+  // The mutex lives behind a shared_ptr so concurrent decoded()/validate()
+  // readers of *one* directory serialize cheaply; every copy gets its own
+  // mutex (a shared lock would make independent snapshots contend, and a
+  // source put() must never invalidate a copy's caches).
   mutable std::shared_ptr<std::mutex> cache_mu_ = std::make_shared<std::mutex>();
   mutable std::shared_ptr<const Decoded> decoded_;
+  // Liveness token stamped into every PagesView handed out by decoded();
+  // put() flips it false and re-arms a fresh one, so stale borrowed spans
+  // fail loudly instead of dangling.
+  mutable std::shared_ptr<std::atomic<bool>> live_gen_ =
+      std::make_shared<std::atomic<bool>>(true);
   mutable bool validated_ = false;
 };
 

@@ -60,19 +60,20 @@ void fetch_from_registry(os::Kernel& k, const std::string& path,
 // with the digests its content-addressed store is missing; only those pages
 // then cross the wire. Duplicate pages within the image transfer once.
 // Returns the payload bytes that still have to be fetched.
-std::uint64_t negotiate_delta(os::Kernel& k, const PagesEntry& pe,
+std::uint64_t negotiate_delta(os::Kernel& k,
+                              std::span<const std::uint64_t> digests,
                               const RestoreOptions& opts,
                               RestoreResult& result) {
   PageStore& store = *opts.page_store;
   obs::Span span = k.trace().span("delta-negotiate", "criu.net");
-  const std::uint64_t total = pe.digests.size();
+  const std::uint64_t total = digests.size();
   const std::uint64_t digest_bytes = total * sizeof(std::uint64_t);
   k.sim().advance(k.costs().network_rtt);
   k.sim().advance(k.costs().network_fetch_cost(digest_bytes) *
                   std::max(opts.io_contention, 1.0));
   result.remote_bytes += digest_bytes;
   k.trace().count("criu.remote_bytes", digest_bytes);
-  const std::uint64_t missing = store.missing_unique_pages(pe.digests);
+  const std::uint64_t missing = store.missing_unique_pages(digests);
   const std::uint64_t hit = total - missing;
   const std::uint64_t delta = missing * os::kPageSize;
   result.store_hit_pages += hit;
@@ -126,13 +127,16 @@ void charge_image_reads(os::Kernel& k, const ImageDir& images,
       if (opts.remote_fetch && !k.fs().is_cached(path)) {
         if (opts.page_store != nullptr && !opts.lazy_pages &&
             name == "pages-1.img" && images.decoded().pages) {
-          const PagesEntry& pe = *images.decoded().pages;
-          const std::uint64_t delta = negotiate_delta(k, pe, opts, result);
+          // Borrowed digest span straight out of the decode cache — the
+          // negotiation never copies the digest list.
+          const std::span<const std::uint64_t> digests =
+              images.decoded().pages->digests();
+          const std::uint64_t delta = negotiate_delta(k, digests, opts, result);
           if (delta > 0)
             fetch_from_registry(k, path, delta, opts, result);
           else
             k.fs().warm(path);  // every page already on the node
-          opts.page_store->insert(pe.digests);
+          opts.page_store->insert(digests);
         } else {
           fetch_from_registry(k, path, to_read, opts, result);
         }
@@ -311,7 +315,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   if (!dec.pages)
     throw RestoreError{RestoreErrorKind::kMissingImage,
                        "restore: missing image file pages-1.img"};
-  const PagesEntry& last_pages = *dec.pages;
+  const ImageDir::PagesView& last_pages = *dec.pages;
   obs::Span vma_span = tr.span("vma-rebuild", "criu");
   proc.replace_mm(os::AddressSpace{});
   std::map<os::VmaId, os::VmaId> vma_id_map;  // image id -> new id
@@ -321,7 +325,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
     if (e.source_kind == SourceKind::kPattern) {
       source = std::make_shared<os::PatternSource>(e.pattern_seed, e.pattern_version);
     } else {
-      if (last_pages.mode != PayloadMode::kFull)
+      if (last_pages.mode() != PayloadMode::kFull)
         throw RestoreError{
             RestoreErrorKind::kUnsupported,
             "restore: digest-mode image cannot rebuild buffer-backed memory"};
@@ -339,10 +343,14 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   vma_span.end();
 
   obs::Span pagemap_span = tr.span("pagemap-replay", "criu");
-  // 5. Replay the pagemap(s) oldest-first: fault pages in and, for buffer
-  // VMAs, copy payload bytes back into place. Under lazy_pages only a
-  // prefix of each run is eagerly mapped; the tail goes to the uffd server.
-  std::vector<std::pair<os::VmaId, std::uint64_t>> lazy_pending;
+  // 5. Replay the pagemap(s) oldest-first, one *run* at a time (DESIGN.md
+  // §6g): each pagemap entry becomes a single bulk populate (one memcpy of
+  // the run's payload span, one aggregated fault charge) and, when
+  // verifying, a single bulk digest compare. Under lazy_pages only a prefix
+  // of each run is eagerly mapped; the tail goes to the uffd server as one
+  // run-length-encoded entry.
+  std::vector<LazyRun> lazy_pending;
+  std::uint64_t lazy_pending_pages = 0;
   for (const ImageDir* dir : chain) {
     const ImageDir::Decoded& ddec = dir->decoded();
     if (!dir->has("pagemap.img"))
@@ -352,8 +360,14 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
       throw RestoreError{RestoreErrorKind::kMissingImage,
                          "restore: missing image file pages-1.img"};
     const auto& maps = ddec.pagemap;
-    const PagesEntry& pages = *ddec.pages;
-    std::size_t cursor = 0;  // page index within this image's payload
+    const ImageDir::PagesView& pages = *ddec.pages;
+    // Borrow the payload spans once per image; every run below slices them.
+    const std::span<const std::uint64_t> digests =
+        opts.verify_pages ? pages.digests() : std::span<const std::uint64_t>{};
+    const std::span<const std::uint8_t> raw =
+        pages.mode() == PayloadMode::kFull ? pages.raw()
+                                           : std::span<const std::uint8_t>{};
+    std::uint64_t cursor = 0;  // page index within this image's payload
     for (const PagemapEntry& e : maps) {
       const auto it = vma_id_map.find(e.vma);
       if (it == vma_id_map.end())
@@ -370,47 +384,48 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
         eager = static_cast<std::uint64_t>(std::ceil(
             static_cast<double>(e.pages) *
             std::clamp(opts.lazy_working_set, 0.0, 1.0)));
-        for (std::uint64_t p = eager; p < e.pages; ++p)
-          lazy_pending.emplace_back(it->second, e.first_page + p);
+        if (eager < e.pages) {
+          lazy_pending.push_back(
+              LazyRun{it->second, e.first_page + eager, e.pages - eager});
+          lazy_pending_pages += e.pages - eager;
+        }
       }
-      k.fault_in(pid, it->second, e.first_page, eager, /*write=*/false);
+      std::span<const std::uint8_t> payload{};
+      if (buffers.contains(e.vma)) {
+        if (pages.mode() != PayloadMode::kFull)
+          throw std::runtime_error{
+              "restore: digest-mode image cannot rebuild buffer-backed memory"};
+        // The whole run's payload (clamped against a short raw section):
+        // populate_run copies it even past the eager prefix, exactly like
+        // the per-page copy loop it replaces.
+        const std::uint64_t off = cursor * os::kPageSize;
+        if (off < raw.size())
+          payload = raw.subspan(off, std::min<std::uint64_t>(
+                                         e.pages * os::kPageSize,
+                                         raw.size() - off));
+      }
+      k.populate_run(pid, it->second, e.first_page, eager, payload);
       result.pages_restored += eager;
 
-      const auto buf_it = buffers.find(e.vma);
-      for (std::uint64_t p = 0; p < e.pages; ++p, ++cursor) {
-        const bool eager_page = p < eager;
-        if (buf_it != buffers.end()) {
-          if (pages.mode != PayloadMode::kFull)
-            throw std::runtime_error{
-                "restore: digest-mode image cannot rebuild buffer-backed memory"};
-          auto& bytes = buf_it->second->bytes();
-          const std::uint64_t off = (e.first_page + p) * os::kPageSize;
-          if (off < bytes.size()) {
-            const std::size_t len = std::min<std::size_t>(
-                os::kPageSize, bytes.size() - off);
-            std::memcpy(bytes.data() + off,
-                        pages.raw.data() + cursor * os::kPageSize, len);
-          }
-        }
-        if (opts.verify_pages && eager_page) {
-          const os::Vma* vma = proc.mm().find(it->second);
-          const std::uint64_t got = vma->source->page_digest(e.first_page + p);
-          if (cursor >= pages.digests.size() || got != pages.digests[cursor]) {
-            pagemap_span.attr("error", "digest-mismatch");
-            throw RestoreError{RestoreErrorKind::kCorruptImage,
-                               "restore: page digest mismatch"};
-          }
-          // Verification reads the page once.
-          k.sim().advance(k.costs().memcpy_cost(os::kPageSize));
+      if (opts.verify_pages && eager > 0) {
+        const std::uint64_t avail =
+            cursor < digests.size() ? digests.size() - cursor : 0;
+        const std::uint64_t matched = k.verify_run(
+            pid, it->second, e.first_page,
+            digests.subspan(cursor, std::min(eager, avail)));
+        if (matched < eager) {
+          pagemap_span.attr("error", "digest-mismatch");
+          throw RestoreError{RestoreErrorKind::kCorruptImage,
+                             "restore: page digest mismatch"};
         }
       }
+      cursor += e.pages;
     }
   }
 
   pagemap_span.attr("pages_restored", result.pages_restored);
   if (opts.lazy_pages)
-    pagemap_span.attr("lazy_pending",
-                      static_cast<std::uint64_t>(lazy_pending.size()));
+    pagemap_span.attr("lazy_pending", lazy_pending_pages);
   if (opts.verify_pages) pagemap_span.attr("verified", "true");
   pagemap_span.end();
 
@@ -434,7 +449,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
     PageStore& store = *opts.page_store;
     // Whatever the payload source was, the node now holds these pages.
     for (const ImageDir* dir : chain)
-      if (dir->decoded().pages) store.insert(dir->decoded().pages->digests);
+      if (dir->decoded().pages) store.insert(dir->decoded().pages->digests());
     if (!opts.store_key.empty() && !store.has_template(opts.store_key)) {
       // First restore of this snapshot on the node: freeze the restored
       // process into an immutable template and hand back a COW clone
@@ -449,9 +464,10 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
       info.vma_map = vma_id_map;
       for (const ImageDir* dir : chain) {
         const ImageDir::Decoded& ddec = dir->decoded();
-        if (ddec.pages)
-          info.digests.insert(info.digests.end(), ddec.pages->digests.begin(),
-                              ddec.pages->digests.end());
+        if (ddec.pages) {
+          const std::span<const std::uint64_t> d = ddec.pages->digests();
+          info.digests.insert(info.digests.end(), d.begin(), d.end());
+        }
       }
       store.register_template(opts.store_key, std::move(info));
       result.template_materialized = true;
@@ -492,32 +508,33 @@ RestoreResult Restorer::clone_from_template(
   result.pages_restored = proc.mm().resident_pages();
 
   if (opts.verify_pages) {
-    // Integrity check on the clone: recompute each payload page's digest and
+    // Integrity check on the clone: recompute each payload run's digests and
     // compare against the image chain, exactly as the slow path would. COW
     // sharing is read-transparent, so a clone that already broke some pages
     // still verifies as long as nothing rewrote the checkpointed contents.
+    // One bulk compare + one aggregated cost advance per run (§6g).
     for (const ImageDir* dir : chain) {
       const ImageDir::Decoded& ddec = dir->decoded();
       if (!ddec.pages) continue;
-      const PagesEntry& pages = *ddec.pages;
-      std::size_t cursor = 0;
+      const std::span<const std::uint64_t> digests = ddec.pages->digests();
+      std::uint64_t cursor = 0;
       for (const PagemapEntry& e : ddec.pagemap) {
         if (e.zero) continue;
         const auto it = tpl.vma_map.find(e.vma);
         if (it == tpl.vma_map.end())
           throw RestoreError{RestoreErrorKind::kCorruptImage,
                              "restore: pagemap references unknown vma"};
-        const os::Vma* vma = proc.mm().find(it->second);
-        for (std::uint64_t p = 0; p < e.pages; ++p, ++cursor) {
-          const std::uint64_t got = vma->source->page_digest(e.first_page + p);
-          if (cursor >= pages.digests.size() || got != pages.digests[cursor]) {
-            span.attr("error", "digest-mismatch");
-            throw RestoreError{RestoreErrorKind::kCorruptImage,
-                               "restore: page digest mismatch"};
-          }
-          // Verification reads the page once.
-          k.sim().advance(k.costs().memcpy_cost(os::kPageSize));
+        const std::uint64_t avail =
+            cursor < digests.size() ? digests.size() - cursor : 0;
+        const std::uint64_t matched = k.verify_run(
+            result.pid, it->second, e.first_page,
+            digests.subspan(cursor, std::min(e.pages, avail)));
+        if (matched < e.pages) {
+          span.attr("error", "digest-mismatch");
+          throw RestoreError{RestoreErrorKind::kCorruptImage,
+                             "restore: page digest mismatch"};
         }
+        cursor += e.pages;
       }
     }
     span.attr("verified", "true");
@@ -531,13 +548,15 @@ RestoreResult Restorer::clone_from_template(
   return result;
 }
 
-LazyPagesServer::LazyPagesServer(
-    os::Kernel& kernel, os::Pid pid, std::string fs_prefix,
-    std::vector<std::pair<os::VmaId, std::uint64_t>> pending)
+LazyPagesServer::LazyPagesServer(os::Kernel& kernel, os::Pid pid,
+                                 std::string fs_prefix,
+                                 std::vector<LazyRun> pending)
     : kernel_{&kernel},
       pid_{pid},
       fs_prefix_{std::move(fs_prefix)},
-      pending_{std::move(pending)} {}
+      pending_{std::move(pending)} {
+  for (const LazyRun& run : pending_) remaining_ += run.pages;
+}
 
 std::uint64_t LazyPagesServer::page_in(std::uint64_t pages) {
   if (kernel_ == nullptr) return 0;
@@ -550,8 +569,16 @@ std::uint64_t LazyPagesServer::page_in(std::uint64_t pages) {
   // fault forever.
   constexpr int kMaxReadAttempts = 3;
   std::uint64_t served = 0;
-  while (served < pages && cursor_ < pending_.size()) {
-    const auto [vma, page] = pending_[cursor_++];
+  while (served < pages && run_ < pending_.size()) {
+    // Pages are served in first-touch order, one uffd round trip each; the
+    // run-length encoding only compresses the queue, not the fault costs.
+    const os::VmaId vma = pending_[run_].vma;
+    const std::uint64_t page = pending_[run_].first_page + run_off_;
+    if (++run_off_ >= pending_[run_].pages) {
+      ++run_;
+      run_off_ = 0;
+    }
+    --remaining_;
     if (!died_ && inj.enabled() &&
         inj.fires(faults::FaultSite::kLazyServerDeath)) {
       // The uffd daemon died mid-fault. The supervisor respawns it (once per

@@ -70,13 +70,22 @@ struct RestoreOptions {
   std::string store_key;
 };
 
+// A run of not-yet-mapped pages handed to the uffd server. Run-length
+// encoded: a lazy restore of a large VMA queues one entry per pagemap run,
+// not one pair per page.
+struct LazyRun {
+  os::VmaId vma = 0;
+  std::uint64_t first_page = 0;
+  std::uint64_t pages = 0;
+};
+
 // The uffd page server left behind by a lazy restore: it owns the pages that
 // were *not* eagerly mapped and faults them into the target on demand.
 class LazyPagesServer {
  public:
   LazyPagesServer() = default;
   LazyPagesServer(os::Kernel& kernel, os::Pid pid, std::string fs_prefix,
-                  std::vector<std::pair<os::VmaId, std::uint64_t>> pending);
+                  std::vector<LazyRun> pending);
 
   // Fault `pages` pending pages into the target (first-touch order);
   // charges page-fault plus image-read costs. Returns pages actually served.
@@ -88,7 +97,7 @@ class LazyPagesServer {
   // Drain everything (e.g. before a full-memory operation).
   std::uint64_t page_in_all() { return page_in(pending_pages()); }
 
-  std::uint64_t pending_pages() const { return pending_.size() - cursor_; }
+  std::uint64_t pending_pages() const { return remaining_; }
   bool done() const { return pending_pages() == 0; }
   // Times the uffd server died and was respawned (at most 1 per server).
   std::uint32_t deaths() const { return deaths_; }
@@ -97,8 +106,10 @@ class LazyPagesServer {
   os::Kernel* kernel_ = nullptr;
   os::Pid pid_ = os::kNoPid;
   std::string fs_prefix_;
-  std::vector<std::pair<os::VmaId, std::uint64_t>> pending_;  // (vma, page)
-  std::size_t cursor_ = 0;
+  std::vector<LazyRun> pending_;
+  std::size_t run_ = 0;        // current run index
+  std::uint64_t run_off_ = 0;  // pages already served from pending_[run_]
+  std::uint64_t remaining_ = 0;
   bool died_ = false;
   std::uint32_t deaths_ = 0;
 };

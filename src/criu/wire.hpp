@@ -25,6 +25,7 @@ class Writer {
   void raw(std::span<const std::uint8_t> bytes) {
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   }
+  void pad(std::size_t n) { buf_.insert(buf_.end(), n, std::uint8_t{0}); }
 
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
@@ -62,6 +63,18 @@ class Reader {
                                   data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len)};
     pos_ += len;
     return out;
+  }
+  // Borrow `len` bytes without copying; the span aliases the Reader's input
+  // buffer (the zero-copy decode path).
+  std::span<const std::uint8_t> view(std::size_t len) {
+    require(len);
+    const std::span<const std::uint8_t> out = data_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
   }
 
   bool done() const { return pos_ == data_.size(); }

@@ -144,13 +144,13 @@ WorkerNode* Scheduler::pick(std::vector<WorkerNode>& nodes,
       // is missing (what the delta fetch would actually transfer); least
       // missing wins, most free memory breaks ties. A node missing the whole
       // image scores like any other cold node, so this subsumes worst-fit.
-      if (request.snapshot_digests != nullptr) {
+      if (request.snapshot_digests.data() != nullptr) {
         WorkerNode* best = nullptr;
         std::uint64_t best_missing = 0;
         for (WorkerNode& n : nodes) {
           if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
           const std::uint64_t missing =
-              n.store().missing_unique_bytes(*request.snapshot_digests);
+              n.store().missing_unique_bytes(request.snapshot_digests);
           if (best == nullptr || missing < best_missing ||
               (missing == best_missing && n.mem_free() > best->mem_free())) {
             best = &n;

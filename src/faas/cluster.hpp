@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -158,8 +159,10 @@ struct PlacementRequest {
   // locality policy scores nodes by the unique bytes their store is missing
   // instead of by whole-file cache membership — a node sharing most of the
   // image through another function's snapshot is nearly as good as one that
-  // restored this very snapshot. Null = file-grain scoring.
-  const std::vector<std::uint64_t>* snapshot_digests = nullptr;
+  // restored this very snapshot. Unset (null data) = file-grain scoring.
+  // Borrowed from the snapshot's ImageDir decode cache (zero-copy, §6g);
+  // valid for the placement call, not for storage.
+  std::span<const std::uint64_t> snapshot_digests;
 };
 
 class Scheduler {

@@ -107,7 +107,7 @@ Platform::Replica* Platform::start_replica(const std::string& function,
   request.mem_bytes = est;
   if (snap != nullptr) request.snapshot_key = snap->fs_prefix;
   if (config_.page_store && snap != nullptr && snap->images.decoded().pages)
-    request.snapshot_digests = &snap->images.decoded().pages->digests;
+    request.snapshot_digests = snap->images.decoded().pages->digests();
   const std::optional<NodeId> node = resources_.place(request);
   if (!node.has_value()) return nullptr;
 

@@ -1,23 +1,11 @@
 #include "os/address_space.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
 namespace prebake::os {
-
-std::uint64_t Vma::resident_pages() const {
-  return static_cast<std::uint64_t>(
-      std::count(present.begin(), present.end(), true));
-}
-
-std::uint64_t Vma::dirty_pages() const {
-  return static_cast<std::uint64_t>(std::count(dirty.begin(), dirty.end(), true));
-}
-
-std::uint64_t Vma::cow_pages() const {
-  return static_cast<std::uint64_t>(std::count(cow.begin(), cow.end(), true));
-}
 
 namespace {
 
@@ -25,8 +13,8 @@ namespace {
 // the template's frames.
 void release_cow_shares(Vma& vma) {
   if (vma.cow.empty() || vma.cow_shares == nullptr) return;
-  for (std::size_t p = 0; p < vma.cow.size(); ++p)
-    if (vma.cow[p] && (*vma.cow_shares)[p] > 0) --(*vma.cow_shares)[p];
+  const std::uint64_t held = vma.cow.count();
+  *vma.cow_shares -= std::min(*vma.cow_shares, held);
   vma.cow.clear();
   vma.cow_shares.reset();
 }
@@ -87,19 +75,21 @@ AddressSpace::TouchResult AddressSpace::touch(VmaId id,
     throw std::logic_error{"AddressSpace::touch: write to read-only vma"};
   const std::uint64_t end = std::min(first_page + pages, vma->page_count());
   TouchResult out;
-  for (std::uint64_t p = first_page; p < end; ++p) {
-    if (!vma->present[p]) {
-      // A page first faulted after the clone is private from the start.
-      vma->present[p] = true;
-      ++out.newly_resident;
-    } else if (write && !vma->cow.empty() && vma->cow[p]) {
-      vma->cow[p] = false;
-      if (vma->cow_shares != nullptr && (*vma->cow_shares)[p] > 0)
-        --(*vma->cow_shares)[p];
-      ++out.cow_broken;
+  if (end <= first_page) return out;
+  const std::uint64_t n = end - first_page;
+  // A page first faulted after a clone is private from the start, so the
+  // newly-resident and COW-break sets are disjoint (cow implies present).
+  out.newly_resident = n - vma->present.count_range(first_page, n);
+  if (write && !vma->cow.empty()) {
+    out.cow_broken = vma->cow.count_range(first_page, n);
+    if (out.cow_broken > 0) {
+      if (vma->cow_shares != nullptr)
+        *vma->cow_shares -= std::min(*vma->cow_shares, out.cow_broken);
+      vma->cow.set_range(first_page, n, false);
     }
-    if (write) vma->dirty[p] = true;
   }
+  vma->present.set_range(first_page, n, true);
+  if (write) vma->dirty.set_range(first_page, n, true);
   return out;
 }
 
@@ -109,9 +99,28 @@ AddressSpace::TouchResult AddressSpace::touch_all(VmaId id, bool write) {
   return touch(id, 0, vma->page_count(), write);
 }
 
+AddressSpace::TouchResult AddressSpace::populate_run(
+    VmaId id, std::uint64_t first_page, std::uint64_t touch_pages,
+    std::span<const std::uint8_t> payload) {
+  if (!payload.empty()) {
+    Vma* vma = find_mutable(id);
+    if (vma == nullptr)
+      throw std::invalid_argument{"AddressSpace::populate_run: unknown vma"};
+    if (auto* buf = dynamic_cast<BufferSource*>(vma->source.get())) {
+      std::vector<std::uint8_t>& bytes = buf->bytes();
+      const std::uint64_t off = first_page * kPageSize;
+      if (off < bytes.size()) {
+        const std::size_t len =
+            std::min<std::size_t>(payload.size(), bytes.size() - off);
+        std::memcpy(bytes.data() + off, payload.data(), len);
+      }
+    }
+  }
+  return touch(id, first_page, touch_pages, /*write=*/false);
+}
+
 void AddressSpace::clear_soft_dirty() {
-  for (Vma& vma : vmas_)
-    std::fill(vma.dirty.begin(), vma.dirty.end(), false);
+  for (Vma& vma : vmas_) vma.dirty.assign(vma.dirty.size(), false);
 }
 
 std::uint64_t AddressSpace::resident_pages() const {
@@ -145,17 +154,14 @@ AddressSpace AddressSpace::clone_cow() {
   for (std::size_t i = 0; i < vmas_.size(); ++i) {
     Vma& parent = vmas_[i];
     Vma& clone = child.vmas_[i];
-    if (parent.resident_pages() == 0) continue;
+    if (!parent.present.any()) continue;
     if (parent.cow_shares == nullptr)
-      parent.cow_shares = std::make_shared<std::vector<std::uint32_t>>(
-          parent.page_count(), 0);
-    clone.cow.assign(parent.page_count(), false);
+      parent.cow_shares = std::make_shared<std::uint64_t>(0);
+    // Every resident page starts out shared: the clone's cow map is the
+    // parent's residency map, counted against the template's share total.
+    clone.cow = parent.present;
     clone.cow_shares = parent.cow_shares;
-    for (std::uint64_t p = 0; p < parent.page_count(); ++p) {
-      if (!parent.present[p]) continue;
-      clone.cow[p] = true;
-      ++(*parent.cow_shares)[p];
-    }
+    *parent.cow_shares += parent.present.count();
   }
   return child;
 }

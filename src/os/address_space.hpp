@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "os/page_bitmap.hpp"
 #include "os/page_source.hpp"
 
 namespace prebake::os {
@@ -40,22 +42,25 @@ struct Vma {
   std::string name;          // e.g. "[heap]", "/usr/lib/jvm/libjvm.so"
   std::string backing_path;  // for kFileBacked
   std::shared_ptr<PageSource> source;
-  std::vector<bool> present;  // one bit per page
-  std::vector<bool> dirty;    // set on write faults; cleared by soft-dirty reset
+  PageBitmap present;  // one bit per page
+  PageBitmap dirty;    // set on write faults; cleared by soft-dirty reset
   // Tracked COW sharing (template-clone restore, DESIGN.md §6f). `cow` marks
   // pages whose frame is shared with the clone source: a write fault copies
   // the page (the kernel charges memcpy_cost(page)) and clears the bit.
-  // `cow_shares` is the per-page sharer count, one vector shared by the
-  // template VMA and every clone. Both stay empty on the plain fork path —
-  // zygote forks keep their legacy free-write semantics.
-  std::vector<bool> cow;
-  std::shared_ptr<std::vector<std::uint32_t>> cow_shares;
+  // `cow_shares` is the count of outstanding page shares against the template
+  // VMA's frames, one counter shared by the template VMA and every clone
+  // (per-run aggregate, §6g — a per-page count was write-only state that put
+  // two 16k-iteration loops on the clone/teardown hot path). Both stay empty
+  // on the plain fork path — zygote forks keep their legacy free-write
+  // semantics. Invariant: a set cow bit implies the page is present.
+  PageBitmap cow;
+  std::shared_ptr<std::uint64_t> cow_shares;
 
   std::uint64_t page_count() const { return length / kPageSize; }
-  std::uint64_t resident_pages() const;
+  std::uint64_t resident_pages() const { return present.count(); }
   std::uint64_t resident_bytes() const { return resident_pages() * kPageSize; }
-  std::uint64_t dirty_pages() const;
-  std::uint64_t cow_pages() const;  // pages still sharing their frame
+  std::uint64_t dirty_pages() const { return dirty.count(); }
+  std::uint64_t cow_pages() const { return cow.count(); }
 };
 
 class AddressSpace {
@@ -88,6 +93,17 @@ class AddressSpace {
                     bool write = false);
   // Fault in everything.
   TouchResult touch_all(VmaId id, bool write = false);
+
+  // Bulk page install for the restore replay hot path (DESIGN.md §6g): copy
+  // `payload` (a run of up to `pages * kPageSize` bytes, possibly shorter or
+  // empty) into the VMA's buffer at page `first_page` in one memcpy, then
+  // fault the first `touch_pages` pages in as reads. Equivalent to a payload
+  // copy loop followed by touch(id, first_page, touch_pages) — the payload
+  // may cover more pages than are touched (lazy restores copy the whole run
+  // but only map the eager prefix). No-op copy for non-buffer sources.
+  TouchResult populate_run(VmaId id, std::uint64_t first_page,
+                           std::uint64_t touch_pages,
+                           std::span<const std::uint8_t> payload);
 
   // Soft-dirty tracking (used by CRIU pre-dump / incremental dumps).
   void clear_soft_dirty();

@@ -159,6 +159,27 @@ void Kernel::fault_in_all(Pid pid, VmaId id, bool write) {
   charge_faults(p.mm().touch_all(id, write));
 }
 
+void Kernel::populate_run(Pid pid, VmaId id, std::uint64_t first_page,
+                          std::uint64_t touch_pages,
+                          std::span<const std::uint8_t> payload) {
+  Process& p = require_mut(pid);
+  charge_faults(p.mm().populate_run(id, first_page, touch_pages, payload));
+}
+
+std::uint64_t Kernel::verify_run(Pid pid, VmaId id, std::uint64_t first_page,
+                                 std::span<const std::uint64_t> expected) {
+  Process& p = require_mut(pid);
+  const Vma* vma = p.mm().find(id);
+  if (vma == nullptr)
+    throw std::invalid_argument{"Kernel::verify_run: unknown vma"};
+  const std::uint64_t matched = vma->source->match_digests(first_page, expected);
+  // Each verified page is read once. memcpy_cost is linear with no base
+  // term, so cost(page) * N aggregated here equals N per-page advances.
+  if (matched > 0)
+    sim_->advance(costs_.memcpy_cost(kPageSize) * static_cast<double>(matched));
+  return matched;
+}
+
 void Kernel::charge_faults(const AddressSpace::TouchResult& touched) {
   sim_->advance(costs_.minor_fault *
                 static_cast<double>(touched.newly_resident));

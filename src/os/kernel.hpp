@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,19 @@ class Kernel {
   void fault_in(Pid pid, VmaId id, std::uint64_t first_page,
                 std::uint64_t pages, bool write = false);
   void fault_in_all(Pid pid, VmaId id, bool write = false);
+  // Bulk replay APIs (DESIGN.md §6g), used by the CRIU restorer's per-run
+  // pagemap replay. populate_run copies a whole run's payload bytes into the
+  // VMA in one memcpy and faults `touch_pages` pages in, charging exactly
+  // what the equivalent fault_in would — one aggregated advance.
+  void populate_run(Pid pid, VmaId id, std::uint64_t first_page,
+                    std::uint64_t touch_pages,
+                    std::span<const std::uint8_t> payload);
+  // Verify a run of pages against expected digests: returns how many leading
+  // pages match (expected.size() = the whole run verifies). Charges one page
+  // read per matching page in a single advance — the total is identical to
+  // the per-page verification loop this replaces.
+  std::uint64_t verify_run(Pid pid, VmaId id, std::uint64_t first_page,
+                           std::span<const std::uint64_t> expected);
 
   // --- freezer + ptrace (CRIU building blocks) ----------------------------
   // Stop all threads (cgroup freezer / PTRACE_INTERRUPT equivalent). Charged

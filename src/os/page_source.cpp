@@ -33,6 +33,14 @@ std::uint64_t PageSource::page_digest(std::uint64_t page_index) const {
   return hash_page_bytes(std::span<const std::uint8_t, kPageSize>{buf});
 }
 
+std::uint64_t PageSource::match_digests(
+    std::uint64_t first_page, std::span<const std::uint64_t> expected) const {
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    if (page_digest(first_page + i) != expected[i])
+      return static_cast<std::uint64_t>(i);
+  return expected.size();
+}
+
 void BufferSource::fill(std::uint64_t page_index,
                         std::span<std::uint8_t, kPageSize> out) const {
   std::fill(out.begin(), out.end(), std::uint8_t{0});
@@ -54,9 +62,19 @@ void PatternSource::fill(std::uint64_t page_index,
 }
 
 std::uint64_t PatternSource::page_digest(std::uint64_t page_index) const {
-  // Materialize-and-hash keeps the digest identical to what a verifier that
-  // only sees bytes would compute.
-  return PageSource::page_digest(page_index);
+  // Hash the generator's words directly instead of materializing the page
+  // and re-reading it. fill() writes each word's native bytes and the hash
+  // reads them back the same way, so this is bit-identical to what a
+  // verifier that only sees bytes would compute — without two 4 KiB copies.
+  std::uint64_t state = seed_ ^ (page_index * 0x9E3779B97F4A7C15ULL) ^
+                        (version_ * 0xD1B54A32D192ED03ULL);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < kPageSize / 8; ++i) {
+    h ^= sim::splitmix64(state);
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
 }
 
 }  // namespace prebake::os

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace prebake::sim {
+
+void Simulation::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  s.live = false;
+  ++s.gen;  // stale ids stop matching the moment the slot is freed
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
 
 EventId Simulation::schedule_at(TimePoint at, EventFn fn) {
   if (at < now_)
@@ -11,24 +22,27 @@ EventId Simulation::schedule_at(TimePoint at, EventFn fn) {
         "Simulation::schedule_at: time in the past (at=" +
         std::to_string(at.nanos_since_origin()) +
         " now=" + std::to_string(now_.nanos_since_origin()) + ")"};
-  const EventId id = next_id_++;
+  std::uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  const EventId id = encode(slot, s.gen);
   queue_.push(Event{at, next_seq_++, id});
-  callbacks_.emplace_back(id, std::move(fn));
   return id;
 }
 
-EventFn* Simulation::find_callback(EventId id) {
-  const auto it = std::find_if(callbacks_.begin(), callbacks_.end(),
-                               [id](const auto& p) { return p.first == id; });
-  return it == callbacks_.end() ? nullptr : &it->second;
-}
-
 bool Simulation::cancel(EventId id) {
-  const auto it = std::find_if(callbacks_.begin(), callbacks_.end(),
-                               [id](const auto& p) { return p.first == id; });
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  ++cancelled_live_;
+  Slot* s = live_slot(id);
+  if (s == nullptr) return false;
+  release_slot(static_cast<std::uint32_t>(id));
+  ++cancelled_live_;  // the queue still holds the event's shell
   return true;
 }
 
@@ -36,15 +50,14 @@ bool Simulation::step() {
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     queue_.pop();
-    auto it = std::find_if(callbacks_.begin(), callbacks_.end(),
-                           [&](const auto& p) { return p.first == ev.id; });
-    if (it == callbacks_.end()) {
+    Slot* s = live_slot(ev.id);
+    if (s == nullptr) {
       // Cancelled event; skip its shell.
       --cancelled_live_;
       continue;
     }
-    EventFn fn = std::move(it->second);
-    callbacks_.erase(it);
+    EventFn fn = std::move(s->fn);
+    release_slot(static_cast<std::uint32_t>(ev.id));
     now_ = std::max(now_, ev.at);
     fn();
     return true;

@@ -46,7 +46,10 @@ class Simulation {
 
   // Schedule `fn` at absolute time `at` (must not be in the past). Events at
   // equal times fire in FIFO order of scheduling. Returns an id usable with
-  // cancel().
+  // cancel(). Callbacks live in a slab of reusable slots (the id encodes
+  // slot + generation), so schedule/cancel/step are O(1) on the callback
+  // table — no linear scans, no per-event heap churn once the slab and the
+  // queue have grown to the scenario's working set.
   EventId schedule_at(TimePoint at, EventFn fn);
   EventId schedule_in(Duration d, EventFn fn) { return schedule_at(now_ + d, fn); }
 
@@ -75,15 +78,36 @@ class Simulation {
     }
   };
 
+  // One slab slot: the callback plus the generation stamped into its
+  // EventId. Freed slots go on an intrusive free list and are reused with a
+  // bumped generation, so a stale id (already fired or cancelled) can never
+  // alias a new event.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  static EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+  Slot* live_slot(EventId id) {
+    const auto slot = static_cast<std::uint32_t>(id);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size()) return nullptr;
+    Slot& s = slots_[slot];
+    return (s.live && s.gen == gen) ? &s : nullptr;
+  }
+  void release_slot(std::uint32_t slot);
+
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // Callbacks keyed by event id; erased on cancel.
-  std::vector<std::pair<EventId, EventFn>> callbacks_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
   std::size_t cancelled_live_ = 0;
-
-  EventFn* find_callback(EventId id);
 };
 
 }  // namespace prebake::sim

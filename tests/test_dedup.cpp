@@ -110,10 +110,10 @@ TEST_F(DedupTest, RemoveDecrementsAndFrees) {
   EXPECT_EQ(index.stats().unique_pages, before.unique_pages - freed);
   EXPECT_EQ(index.stats().total_pages,
             before.total_pages - md.stats.pages_dumped);
-  const PagesEntry& md_pages = *md.images.decoded().pages;
+  const ImageDir::PagesView& md_pages = *md.images.decoded().pages;
   std::uint64_t still_shared = 0;
   std::uint64_t gone = 0;
-  for (const std::uint64_t d : md_pages.digests)
+  for (const std::uint64_t d : md_pages.digests())
     index.refcount(d) > 0 ? ++still_shared : ++gone;
   EXPECT_EQ(still_shared + gone, md.stats.pages_dumped);
   EXPECT_GE(gone, freed);  // freed counts unique contents, gone occurrences

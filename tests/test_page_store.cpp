@@ -160,8 +160,8 @@ class StoreRestoreTest : public ::testing::Test {
 
 TEST_F(StoreRestoreTest, StoreSecondFetchShipsOnlyDigests) {
   const DumpResult dump = dump_to(make_target(0xFEED), "/registry/a/");
-  const std::vector<std::uint64_t>& digests =
-      dump.images.decoded().pages->digests;
+  const std::span<const std::uint64_t> digests =
+      dump.images.decoded().pages->digests();
   const std::uint64_t digest_bytes = digests.size() * 8;
 
   PageStore store;
@@ -210,7 +210,7 @@ TEST_F(StoreRestoreTest, StoreCrossFunctionDeltaIsOnlyTheAppPages) {
   kernel_.fs().drop_caches();
   const RestoreResult restored = Restorer{kernel_}.restore(app.images, opts);
   const std::uint64_t payload =
-      app.images.decoded().pages->digests.size() * kPageSize;
+      app.images.decoded().pages->digests().size() * kPageSize;
   EXPECT_GT(restored.store_hit_pages, 0u);
   EXPECT_LT(restored.store_delta_bytes, payload / 2);
   EXPECT_GT(restored.store_delta_bytes, 0u);  // the app pages are new
@@ -238,7 +238,7 @@ TEST_F(StoreRestoreTest, StoreChainRestoreFetchesOnlyFinalDelta) {
   // pre-dump transfer itself put them there): only the final dump's delta
   // should cross the wire.
   PageStore store;
-  store.insert(parent.images.decoded().pages->digests);
+  store.insert(parent.images.decoded().pages->digests());
   RestoreOptions opts;
   opts.fs_prefix = "/registry/chain/";
   opts.remote_fetch = true;
@@ -247,8 +247,8 @@ TEST_F(StoreRestoreTest, StoreChainRestoreFetchesOnlyFinalDelta) {
   const ImageDir* chain[] = {&parent.images, &child.images};
   const RestoreResult restored = Restorer{kernel_}.restore_chain(chain, opts);
 
-  const std::uint64_t pre_pages = parent.images.decoded().pages->digests.size();
-  const std::uint64_t fin_pages = child.images.decoded().pages->digests.size();
+  const std::uint64_t pre_pages = parent.images.decoded().pages->digests().size();
+  const std::uint64_t fin_pages = child.images.decoded().pages->digests().size();
   // Every pre-dump page was a store hit; only the final delta was fetched.
   EXPECT_GE(restored.store_hit_pages, pre_pages);
   EXPECT_GT(restored.store_delta_bytes, 0u);

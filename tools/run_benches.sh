@@ -28,6 +28,12 @@
 # --check it asserts the store gates (template-clone p95 < 30% of the
 # first-restore p95, cross-function delta < 50% of the full payload,
 # bit-identical JSON at 1 and 4 engine threads).
+#
+# --throughput runs the restore-throughput hot-path sweep
+# (bench/restore_throughput), writing BENCH_restore_throughput.json at the
+# repository root; combined with --check it asserts the zero-copy gate
+# (>= 5x restores/sec over the recorded pre-PR baseline, bit-identical
+# restored state at 1 and 4 engine threads).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -39,6 +45,7 @@ check=0
 chaos=0
 trace=0
 dedup=0
+throughput=0
 reps_set=0
 
 while [[ $# -gt 0 ]]; do
@@ -47,6 +54,7 @@ while [[ $# -gt 0 ]]; do
     --chaos) chaos=1; shift ;;
     --trace) trace=1; shift ;;
     --dedup) dedup=1; shift ;;
+    --throughput) throughput=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --threads) mode_args+=(--threads "$2"); shift 2 ;;
     --reps) mode_args+=(--reps "$2"); reps_set=1; shift 2 ;;
@@ -54,6 +62,19 @@ while [[ $# -gt 0 ]]; do
     *) echo "run_benches.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$throughput" -eq 1 ]]; then
+  tp_bin="${build_dir}/bench/restore_throughput"
+  if [[ ! -x "$tp_bin" ]]; then
+    echo "run_benches.sh: ${tp_bin} not found; building..." >&2
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" --target restore_throughput -j
+  fi
+  [[ "$out_set" -eq 1 ]] || out="${repo_root}/BENCH_restore_throughput.json"
+  tp_args=(--out "$out")
+  [[ "$check" -eq 1 ]] && tp_args+=(--check)
+  exec "$tp_bin" "${tp_args[@]}"
+fi
 
 if [[ "$dedup" -eq 1 ]]; then
   dedup_bin="${build_dir}/bench/dedup_store"

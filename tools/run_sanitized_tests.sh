@@ -41,9 +41,12 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ./build-sanitize/tests/prebake_tests --gtest_filter='Trace*'
 
-# Fourth pass over the page-store suites: COW sharing tracks refcounts
-# across process teardown and template drops, the classic use-after-free
-# shape ASan exists to catch.
+# Fourth pass over the page-store and zero-copy image suites: COW sharing
+# tracks refcounts across process teardown and template drops, and the
+# borrowed PagesView spans (StoreView*) plus the batched replay paths
+# (RestoreBatch*) hand out pointers into ImageDir-owned buffers — the
+# classic use-after-free shapes ASan exists to catch.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
-  ./build-sanitize/tests/prebake_tests --gtest_filter='Store*:Template*'
+  ./build-sanitize/tests/prebake_tests \
+  --gtest_filter='Store*:Template*:StoreView*:RestoreBatch*'
