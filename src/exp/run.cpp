@@ -9,6 +9,7 @@ const char* scenario_kind_name(ScenarioKind kind) {
     case ScenarioKind::kStartup: return "startup";
     case ScenarioKind::kCluster: return "cluster";
     case ScenarioKind::kChaos: return "chaos";
+    case ScenarioKind::kScale: return "scale";
   }
   throw std::invalid_argument{"scenario_kind_name: bad kind"};
 }
@@ -39,6 +40,15 @@ ScenarioSpec ScenarioSpec::from(const ChaosScenarioConfig& config) {
   return spec;
 }
 
+ScenarioSpec ScenarioSpec::from(const ScaleScenarioConfig& config) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kScale;
+  spec.seed = config.seed;
+  spec.threads = config.threads;
+  spec.scale = config;
+  return spec;
+}
+
 ScenarioRun run(const ScenarioSpec& spec) {
   ScenarioRun out;
   out.kind = spec.kind;
@@ -62,6 +72,13 @@ ScenarioRun run(const ScenarioSpec& spec) {
       ChaosScenarioConfig cfg = spec.chaos;
       cfg.seed = spec.seed;
       out.chaos = detail::run_chaos_impl(cfg, trace);
+      return out;
+    }
+    case ScenarioKind::kScale: {
+      ScaleScenarioConfig cfg = spec.scale;
+      cfg.seed = spec.seed;
+      cfg.threads = spec.threads;
+      out.scale = detail::run_scale_impl(cfg, trace);
       return out;
     }
   }

@@ -17,12 +17,13 @@
 
 #include "exp/chaos.hpp"
 #include "exp/cluster.hpp"
+#include "exp/scale.hpp"
 #include "exp/scenario.hpp"
 #include "obs/report.hpp"
 
 namespace prebake::exp {
 
-enum class ScenarioKind { kStartup, kCluster, kChaos };
+enum class ScenarioKind { kStartup, kCluster, kChaos, kScale };
 
 const char* scenario_kind_name(ScenarioKind kind);
 
@@ -42,11 +43,13 @@ struct ScenarioSpec {
   ScenarioConfig startup;
   ClusterScenarioConfig cluster;
   ChaosScenarioConfig chaos;
+  ScaleScenarioConfig scale;
 
   // Lift a legacy config into a spec (shared fields mirrored out).
   static ScenarioSpec from(const ScenarioConfig& config);
   static ScenarioSpec from(const ClusterScenarioConfig& config);
   static ScenarioSpec from(const ChaosScenarioConfig& config);
+  static ScenarioSpec from(const ScaleScenarioConfig& config);
 };
 
 struct ScenarioRun {
@@ -55,6 +58,7 @@ struct ScenarioRun {
   ScenarioResult startup;
   ClusterScenarioResult cluster;
   ChaosScenarioResult chaos;
+  ScaleScenarioResult scale;
   // Populated (and finalized) when the spec asked for tracing.
   obs::TraceReport trace;
 };
@@ -69,6 +73,8 @@ ScenarioResult run_startup_impl(const ScenarioConfig& config,
 ClusterScenarioResult run_cluster_impl(const ClusterScenarioConfig& config,
                                        obs::TraceReport* trace);
 ChaosScenarioResult run_chaos_impl(const ChaosScenarioConfig& config,
+                                   obs::TraceReport* trace);
+ScaleScenarioResult run_scale_impl(const ScaleScenarioConfig& config,
                                    obs::TraceReport* trace);
 }  // namespace detail
 

@@ -35,37 +35,52 @@ void Platform::deploy(rt::FunctionSpec spec, StartMode mode,
 }
 
 Platform::Replica* Platform::find_idle(const std::string& function) {
-  for (auto& r : replicas_)
-    if (r->function == function && r->state == ReplicaState::kIdle) return r.get();
+  const auto it = by_function_.find(function);
+  if (it == by_function_.end()) return nullptr;
+  // Creation order, first idle wins — the selection the fleet-wide scan of
+  // the original implementation made.
+  for (Replica* r : it->second)
+    if (r->state == ReplicaState::kIdle) return r;
   return nullptr;
 }
 
 Platform::Replica* Platform::find_replica(std::uint64_t id) {
-  for (auto& r : replicas_)
-    if (r->id == id) return r.get();
-  return nullptr;
+  const auto it = replicas_.find(id);
+  return it == replicas_.end() ? nullptr : it->second.get();
 }
 
 std::uint32_t Platform::replica_count(const std::string& function) const {
-  std::uint32_t n = 0;
-  for (const auto& r : replicas_)
-    if (r->function == function) ++n;
-  return n;
+  const auto it = by_function_.find(function);
+  return it == by_function_.end() ? 0u
+                                  : static_cast<std::uint32_t>(it->second.size());
 }
 
 std::uint32_t Platform::idle_replica_count(const std::string& function) const {
+  const auto it = by_function_.find(function);
+  if (it == by_function_.end()) return 0;
   std::uint32_t n = 0;
-  for (const auto& r : replicas_)
-    if (r->function == function && r->state == ReplicaState::kIdle) ++n;
+  for (const Replica* r : it->second)
+    if (r->state == ReplicaState::kIdle) ++n;
   return n;
 }
 
 std::uint32_t Platform::starting_replica_count(
     const std::string& function) const {
+  const auto it = by_function_.find(function);
+  if (it == by_function_.end()) return 0;
   std::uint32_t n = 0;
-  for (const auto& r : replicas_)
-    if (r->function == function && r->state == ReplicaState::kStarting) ++n;
+  for (const Replica* r : it->second)
+    if (r->state == ReplicaState::kStarting) ++n;
   return n;
+}
+
+void Platform::note_mem_change(std::int64_t delta) {
+  const sim::TimePoint now = kernel_->sim().now();
+  mem_byte_seconds_ +=
+      static_cast<double>(fleet_mem_bytes_) * (now - mem_mark_).to_seconds();
+  mem_mark_ = now;
+  fleet_mem_bytes_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(fleet_mem_bytes_) + delta);
 }
 
 std::string Platform::node_image_prefix(NodeId node,
@@ -110,6 +125,7 @@ Platform::Replica* Platform::start_replica(const std::string& function,
     request.snapshot_digests = snap->images.decoded().pages->digests();
   const std::optional<NodeId> node = resources_.place(request);
   if (!node.has_value()) return nullptr;
+  note_mem_change(static_cast<std::int64_t>(est));
 
   obs::Tracer& tr = kernel_->trace();
   {
@@ -266,6 +282,7 @@ Platform::Replica* Platform::start_replica(const std::string& function,
       kernel_->sim().rewind_to(t0);
       resources_.node_mut(*node).run(t0, t_end - t0);  // the work still ran
       resources_.release(*node, est);
+      note_mem_change(-static_cast<std::int64_t>(est));
       return nullptr;
     }
   }
@@ -295,9 +312,10 @@ Platform::Replica* Platform::start_replica(const std::string& function,
 
   replica->state = ReplicaState::kStarting;
   ++stats_.replicas_started;
-  replicas_.push_back(std::move(replica));
-  Replica* out = replicas_.back().get();
+  Replica* out = replica.get();
   const std::uint64_t id = out->id;
+  replicas_.emplace(id, std::move(replica));
+  by_function_[function].push_back(out);
   kernel_->sim().schedule_at(ready_at, [this, id] { on_replica_ready(id); });
   return out;
 }
@@ -399,6 +417,12 @@ void Platform::serve(Replica& replica, Pending pending) {
     metrics.startup = replica.proc.breakdown.total;
     ++stats_.cold_starts;
   }
+  // First serve off a replica whose start degraded to the Vanilla path
+  // (failed restore / quarantine): the request got an answer, but not the
+  // prebaked latency it was promised. Reported separately from queue
+  // rejections, which never reach a replica at all.
+  metrics.fallback =
+      !replica.served_any && replica.proc.breakdown.fell_back_to_vanilla;
   replica.served_any = true;
 
   // Execute the real handler synchronously to *measure* its duration, then
@@ -481,9 +505,12 @@ void Platform::reclaim(Replica& replica) {
   if (replica.container.has_value()) containers_.destroy(*replica.container);
   startup_.reclaim(replica.proc);
   resources_.release(replica.node, replica.mem_bytes);
+  note_mem_change(-static_cast<std::int64_t>(replica.mem_bytes));
   ++stats_.replicas_reclaimed;
   const std::uint64_t id = replica.id;
-  std::erase_if(replicas_, [id](const auto& r) { return r->id == id; });
+  auto& members = by_function_[replica.function];
+  std::erase(members, &replica);
+  replicas_.erase(id);
 }
 
 void Platform::record_request(const RequestMetrics& metrics) {
@@ -492,6 +519,7 @@ void Platform::record_request(const RequestMetrics& metrics) {
     return;
   }
   ++aggregate_.count;
+  if (metrics.fallback) ++aggregate_.fallback_serves;
   if (metrics.retries > 0) {
     ++aggregate_.retried;
     aggregate_.total_retries += metrics.retries;
@@ -616,9 +644,9 @@ void Platform::crash_node(NodeId node) {
 void Platform::drain_node(NodeId node) {
   resources_.drain(node);
   std::vector<std::uint64_t> idle_ids;
-  for (const auto& r : replicas_)
+  for (const auto& [id, r] : replicas_)
     if (r->node == node && r->state == ReplicaState::kIdle)
-      idle_ids.push_back(r->id);
+      idle_ids.push_back(id);
   for (const std::uint64_t id : idle_ids)
     if (Replica* r = find_replica(id)) reclaim(*r);
   // Busy and starting replicas finish their work and are reclaimed by their
@@ -642,9 +670,11 @@ void Platform::fail_node(NodeId node) {
   failed.store().clear_pages();
 
   std::vector<std::string> affected;
-  for (auto& r : replicas_) {
+  std::vector<std::uint64_t> dead;
+  for (auto& [id, r] : replicas_) {
     if (r->node != node) continue;
     affected.push_back(r->function);
+    dead.push_back(id);
     if (r->inflight.has_value()) {
       // The response will never arrive from this replica; put the request
       // back at the head of the queue to be re-served (likely as a fresh
@@ -661,10 +691,14 @@ void Platform::fail_node(NodeId node) {
     if (r->container.has_value()) containers_.destroy(*r->container);
     startup_.reclaim(r->proc);
     resources_.release(node, r->mem_bytes);
+    note_mem_change(-static_cast<std::int64_t>(r->mem_bytes));
     ++stats_.replicas_reclaimed;
   }
-  std::erase_if(replicas_,
-                [node](const auto& r) { return r->node == node; });
+  for (const std::uint64_t id : dead) {
+    Replica* r = replicas_[id].get();
+    std::erase(by_function_[r->function], r);
+    replicas_.erase(id);
+  }
 
   std::sort(affected.begin(), affected.end());
   affected.erase(std::unique(affected.begin(), affected.end()),

@@ -39,6 +39,12 @@ struct RequestMetrics {
   sim::Duration service;     // handler execution
   sim::Duration total;       // arrival -> response
   bool cold_start = false;
+  // The cold start behind this request was served by the Vanilla fallback
+  // path (failed restore or quarantined snapshot) instead of the prebaked
+  // restore — the request succeeded but paid fork-exec latency. Distinct
+  // from a queue rejection: the platform 503s those without ever reaching a
+  // replica.
+  bool fallback = false;
   // Times the request was re-queued after a node failure killed the replica
   // serving it. queue_wait counts from the latest enqueue, so a retried
   // request reports its real queueing delay, not the lost service time;
@@ -193,6 +199,16 @@ class Platform {
   std::uint32_t replica_count(const std::string& function) const;
   std::uint32_t idle_replica_count(const std::string& function) const;
   std::uint32_t starting_replica_count(const std::string& function) const;
+  std::size_t total_replica_count() const { return replicas_.size(); }
+  // Integral of resident fleet memory over simulated time, in byte-seconds,
+  // up to the current simulation clock. Counts every placed replica's
+  // placement estimate from placement to release — the provider-side memory
+  // cost axis of the keep-alive policy study.
+  double fleet_mem_byte_seconds() const {
+    return mem_byte_seconds_ +
+           static_cast<double>(fleet_mem_bytes_) *
+               (kernel_->sim().now() - mem_mark_).to_seconds();
+  }
   os::Kernel& kernel() { return *kernel_; }
   core::StartupService& startup() { return startup_; }
   os::ContainerRuntime& containers() { return containers_; }
@@ -234,6 +250,10 @@ class Platform {
 
   Replica* find_idle(const std::string& function);
   Replica* find_replica(std::uint64_t id);
+  // Count the resident-memory change at the current simulated time: the
+  // byte-seconds integral accrues at the previous level up to now, then the
+  // level moves by `delta`.
+  void note_mem_change(std::int64_t delta);
   Replica* start_replica(const std::string& function, bool prewarmed = false);
   void on_replica_ready(std::uint64_t id);
   void dispatch(const std::string& function);
@@ -265,7 +285,16 @@ class Platform {
   sim::Rng rng_;
   PlatformStats stats_;
 
-  std::vector<std::unique_ptr<Replica>> replicas_;
+  // Replica ownership and lookup. Keyed by the monotonically increasing
+  // replica id, so map iteration order == creation order — the same order
+  // the original vector gave the failure/drain paths (behavior there is
+  // order-sensitive: requeued requests go back queue-front in replica
+  // order). by_function_ holds creation-ordered non-owning views so the hot
+  // paths (find_idle, the per-function counts) scan one function's
+  // replicas, not the whole fleet — with thousands of deployed functions
+  // the fleet-wide scans were O(replicas) per request.
+  std::map<std::uint64_t, std::unique_ptr<Replica>> replicas_;
+  std::map<std::string, std::vector<Replica*>> by_function_;
   std::map<std::string, std::uint32_t> min_idle_;
   std::map<std::string, std::deque<Pending>> queues_;
   std::vector<RequestMetrics> request_log_;
@@ -273,6 +302,11 @@ class Platform {
   std::map<std::string, SnapshotHealth> snapshot_health_;
   std::uint64_t next_replica_id_ = 1;
   std::uint64_t next_rebake_ = 1;  // rng stream ids for re-bakes
+
+  // Fleet-memory integral (see fleet_mem_byte_seconds()).
+  double mem_byte_seconds_ = 0.0;
+  std::uint64_t fleet_mem_bytes_ = 0;
+  sim::TimePoint mem_mark_;
 };
 
 }  // namespace prebake::faas

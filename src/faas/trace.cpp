@@ -5,8 +5,11 @@
 #include <cmath>
 #include <memory>
 #include <numbers>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "faas/trace_source.hpp"
 
 namespace prebake::faas {
 
@@ -72,15 +75,15 @@ std::vector<TraceEvent> generate_poisson_trace(const std::string& function,
                                                sim::Duration duration,
                                                std::uint64_t seed) {
   if (rate_hz <= 0.0)
-    throw std::invalid_argument{"generate_poisson_trace: rate must be > 0"};
-  sim::Rng rng{seed};
+    throw std::invalid_argument{"generate_poisson_trace: rate must be > 0 "
+                                "(rate_hz=" + std::to_string(rate_hz) + ")"};
+  // Materializing wrapper over the streaming source; both draw the
+  // identical RNG sequence, so a streamed and a materialized trace from
+  // the same seed are the same trace (pinned by the TraceStream suite).
+  PoissonTraceSource source{function, rate_hz, duration, seed};
   std::vector<TraceEvent> events;
-  sim::Duration at{};
-  while (true) {
-    at += sim::Duration::seconds_f(rng.exponential(1.0 / rate_hz));
-    if (at >= duration) break;
-    events.push_back(TraceEvent{at, function});
-  }
+  while (std::optional<TraceEvent> e = source.next())
+    events.push_back(std::move(*e));
   return events;
 }
 
@@ -90,25 +93,20 @@ std::vector<TraceEvent> generate_diurnal_trace(const std::string& function,
                                                sim::Duration period,
                                                sim::Duration duration,
                                                std::uint64_t seed) {
+  // A peak below the base flips the thinning acceptance ratio above 1 and
+  // silently distorts the generated rate; report both offending values.
   if (base_rate_hz < 0.0 || peak_rate_hz < base_rate_hz)
-    throw std::invalid_argument{"generate_diurnal_trace: need 0 <= base <= peak"};
+    throw std::invalid_argument{
+        "generate_diurnal_trace: need 0 <= base_rate_hz <= peak_rate_hz "
+        "(base_rate_hz=" + std::to_string(base_rate_hz) +
+        ", peak_rate_hz=" + std::to_string(peak_rate_hz) + ")"};
   if (period <= sim::Duration{})
     throw std::invalid_argument{"generate_diurnal_trace: period must be > 0"};
-  // Lewis-Shedler thinning against the peak rate.
-  sim::Rng rng{seed};
+  DiurnalTraceSource source{function, base_rate_hz, peak_rate_hz,
+                            period,   duration,     seed};
   std::vector<TraceEvent> events;
-  sim::Duration at{};
-  const double mid = (base_rate_hz + peak_rate_hz) / 2.0;
-  const double amp = (peak_rate_hz - base_rate_hz) / 2.0;
-  while (true) {
-    at += sim::Duration::seconds_f(rng.exponential(1.0 / peak_rate_hz));
-    if (at >= duration) break;
-    const double phase =
-        2.0 * std::numbers::pi * (at.to_seconds() / period.to_seconds());
-    const double rate = mid - amp * std::cos(phase);  // trough at t=0
-    if (rng.uniform() * peak_rate_hz <= rate)
-      events.push_back(TraceEvent{at, function});
-  }
+  while (std::optional<TraceEvent> e = source.next())
+    events.push_back(std::move(*e));
   return events;
 }
 
@@ -136,6 +134,10 @@ TraceReplayResult replay_trace(Platform& platform,
                         if (res.ok()) {
                           state->result.metrics.push_back(m);
                           ++state->result.responses_ok;
+                          // Served, but the cold start degraded to the
+                          // Vanilla fallback — not a rejection, reported on
+                          // its own axis.
+                          if (m.fallback) ++state->result.responses_fallback;
                         } else {
                           ++state->result.responses_rejected;
                         }

@@ -46,7 +46,13 @@ std::vector<TraceEvent> generate_diurnal_trace(const std::string& function,
 struct TraceReplayResult {
   std::vector<RequestMetrics> metrics;
   std::uint64_t responses_ok = 0;
+  // Queue-rejected (503 "no capacity"): the request never reached a
+  // replica. Quarantine/restore fallbacks are NOT in here — those requests
+  // are served (counted in responses_ok) and reported separately below.
   std::uint64_t responses_rejected = 0;
+  // Served requests whose cold start fell back to the Vanilla start path
+  // (failed restore or quarantined snapshot).
+  std::uint64_t responses_fallback = 0;
   sim::Duration makespan;
 };
 

@@ -1,0 +1,119 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prebake::sim {
+namespace {
+
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets), mask_(kMinBuckets - 1) {}
+
+void CalendarQueue::push(const QueuedEvent& e) {
+  // Keep average bucket occupancy <= 2: amortised-O(1) sorted inserts and a
+  // dequeue scan that rarely visits more than a handful of buckets.
+  if (size_ >= buckets_.size() * 2 && buckets_.size() < kMaxBuckets)
+    recalibrate(buckets_.size() * 2);
+  const std::int64_t slot = slot_of(e.at);
+  // An insert behind the dequeue scan position must rewind it, otherwise the
+  // scan would skip this event until the ring wraps and pop a later one
+  // first. With a monotone simulation clock this happens only for inserts
+  // into the slot currently being drained or after rewind_to() measurement
+  // games, but correctness must not depend on that.
+  if (size_ == 0 || slot < cur_slot_) cur_slot_ = slot;
+  auto& b = buckets_[static_cast<std::size_t>(slot) & mask_];
+  b.insert(std::upper_bound(b.begin(), b.end(), e, event_before), e);
+  ++size_;
+}
+
+void CalendarQueue::locate_min() {
+  assert(size_ > 0);
+  // Fast path: walk at most one year of the ring starting at the scan
+  // position. A bucket front belongs to the scanned slot iff its quantised
+  // time equals the slot (fronts from later years share the bucket but have
+  // a larger quotient; fronts earlier than cur_slot_ cannot exist — push()
+  // rewinds the scan).
+  std::int64_t slot = cur_slot_;
+  for (std::size_t i = 0; i <= mask_; ++i, ++slot) {
+    const auto& b = buckets_[static_cast<std::size_t>(slot) & mask_];
+    if (!b.empty() && slot_of(b.front().at) == slot) {
+      cur_slot_ = slot;
+      direct_scans_ = 0;
+      return;
+    }
+  }
+  // Sparse year: direct minimum scan over the bucket fronts. Repeated
+  // fallbacks mean the bucket width no longer matches the live event spread
+  // (e.g. a dense burst drained and left sparse far-future timers), so
+  // recalibrate and retry.
+  if (++direct_scans_ >= 4 && size_ >= 2) {
+    recalibrate(buckets_.size());
+    direct_scans_ = 0;
+  }
+  const QueuedEvent* best = nullptr;
+  for (const auto& b : buckets_) {
+    if (!b.empty() && (best == nullptr || event_before(b.front(), *best)))
+      best = &b.front();
+  }
+  cur_slot_ = slot_of(best->at);
+}
+
+const QueuedEvent* CalendarQueue::peek() {
+  if (size_ == 0) return nullptr;
+  locate_min();
+  return &buckets_[static_cast<std::size_t>(cur_slot_) & mask_].front();
+}
+
+QueuedEvent CalendarQueue::pop() {
+  locate_min();
+  auto& b = buckets_[static_cast<std::size_t>(cur_slot_) & mask_];
+  QueuedEvent e = b.front();
+  b.erase(b.begin());
+  --size_;
+  // Shrink when the queue drains far below the ring size so the dequeue
+  // scan stays proportional to the live event count.
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 8)
+    recalibrate(buckets_.size() / 2);
+  return e;
+}
+
+void CalendarQueue::recalibrate(std::size_t nbuckets) {
+  std::vector<QueuedEvent> all;
+  all.reserve(size_);
+  for (auto& b : buckets_) {
+    all.insert(all.end(), b.begin(), b.end());
+    b.clear();
+  }
+  buckets_.resize(nbuckets);
+  for (auto& b : buckets_) b.shrink_to_fit();
+  mask_ = nbuckets - 1;
+  if (all.empty()) {
+    width_ = 1;
+    cur_slot_ = 0;
+    return;
+  }
+  std::int64_t min_ns = all.front().at.nanos_since_origin();
+  std::int64_t max_ns = min_ns;
+  for (const QueuedEvent& e : all) {
+    min_ns = std::min(min_ns, e.at.nanos_since_origin());
+    max_ns = std::max(max_ns, e.at.nanos_since_origin());
+  }
+  // Width ~= spread / count spreads the live events roughly one per slot;
+  // with occupancy capped at 2x the ring size, a year scan touches O(1)
+  // buckets per pop in the steady state.
+  width_ = std::max<std::int64_t>(
+      1, (max_ns - min_ns) / static_cast<std::int64_t>(all.size() + 1));
+  size_ = 0;
+  cur_slot_ = min_ns / width_;
+  for (const QueuedEvent& e : all) {
+    auto& b = buckets_[static_cast<std::size_t>(slot_of(e.at)) & mask_];
+    b.insert(std::upper_bound(b.begin(), b.end(), e, event_before), e);
+    ++size_;
+  }
+}
+
+}  // namespace prebake::sim

@@ -1,18 +1,24 @@
 // Discrete-event simulation engine.
 //
-// The engine owns a virtual clock and a priority queue of events. Code that
+// The engine owns a virtual clock and a pending-event queue. Code that
 // models a *single* active actor (e.g. a process performing syscalls) charges
 // time to the clock directly through `advance()`; concurrent activity (the
 // FaaS platform's request arrivals, replica lifecycles, autoscaler alerts)
 // schedules callbacks.
+//
+// The default queue is a calendar queue (amortised O(1) insert/pop for the
+// timer-dominated pending sets of large trace replays); the original binary
+// heap is retained behind QueueKind::kBinaryHeap as the reference engine for
+// the cross-engine determinism suite. Both produce bit-identical event
+// execution order — (time, scheduling sequence) is a total order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace prebake::sim {
@@ -20,11 +26,19 @@ namespace prebake::sim {
 using EventFn = std::function<void()>;
 using EventId = std::uint64_t;
 
+enum class QueueKind {
+  kCalendar,    // default: calendar queue, near-O(1) for large pending sets
+  kBinaryHeap,  // reference: the original std::priority_queue engine
+};
+
 class Simulation {
  public:
   Simulation() = default;
+  explicit Simulation(QueueKind kind) : kind_(kind) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+
+  QueueKind queue_kind() const { return kind_; }
 
   TimePoint now() const { return now_; }
 
@@ -64,20 +78,9 @@ class Simulation {
   // are executed).
   void run_until(TimePoint until);
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_live_; }
+  std::size_t pending_events() const { return queue_size() - cancelled_live_; }
 
  private:
-  struct Event {
-    TimePoint at;
-    std::uint64_t seq;
-    EventId id;
-    // Heap orders by (time, then insertion sequence).
-    bool operator>(const Event& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
-  };
-
   // One slab slot: the callback plus the generation stamped into its
   // EventId. Freed slots go on an intrusive free list and are reused with a
   // bumped generation, so a stale id (already fired or cancelled) can never
@@ -102,9 +105,27 @@ class Simulation {
   }
   void release_slot(std::uint32_t slot);
 
+  void queue_push(const QueuedEvent& e) {
+    if (kind_ == QueueKind::kCalendar)
+      calendar_.push(e);
+    else
+      heap_.push(e);
+  }
+  const QueuedEvent* queue_peek() {
+    return kind_ == QueueKind::kCalendar ? calendar_.peek() : heap_.peek();
+  }
+  QueuedEvent queue_pop() {
+    return kind_ == QueueKind::kCalendar ? calendar_.pop() : heap_.pop();
+  }
+  std::size_t queue_size() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.size() : heap_.size();
+  }
+
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  QueueKind kind_ = QueueKind::kCalendar;
+  CalendarQueue calendar_;
+  BinaryHeapQueue heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
   std::size_t cancelled_live_ = 0;

@@ -89,9 +89,17 @@ TEST(TraceGen, DiurnalPeaksWherePhaseSaysSo) {
 }
 
 TEST(TraceGen, DiurnalValidation) {
-  EXPECT_THROW(generate_diurnal_trace("fn", 5.0, 1.0, sim::Duration::seconds(1),
-                                      sim::Duration::seconds(1), 1),
-               std::invalid_argument);
+  // A peak below the base must be rejected, and the message must name both
+  // offending values — a silent clamp would distort the generated rate.
+  try {
+    generate_diurnal_trace("fn", 5.0, 1.0, sim::Duration::seconds(1),
+                           sim::Duration::seconds(1), 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("base_rate_hz=5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("peak_rate_hz=1"), std::string::npos) << msg;
+  }
   EXPECT_THROW(generate_diurnal_trace("fn", 1.0, 2.0, sim::Duration{},
                                       sim::Duration::seconds(1), 1),
                std::invalid_argument);

@@ -9,16 +9,24 @@
 //               locality] [--rate HZ] [--duration-s S] [--cache-mib M]
 //   prebakectl faults [--rate R] [--crash-rate R] [--seed S] [--attempts N]
 //               [--quarantine N] [--duration-s S]
+//   prebakectl workload generate --out FILE [--functions N] [--zipf-s S]
+//               [--rate HZ] [--requests N] [--seed S]
+//   prebakectl workload stats --in FILE
 //   prebakectl bench throughput [--reps N]
 //
 // Functions: noop | markdown | image-resizer | synthetic-{small,medium,big}
 // Techniques: vanilla | pb-nowarmup | pb-warmup
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/prebaker.hpp"
 #include "criu/dump.hpp"
@@ -33,6 +41,7 @@
 #include "exp/scenario.hpp"
 #include "faas/builder.hpp"
 #include "faas/trace.hpp"
+#include "faas/trace_source.hpp"
 #include "obs/export.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
@@ -45,7 +54,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: prebakectl "
                "<list|startup|service|bake-info|trace|nodes|store|faults"
-               "|bench> [flags]\n"
+               "|workload|bench> [flags]\n"
                "  startup   --function F --technique T [--reps N] [--seed S]"
                " [--first-response]\n"
                "  service   --function F --technique T [--requests N]\n"
@@ -68,6 +77,14 @@ int usage() {
                "  faults    [--rate R] [--crash-rate R] [--seed S]"
                " [--attempts N]\n"
                "            [--quarantine N] [--duration-s S]\n"
+               "  workload generate --out FILE [--functions N] [--zipf-s S]"
+               " [--rate HZ]\n"
+               "            [--requests N] [--duration-s S] [--seed S]"
+               " [--peak HZ] [--period-s S]\n"
+               "            (stream a multi-function Zipf trace to CSV)\n"
+               "  workload stats --in FILE [--top N]\n"
+               "            (events, span, arrival rate, hottest functions"
+               " of a trace)\n"
                "  bench throughput [--reps N]\n"
                "            (host restores/sec of the zero-copy restore"
                " hot path, DESIGN.md 6g)\n"
@@ -461,6 +478,89 @@ int cmd_store(const exp::CliArgs& args) {
   return 0;
 }
 
+// `prebakectl workload generate|stats`: the multi-function Zipf workload in
+// CLI form. generate streams a ZipfTraceSource straight to CSV — one line
+// per arrival, never materialized — so a 10^7-event trace costs constant
+// memory; stats reads a trace back and prints its shape (span, aggregate
+// rate, hottest functions).
+int cmd_workload(const exp::CliArgs& args) {
+  if (args.positional().size() < 2)
+    throw std::invalid_argument{"workload: expected 'generate' or 'stats'"};
+  const std::string& sub = args.positional()[1];
+
+  if (sub == "generate") {
+    const std::string out = args.get_or("out", "workload.csv");
+    faas::ZipfTraceConfig cfg;
+    cfg.functions =
+        static_cast<std::uint32_t>(args.get_int_or("functions", 100));
+    cfg.zipf_s = args.get_double_or("zipf-s", 1.0);
+    cfg.rate_hz = args.get_double_or("rate", 100.0);
+    cfg.duration =
+        sim::Duration::seconds_f(args.get_double_or("duration-s", 600.0));
+    cfg.max_events =
+        static_cast<std::uint64_t>(args.get_int_or("requests", 0));
+    cfg.peak_rate_hz = args.get_double_or("peak", 0.0);
+    cfg.period =
+        sim::Duration::seconds_f(args.get_double_or("period-s", 3600.0));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+
+    faas::ZipfTraceSource source{cfg};
+    std::ofstream file{out};
+    if (!file) throw std::runtime_error{"cannot write " + out};
+    file << "# offset_ms,function\n";
+    std::uint64_t events = 0;
+    sim::Duration last{};
+    while (std::optional<faas::TraceEvent> e = source.next()) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3f", e->at.to_millis());
+      file << buf << ',' << e->function << '\n';
+      ++events;
+      last = e->at;
+    }
+    std::printf("wrote %llu events / %u functions (zipf s=%.2f, %.1f Hz, "
+                "span %.1f s) to %s\n",
+                static_cast<unsigned long long>(events), cfg.functions,
+                cfg.zipf_s, cfg.rate_hz, last.to_seconds(), out.c_str());
+    return 0;
+  }
+
+  if (sub == "stats") {
+    const std::string in = args.get_or("in", "workload.csv");
+    std::ifstream file{in};
+    if (!file) throw std::runtime_error{"cannot read " + in};
+    const std::string text{std::istreambuf_iterator<char>{file}, {}};
+    const auto events = faas::parse_trace_csv(text);
+    if (events.empty()) throw std::runtime_error{"empty trace"};
+
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto& e : events) ++counts[e.function];
+    const double span_s = events.back().at.to_seconds();
+    std::printf("%zu events, %zu functions, span %.1f s, aggregate rate "
+                "%.2f Hz\n",
+                events.size(), counts.size(), span_s,
+                span_s > 0.0 ? static_cast<double>(events.size()) / span_s
+                             : 0.0);
+
+    std::vector<std::pair<std::string, std::uint64_t>> ranked{counts.begin(),
+                                                              counts.end()};
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    const std::size_t top = std::min<std::size_t>(
+        ranked.size(),
+        static_cast<std::size_t>(args.get_int_or("top", 10)));
+    exp::TextTable table{{"Function", "Requests", "Share"}};
+    for (std::size_t i = 0; i < top; ++i)
+      table.add_row({ranked[i].first, std::to_string(ranked[i].second),
+                     exp::fmt_percent(static_cast<double>(ranked[i].second) /
+                                      static_cast<double>(events.size()))});
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+  }
+  throw std::invalid_argument{"workload: unknown subcommand " + sub};
+}
+
 // `prebakectl bench throughput`: the restore-throughput hot-path sweep of
 // bench/restore_throughput in CLI form — how many restores per second the
 // host executes (the harness engine's own speed, not simulated latency)
@@ -630,6 +730,8 @@ int main(int argc, char** argv) {
       rc = cmd_store(args);
     } else if (command == "faults") {
       rc = cmd_faults(args);
+    } else if (command == "workload") {
+      rc = cmd_workload(args);
     } else if (command == "bench") {
       rc = cmd_bench(args);
     } else {

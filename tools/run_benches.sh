@@ -34,6 +34,12 @@
 # repository root; combined with --check it asserts the zero-copy gate
 # (>= 5x restores/sec over the recorded pre-PR baseline, bit-identical
 # restored state at 1 and 4 engine threads).
+#
+# --policy runs the keep-alive policy study (bench/policy_study): four
+# replica-lifecycle policies under the same 10^6-request streaming Zipf
+# workload, writing BENCH_policy_study.json at the repository root; combined
+# with --check it asserts the cold-start-rate ordering, bit-identical JSON
+# at 1 and 4 engine threads, and the 10^7-request completion gate.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,6 +52,7 @@ chaos=0
 trace=0
 dedup=0
 throughput=0
+policy=0
 reps_set=0
 
 while [[ $# -gt 0 ]]; do
@@ -55,6 +62,7 @@ while [[ $# -gt 0 ]]; do
     --trace) trace=1; shift ;;
     --dedup) dedup=1; shift ;;
     --throughput) throughput=1; shift ;;
+    --policy) policy=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --threads) mode_args+=(--threads "$2"); shift 2 ;;
     --reps) mode_args+=(--reps "$2"); reps_set=1; shift 2 ;;
@@ -62,6 +70,19 @@ while [[ $# -gt 0 ]]; do
     *) echo "run_benches.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$policy" -eq 1 ]]; then
+  policy_bin="${build_dir}/bench/policy_study"
+  if [[ ! -x "$policy_bin" ]]; then
+    echo "run_benches.sh: ${policy_bin} not found; building..." >&2
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" --target policy_study -j
+  fi
+  [[ "$out_set" -eq 1 ]] || out="${repo_root}/BENCH_policy_study.json"
+  policy_args=(--out "$out")
+  [[ "$check" -eq 1 ]] && policy_args+=(--check)
+  exec "$policy_bin" "${policy_args[@]}"
+fi
 
 if [[ "$throughput" -eq 1 ]]; then
   tp_bin="${build_dir}/bench/restore_throughput"

@@ -50,3 +50,12 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ./build-sanitize/tests/prebake_tests \
   --gtest_filter='Store*:Template*:StoreView*:RestoreBatch*'
+
+# Fifth pass over the scale/streaming suites: the calendar queue's bucket
+# recycling, the self-referential streaming-replay closure, and the scale
+# scenario's aggregate bookkeeping all juggle lifetimes that deserve a
+# sanitized run of their own.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ./build-sanitize/tests/prebake_tests \
+  --gtest_filter='Scale*:TraceStream*'
