@@ -38,16 +38,22 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
   walk_span.attr("ranges", static_cast<std::uint64_t>(ranges.size()));
   walk_span.end();
 
-  // Parent coverage for incremental dumps: a page is skipped if the parent
-  // already holds it and it has not been dirtied since.
+  // Parent coverage for incremental dumps: a page is skipped if a parent
+  // already holds it and it has not been dirtied since. A pre-dump chain
+  // contributes every link's pagemap (nested --prev-images-dir semantics:
+  // each link covers only its own round's delta, so coverage is the union).
   std::set<std::pair<os::VmaId, std::uint64_t>> parent_pages;
-  if (opts.parent != nullptr) {
-    const auto parent_maps =
-        decode_pagemap(opts.parent->get("pagemap.img").bytes);
-    for (const PagemapEntry& e : parent_maps)
+  const auto cover = [&parent_pages](const ImageDir& link) {
+    const auto maps = decode_pagemap(link.get("pagemap.img").bytes);
+    for (const PagemapEntry& e : maps)
       for (std::uint64_t p = 0; p < e.pages; ++p)
         parent_pages.emplace(e.vma, e.first_page + p);
-  }
+  };
+  if (opts.parent != nullptr) cover(*opts.parent);
+  for (const ImageDir* link : opts.parent_chain)
+    if (link != nullptr) cover(*link);
+  const bool incremental =
+      opts.parent != nullptr || !opts.parent_chain.empty();
 
   // 3. Inject the parasite into the frozen target.
   obs::Span parasite_span = tr.span("parasite", "criu");
@@ -86,7 +92,7 @@ DumpResult Dumper::dump(os::Pid pid, const DumpOptions& opts) {
     for (std::uint64_t i = 0; i < range.pages; ++i) {
       const std::uint64_t page = range.first_page + i;
       const bool dirty = page < vma->dirty.size() && vma->dirty[page];
-      if (opts.parent != nullptr && !dirty &&
+      if (incremental && !dirty &&
           parent_pages.contains({range.vma, page})) {
         flush();
         continue;  // unchanged since parent snapshot

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "criu/image.hpp"
@@ -25,6 +26,12 @@ struct DumpOptions {
   // Incremental dump: only pages dirtied (or newly mapped) since `parent`
   // was taken are dumped. Used by the pre-dump ablation.
   const ImageDir* parent = nullptr;
+  // Nested-parent coverage (CRIU --prev-images-dir chains): a pre-dump
+  // chain's links each hold only their round's dirty delta, so skipping
+  // against the newest link alone would re-dump everything older links
+  // already cover. When set, coverage is the union over every link (oldest
+  // first); `parent` may be combined or omitted.
+  std::span<const ImageDir* const> parent_chain{};
   // Pre-dump: like a dump but leaves the target running and resets the
   // soft-dirty bits so the next dump is incremental.
   bool pre_dump = false;

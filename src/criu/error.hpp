@@ -43,8 +43,15 @@ class RestoreError : public std::runtime_error {
  public:
   RestoreError(RestoreErrorKind kind, const std::string& what)
       : std::runtime_error{what}, kind_{kind} {}
+  RestoreError(RestoreErrorKind kind, const std::string& what, int chain_link)
+      : std::runtime_error{what}, kind_{kind}, chain_link_{chain_link} {}
 
   RestoreErrorKind kind() const { return kind_; }
+  // Depth of the pre-dump chain link the failure was detected in: 0 is the
+  // newest link, increasing toward the base image. -1 when the failure is
+  // not attributable to a specific link (single-image restores, fetch-level
+  // faults).
+  int chain_link() const { return chain_link_; }
   // Transient faults are worth retrying against the same snapshot: device
   // errors, aborted transfers, and CRCs tripped by a corrupted *copy* (the
   // registry's master bytes are fine; a re-read can succeed). The rest fail
@@ -57,6 +64,7 @@ class RestoreError : public std::runtime_error {
 
  private:
   RestoreErrorKind kind_;
+  int chain_link_ = -1;
 };
 
 }  // namespace prebake::criu

@@ -95,6 +95,13 @@ class PageStore {
   os::Pid drop_template(const std::string& key);
   std::vector<os::Pid> drop_all_templates();
   std::size_t template_count() const { return templates_.size(); }
+  // Pages pinned across all registered templates — the warmth a node crash
+  // destroys (NodeStats::warmth_template_pages_destroyed accounting).
+  std::uint64_t template_pages() const {
+    std::uint64_t total = 0;
+    for (const auto& [key, t] : templates_) total += t.digests.size();
+    return total;
+  }
 
   // Node crash: the store's RAM is gone. Drops every page record (templates
   // must have been dropped first); stats survive for reporting.

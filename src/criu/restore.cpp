@@ -95,8 +95,12 @@ std::uint64_t negotiate_delta(os::Kernel& k,
 // rest is read on demand by the LazyPagesServer. Accumulates read/remote
 // byte counts into `result`. Throws typed RestoreErrors for truncated
 // on-disk copies, transient device errors and injected record corruption.
+// `chain_depth` names the pre-dump chain link being read (0 = final dump,
+// growing toward the oldest parent; -1 = not part of a chain) so truncation
+// in a *parent* link is attributable at the error level.
 void charge_image_reads(os::Kernel& k, const ImageDir& images,
-                        const RestoreOptions& opts, RestoreResult& result) {
+                        const RestoreOptions& opts, RestoreResult& result,
+                        int chain_depth = -1) {
   faults::Injector& inj = k.faults();
   obs::Tracer& tr = k.trace();
   for (const auto& [name, f] : images.files()) {
@@ -119,11 +123,15 @@ void charge_image_reads(os::Kernel& k, const ImageDir& images,
       // A persisted copy shorter than the record's nominal size is the scar
       // of a truncated write: unrecoverable from this replica, heals via
       // quarantine + re-bake.
-      if (k.fs().exists(path) && k.fs().size_of(path) < f.nominal_size)
-        throw RestoreError{RestoreErrorKind::kTruncatedImage,
-                           "restore: truncated image file " + path + " (" +
-                               std::to_string(k.fs().size_of(path)) + " < " +
-                               std::to_string(f.nominal_size) + " bytes)"};
+      if (k.fs().exists(path) && k.fs().size_of(path) < f.nominal_size) {
+        std::string what = "restore: truncated image file " + path + " (" +
+                           std::to_string(k.fs().size_of(path)) + " < " +
+                           std::to_string(f.nominal_size) + " bytes)";
+        if (chain_depth > 0)
+          what += " in chain link " + std::to_string(chain_depth);
+        throw RestoreError{RestoreErrorKind::kTruncatedImage, what,
+                           chain_depth};
+      }
       if (opts.remote_fetch && !k.fs().is_cached(path)) {
         if (opts.page_store != nullptr && !opts.lazy_pages &&
             name == "pages-1.img" && images.decoded().pages) {
@@ -217,11 +225,17 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   // just like a corrupt final dump. Host-side check: no simulated time.
   {
     obs::Span s = tr.span("validate", "criu");
-    for (const ImageDir* dir : chain) {
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      // Depth counts from the newest link: the final dump is link 0, its
+      // parent pre-dump link 1, and so on toward the oldest pre-dump.
+      const int depth = static_cast<int>(chain.size() - 1 - i);
       try {
-        dir->validate();
+        chain[i]->validate();
       } catch (const std::runtime_error& e) {
-        throw RestoreError{RestoreErrorKind::kCorruptImage, e.what()};
+        throw RestoreError{RestoreErrorKind::kCorruptImage,
+                           std::string{e.what()} + " (chain link " +
+                               std::to_string(depth) + ")",
+                           depth};
       }
     }
   }
@@ -239,7 +253,9 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
       if (!link.fs_prefix.empty())
         for (std::size_t j = i + 1; j < chain.size(); ++j)
           link.fs_prefix += "parent/";
-      charge_image_reads(k, *chain[i], link, result);
+      const int depth =
+          chain.size() > 1 ? static_cast<int>(chain.size() - 1 - i) : -1;
+      charge_image_reads(k, *chain[i], link, result, depth);
     }
   }
 

@@ -113,6 +113,11 @@ ClusterScenarioResult detail::run_cluster_impl(
     report.template_clones = n.stats().template_clones;
     report.store_pages = n.store().stored_pages();
     report.store_templates = n.store().template_count();
+    report.migrations_out = n.stats().migrations_out;
+    report.migrations_in = n.stats().migrations_in;
+    report.migrations_aborted = n.stats().migrations_aborted;
+    report.warmth_replicas_migrated = n.stats().warmth_replicas_migrated;
+    report.warmth_replicas_destroyed = n.stats().warmth_replicas_destroyed;
     out.snapshot_hits += report.snapshot_hits;
     out.snapshot_misses += report.snapshot_misses;
     out.remote_bytes_fetched += report.remote_bytes_fetched;

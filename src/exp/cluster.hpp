@@ -58,6 +58,12 @@ struct ClusterNodeReport {
   std::uint64_t template_clones = 0;
   std::uint64_t store_pages = 0;       // resident records at end of run
   std::size_t store_templates = 0;
+  // Live-migration / warmth ledger (zero unless migrations ran, §6i).
+  std::uint64_t migrations_out = 0;
+  std::uint64_t migrations_in = 0;
+  std::uint64_t migrations_aborted = 0;
+  std::uint64_t warmth_replicas_migrated = 0;
+  std::uint64_t warmth_replicas_destroyed = 0;
 };
 
 struct ClusterScenarioResult {

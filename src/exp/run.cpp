@@ -10,6 +10,7 @@ const char* scenario_kind_name(ScenarioKind kind) {
     case ScenarioKind::kCluster: return "cluster";
     case ScenarioKind::kChaos: return "chaos";
     case ScenarioKind::kScale: return "scale";
+    case ScenarioKind::kMigration: return "migration";
   }
   throw std::invalid_argument{"scenario_kind_name: bad kind"};
 }
@@ -49,6 +50,14 @@ ScenarioSpec ScenarioSpec::from(const ScaleScenarioConfig& config) {
   return spec;
 }
 
+ScenarioSpec ScenarioSpec::from(const MigrationScenarioConfig& config) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kMigration;
+  spec.seed = config.seed;
+  spec.migration = config;
+  return spec;
+}
+
 ScenarioRun run(const ScenarioSpec& spec) {
   ScenarioRun out;
   out.kind = spec.kind;
@@ -79,6 +88,12 @@ ScenarioRun run(const ScenarioSpec& spec) {
       cfg.seed = spec.seed;
       cfg.threads = spec.threads;
       out.scale = detail::run_scale_impl(cfg, trace);
+      return out;
+    }
+    case ScenarioKind::kMigration: {
+      MigrationScenarioConfig cfg = spec.migration;
+      cfg.seed = spec.seed;
+      out.migration = detail::run_migration_impl(cfg, trace);
       return out;
     }
   }

@@ -17,13 +17,14 @@
 
 #include "exp/chaos.hpp"
 #include "exp/cluster.hpp"
+#include "exp/migration.hpp"
 #include "exp/scale.hpp"
 #include "exp/scenario.hpp"
 #include "obs/report.hpp"
 
 namespace prebake::exp {
 
-enum class ScenarioKind { kStartup, kCluster, kChaos, kScale };
+enum class ScenarioKind { kStartup, kCluster, kChaos, kScale, kMigration };
 
 const char* scenario_kind_name(ScenarioKind kind);
 
@@ -44,12 +45,14 @@ struct ScenarioSpec {
   ClusterScenarioConfig cluster;
   ChaosScenarioConfig chaos;
   ScaleScenarioConfig scale;
+  MigrationScenarioConfig migration;
 
   // Lift a legacy config into a spec (shared fields mirrored out).
   static ScenarioSpec from(const ScenarioConfig& config);
   static ScenarioSpec from(const ClusterScenarioConfig& config);
   static ScenarioSpec from(const ChaosScenarioConfig& config);
   static ScenarioSpec from(const ScaleScenarioConfig& config);
+  static ScenarioSpec from(const MigrationScenarioConfig& config);
 };
 
 struct ScenarioRun {
@@ -59,6 +62,7 @@ struct ScenarioRun {
   ClusterScenarioResult cluster;
   ChaosScenarioResult chaos;
   ScaleScenarioResult scale;
+  MigrationScenarioResult migration;
   // Populated (and finalized) when the spec asked for tracing.
   obs::TraceReport trace;
 };
@@ -76,6 +80,8 @@ ChaosScenarioResult run_chaos_impl(const ChaosScenarioConfig& config,
                                    obs::TraceReport* trace);
 ScaleScenarioResult run_scale_impl(const ScaleScenarioConfig& config,
                                    obs::TraceReport* trace);
+MigrationScenarioResult run_migration_impl(const MigrationScenarioConfig& config,
+                                           obs::TraceReport* trace);
 }  // namespace detail
 
 }  // namespace prebake::exp

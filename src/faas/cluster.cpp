@@ -115,7 +115,9 @@ WorkerNode* Scheduler::pick_worst_fit(std::vector<WorkerNode>& nodes,
                                       const PlacementRequest& request) {
   WorkerNode* best = nullptr;
   for (WorkerNode& n : nodes) {
-    if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
+    if (!n.schedulable() || n.id() == request.exclude ||
+        n.mem_free() < request.mem_bytes)
+      continue;
     if (best == nullptr || n.mem_free() > best->mem_free()) best = &n;
   }
   return best;
@@ -132,7 +134,9 @@ WorkerNode* Scheduler::pick(std::vector<WorkerNode>& nodes,
       // Rotate a cursor over the node list; skip nodes that cannot host.
       for (std::size_t i = 0; i < nodes.size(); ++i) {
         WorkerNode& n = nodes[(rr_cursor_ + i) % nodes.size()];
-        if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
+        if (!n.schedulable() || n.id() == request.exclude ||
+            n.mem_free() < request.mem_bytes)
+          continue;
         rr_cursor_ = (rr_cursor_ + i + 1) % nodes.size();
         return &n;
       }
@@ -148,7 +152,9 @@ WorkerNode* Scheduler::pick(std::vector<WorkerNode>& nodes,
         WorkerNode* best = nullptr;
         std::uint64_t best_missing = 0;
         for (WorkerNode& n : nodes) {
-          if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
+          if (!n.schedulable() || n.id() == request.exclude ||
+              n.mem_free() < request.mem_bytes)
+            continue;
           const std::uint64_t missing =
               n.store().missing_unique_bytes(request.snapshot_digests);
           if (best == nullptr || missing < best_missing ||
@@ -165,7 +171,9 @@ WorkerNode* Scheduler::pick(std::vector<WorkerNode>& nodes,
       if (!request.snapshot_key.empty()) {
         WorkerNode* best = nullptr;
         for (WorkerNode& n : nodes) {
-          if (!n.schedulable() || n.mem_free() < request.mem_bytes) continue;
+          if (!n.schedulable() || n.id() == request.exclude ||
+              n.mem_free() < request.mem_bytes)
+            continue;
           if (!n.cache_contains(request.snapshot_key)) continue;
           if (best == nullptr || n.mem_free() > best->mem_free()) best = &n;
         }

@@ -28,6 +28,9 @@ namespace prebake::faas {
 
 using NodeId = std::uint32_t;
 
+// Sentinel for "no node": unresolved placement, wildcard migration endpoint.
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
 // Node lifecycle. Draining nodes accept no new replicas but let resident
 // ones finish; failed nodes lose everything on them (the platform kills the
 // replicas and re-queues their in-flight work).
@@ -46,6 +49,16 @@ struct NodeStats {
   std::uint64_t store_hit_pages = 0;
   std::uint64_t store_delta_bytes = 0;
   std::uint64_t template_clones = 0;
+  // Live-migration accounting (DESIGN.md §6i).
+  std::uint64_t migrations_out = 0;      // replicas migrated off this node
+  std::uint64_t migrations_in = 0;       // replicas that resumed here
+  std::uint64_t migrations_aborted = 0;  // attempts that fell back to local
+  // Warmth ledger: what fail/drain did to this node's warm state. A killed
+  // warm replica and a dropped template are destroyed warmth; a replica
+  // that left via live migration kept its warmth elsewhere.
+  std::uint64_t warmth_replicas_destroyed = 0;
+  std::uint64_t warmth_replicas_migrated = 0;
+  std::uint64_t warmth_template_pages_destroyed = 0;
 };
 
 class WorkerNode {
@@ -163,6 +176,9 @@ struct PlacementRequest {
   // Borrowed from the snapshot's ImageDir decode cache (zero-copy, §6g);
   // valid for the placement call, not for storage.
   std::span<const std::uint64_t> snapshot_digests;
+  // Node the placement must avoid (kNoNode = none): a migration destination
+  // must differ from its source even when the source has the most room.
+  NodeId exclude = kNoNode;
 };
 
 class Scheduler {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "criu/error.hpp"
+
 namespace prebake::faas {
 
 Platform::Platform(os::Kernel& kernel, rt::RuntimeCosts runtime_costs,
@@ -12,7 +14,8 @@ Platform::Platform(os::Kernel& kernel, rt::RuntimeCosts runtime_costs,
       containers_{kernel, config.container_costs},
       builder_{kernel, startup_},
       config_{config},
-      rng_{seed} {}
+      rng_{seed},
+      migrator_{kernel, config.migration} {}
 
 void Platform::deploy(rt::FunctionSpec spec, StartMode mode,
                       core::SnapshotPolicy policy) {
@@ -263,6 +266,13 @@ Platform::Replica* Platform::start_replica(const std::string& function,
       replica->proc = startup_.start_vanilla(fn.spec, rng.child(1));
       replica->proc.breakdown.fell_back_to_vanilla = true;
     }
+    // Fold this start into the node's fault-rate EWMA: a start that needed
+    // retries or fell back is the early smoke of a failing node (the same
+    // one kNodeCrash eventually takes down).
+    note_node_health(*node, (replica->proc.breakdown.restore_attempts > 1 ||
+                             replica->proc.breakdown.fell_back_to_vanilla)
+                                ? 1.0
+                                : 0.0);
   } else if (fn.mode == StartMode::kPrebaked) {
     ++stats_.restore_fallbacks;
     replica->proc = startup_.start_vanilla(fn.spec, rng.child(1));
@@ -473,7 +483,35 @@ void Platform::finish_serve(std::uint64_t id, std::uint64_t serve_epoch,
   // Release the replica before delivering the response so a chained
   // invocation (workflow stages) can reuse it immediately.
   const std::string function = replica->function;
-  if (resources_.node(replica->node).state() == NodeState::kDraining) {
+  if (replica->migration != nullptr && replica->migration->cutover_pending) {
+    // The pre-dump chain converged while this request was in flight: enter
+    // the cutover blackout now that the replica is quiescent.
+    replica->state = ReplicaState::kIdle;
+    replica->idle_since = kernel_->sim().now();
+    do_cutover(*replica);
+  } else if (replica->evacuate_on_idle && replica->migration == nullptr) {
+    // Marked for warm evacuation (drain kMigrateWarm / migrate_replica while
+    // busy): migrate instead of rejoining the idle pool. No destination with
+    // room degrades to the plain drain/idle behavior.
+    replica->evacuate_on_idle = false;
+    const NodeId to = replica->evacuate_to;
+    replica->evacuate_to = kNoNode;
+    replica->state = ReplicaState::kIdle;
+    replica->idle_since = kernel_->sim().now();
+    if (!begin_migration(*replica, to)) {
+      if (resources_.node(replica->node).state() == NodeState::kDraining) {
+        ++resources_.node_mut(replica->node).stats().warmth_replicas_destroyed;
+        reclaim(*replica);
+      } else {
+        arm_idle_timer(*replica);
+      }
+    }
+  } else if (replica->migration == nullptr &&
+             resources_.node(replica->node).state() == NodeState::kDraining) {
+    // Draining and not mid-migration: the warmth dies here. A replica with
+    // a pre-copy in flight instead rejoins the pool below and keeps serving
+    // until its chain converges — that migration IS the drain's plan for it.
+    ++resources_.node_mut(replica->node).stats().warmth_replicas_destroyed;
     reclaim(*replica);
   } else {
     replica->state = ReplicaState::kIdle;
@@ -491,6 +529,9 @@ void Platform::arm_idle_timer(Replica& replica) {
     Replica* r = find_replica(id);
     if (r == nullptr) return;
     if (r->state != ReplicaState::kIdle || r->idle_epoch != epoch) return;
+    // Mid-migration replicas are exempt: reclaiming one would strand the
+    // staged destination. finish/abort re-arm the timer.
+    if (r->migration != nullptr) return;
     // The warm pool floor is exempt from idle reclaim. No re-arm: the
     // replica sits in the pool until it serves again (serving re-arms on
     // completion); re-arming here would tick forever on an idle system.
@@ -502,6 +543,8 @@ void Platform::arm_idle_timer(Replica& replica) {
 }
 
 void Platform::reclaim(Replica& replica) {
+  if (replica.migration != nullptr)
+    abort_migration(replica, MigrationErrorKind::kAborted, /*revive=*/false);
   if (replica.container.has_value()) containers_.destroy(*replica.container);
   startup_.reclaim(replica.proc);
   resources_.release(replica.node, replica.mem_bytes);
@@ -641,14 +684,32 @@ void Platform::crash_node(NodeId node) {
   }
 }
 
-void Platform::drain_node(NodeId node) {
+void Platform::drain_node(NodeId node, DrainMode mode) {
   resources_.drain(node);
   std::vector<std::uint64_t> idle_ids;
   for (const auto& [id, r] : replicas_)
-    if (r->node == node && r->state == ReplicaState::kIdle)
+    if (r->node == node && r->state == ReplicaState::kIdle &&
+        r->migration == nullptr)
       idle_ids.push_back(id);
-  for (const std::uint64_t id : idle_ids)
-    if (Replica* r = find_replica(id)) reclaim(*r);
+  for (const std::uint64_t id : idle_ids) {
+    Replica* r = find_replica(id);
+    if (r == nullptr) continue;
+    // Warm evacuation: the idle replica keeps serving while its pre-dump
+    // chain ships; its warmth arrives at the destination instead of dying
+    // with the drain. No destination with room degrades to reclaim.
+    if (mode == DrainMode::kMigrateWarm && begin_migration(*r, kNoNode))
+      continue;
+    ++resources_.node_mut(node).stats().warmth_replicas_destroyed;
+    reclaim(*r);
+  }
+  if (mode == DrainMode::kMigrateWarm) {
+    // Busy replicas evacuate when their current request completes
+    // (finish_serve); starting ones are reclaimed at on_replica_ready.
+    for (auto& [id, r] : replicas_)
+      if (r->node == node && r->state == ReplicaState::kBusy &&
+          r->migration == nullptr)
+        r->evacuate_on_idle = true;
+  }
   // Busy and starting replicas finish their work and are reclaimed by their
   // completion events. Refill warm pools on the remaining nodes now.
   for (const auto& [function, count] : min_idle_) scale_up(function, count);
@@ -662,6 +723,8 @@ void Platform::fail_node(NodeId node) {
   // store forgets everything it had materialized (a recovered node starts
   // cold and re-pulls deltas).
   WorkerNode& failed = resources_.node_mut(node);
+  failed.stats().warmth_template_pages_destroyed +=
+      failed.store().template_pages();
   for (const os::Pid tpl : failed.store().drop_all_templates())
     if (kernel_->alive(tpl)) {
       kernel_->kill_process(tpl);
@@ -669,12 +732,25 @@ void Platform::fail_node(NodeId node) {
     }
   failed.store().clear_pages();
 
+  // Replicas elsewhere that were migrating *to* this node lose their staged
+  // destination, not their warmth: abort back to serving locally.
+  for (auto& [id, r] : replicas_)
+    if (r->node != node && r->migration != nullptr &&
+        r->migration->dest == node)
+      abort_migration(*r, MigrationErrorKind::kDestinationLost,
+                      /*revive=*/true);
+
   std::vector<std::string> affected;
   std::vector<std::uint64_t> dead;
   for (auto& [id, r] : replicas_) {
     if (r->node != node) continue;
     affected.push_back(r->function);
     dead.push_back(id);
+    // A migration whose source just died is over: free the staged
+    // destination before the replica's own teardown below.
+    if (r->migration != nullptr)
+      abort_migration(*r, MigrationErrorKind::kSourceLost, /*revive=*/false);
+    if (r->served_any) ++failed.stats().warmth_replicas_destroyed;
     if (r->inflight.has_value()) {
       // The response will never arrive from this replica; put the request
       // back at the head of the queue to be re-served (likely as a fresh
@@ -705,6 +781,530 @@ void Platform::fail_node(NodeId node) {
                  affected.end());
   for (const std::string& function : affected) ensure_capacity(function);
   for (const auto& [function, count] : min_idle_) scale_up(function, count);
+}
+
+// --- live replica migration (DESIGN.md §6i) ---------------------------------
+
+NodeId Platform::find_replica_node(const std::string& function) const {
+  const auto it = by_function_.find(function);
+  if (it == by_function_.end()) return kNoNode;
+  for (const Replica* r : it->second)
+    if (r->state != ReplicaState::kStarting) return r->node;
+  return kNoNode;
+}
+
+bool Platform::migrate_replica(const std::string& function, NodeId from,
+                               NodeId to) {
+  const auto it = by_function_.find(function);
+  if (it == by_function_.end()) return false;
+  for (Replica* r : it->second) {
+    if (r->migration != nullptr || r->evacuate_on_idle) continue;
+    if (from != kNoNode && r->node != from) continue;
+    if (to != kNoNode && r->node == to) continue;
+    if (r->state == ReplicaState::kIdle) {
+      if (begin_migration(*r, to)) return true;
+      continue;
+    }
+    if (r->state == ReplicaState::kBusy) {
+      // Evacuate once the in-flight request completes (finish_serve).
+      r->evacuate_on_idle = true;
+      r->evacuate_to = to;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t Platform::rebalance() {
+  std::uint32_t moves = 0;
+  for (WorkerNode& n : resources_.nodes_mut()) {
+    if (!n.schedulable() || n.mem_capacity() == 0) continue;
+    const double util = static_cast<double>(n.mem_used()) /
+                        static_cast<double>(n.mem_capacity());
+    if (util < config_.rebalance_high_watermark) continue;
+    // Shed the oldest idle replica — creation order, like find_idle.
+    for (auto& [id, r] : replicas_) {
+      if (r->node != n.id() || r->state != ReplicaState::kIdle ||
+          r->migration != nullptr)
+        continue;
+      if (begin_migration(*r, kNoNode)) {
+        ++moves;
+        ++stats_.rebalance_moves;
+        break;
+      }
+    }
+  }
+  return moves;
+}
+
+bool Platform::begin_migration(Replica& replica, NodeId to) {
+  if (replica.migration != nullptr || replica.state != ReplicaState::kIdle)
+    return false;
+  NodeId dest = kNoNode;
+  if (to != kNoNode) {
+    if (to == replica.node) return false;
+    WorkerNode& dn = resources_.node_mut(to);
+    if (!dn.schedulable() || dn.mem_free() < replica.mem_bytes) return false;
+    dn.reserve(replica.mem_bytes);
+    dest = to;
+  } else {
+    PlacementRequest request;
+    request.mem_bytes = replica.mem_bytes;
+    request.exclude = replica.node;
+    const std::optional<NodeId> n = resources_.place(request);
+    if (!n.has_value()) return false;
+    dest = *n;
+  }
+  note_mem_change(static_cast<std::int64_t>(replica.mem_bytes));
+
+  auto m = std::make_unique<MigrationState>();
+  m->id = next_migration_id_++;
+  m->dest = dest;
+  m->started = kernel_->sim().now();
+  replica.migration = std::move(m);
+  ++stats_.migrations_started;
+  {
+    obs::Span mark = kernel_->trace().instant("migration.begin", "faas");
+    mark.attr("function", replica.function);
+    mark.attr("from", resources_.node(replica.node).name());
+    mark.attr("to", resources_.node(dest).name());
+  }
+  const std::uint64_t rid = replica.id;
+  const std::uint64_t mid = replica.migration->id;
+  if (migrator_.config().max_rounds <= 0)
+    request_cutover(rid, mid);  // pure stop-and-copy: no pre-copy chain
+  else
+    migration_round(rid, mid);
+  return true;
+}
+
+void Platform::migration_round(std::uint64_t replica_id,
+                               std::uint64_t migration_id) {
+  Replica* r = find_replica(replica_id);
+  if (r == nullptr || r->migration == nullptr ||
+      r->migration->id != migration_id)
+    return;
+  MigrationState& m = *r->migration;
+
+  // Measure the round inline — dump on the source, ship on the wire — then
+  // rewind and replay on the owning timelines. The replica keeps serving
+  // throughout: pre-dump leaves it running (that is the "live" part).
+  const sim::TimePoint t0 = kernel_->sim().now();
+  obs::Span round_span = kernel_->trace().span("migration.pre-dump", "faas");
+  round_span.attr("function", r->function);
+  std::vector<const criu::ImageDir*> chain_so_far;
+  chain_so_far.reserve(m.chain.size());
+  for (const auto& link : m.chain) chain_so_far.push_back(link.get());
+  Migrator::PreDump round;
+  try {
+    round = migrator_.pre_dump(r->proc.pid, chain_so_far);
+  } catch (const MigrationError& e) {
+    round_span.attr("aborted", migration_error_name(e.kind()));
+    kernel_->sim().rewind_to(t0);
+    abort_migration(*r, e.kind(), /*revive=*/true);
+    return;
+  }
+  const sim::TimePoint t_dump = kernel_->sim().now();
+  criu::PageStore* dest_store =
+      config_.page_store ? &resources_.node_mut(m.dest).store() : nullptr;
+  const Migrator::Shipped shipped = migrator_.ship_link(*round.link, dest_store);
+  const sim::TimePoint t_ship = kernel_->sim().now();
+  round_span.attr("pages", round.dumped_pages);
+  round_span.attr("wire_bytes", shipped.bytes);
+  round_span.end_at(t_ship);
+  kernel_->sim().rewind_to(t0);
+  const sim::TimePoint src_done =
+      resources_.node_mut(r->node).run(t0, t_dump - t0);
+  const sim::TimePoint arrive = src_done + (t_ship - t_dump);
+
+  ++m.rounds;
+  ++stats_.migration_rounds;
+  stats_.migration_precopy_bytes += shipped.bytes;
+
+  const std::uint64_t rid = replica_id;
+  const std::uint64_t mid = migration_id;
+  if (shipped.corrupt) {
+    // The link arrived corrupt, so every younger delta would stack on a bad
+    // base: abandon the pre-copy chain and cut over with a full dump. The
+    // warmth still migrates; the downtime win doesn't — and neither does
+    // the standby, which was built on the now-poisoned base.
+    m.chain.clear();
+    drop_standby(m);
+    m.full_dump = true;
+    ++stats_.migration_full_dumps;
+    kernel_->sim().schedule_at(arrive,
+                               [this, rid, mid] { request_cutover(rid, mid); });
+    return;
+  }
+  m.chain.push_back(std::move(round.link));
+
+  // Stage (or refresh) the warm standby at the destination. The first good
+  // link restores into a stopped twin — runtime fixups included — and each
+  // later link replays its pages onto it as it arrives. All of this
+  // overlaps the still-serving source; it is why the blackout later bills
+  // only the final delta.
+  if (m.staged_pid == os::kNoPid) {
+    std::vector<const criu::ImageDir*> staged_chain;
+    staged_chain.reserve(m.chain.size());
+    for (const auto& link : m.chain) staged_chain.push_back(link.get());
+    try {
+      const criu::RestoreResult staged = migrator_.restore_at(
+          staged_chain, os::Cap::kSysPtrace | os::Cap::kSysAdmin);
+      rt::ManagedRuntime::attach_restored(  // fixup cost; object discarded
+          *kernel_, staged.pid, startup_.runtime_costs(),
+          registry_.get(r->function).spec,
+          rng_.child(0x57A6 + m.id * 2654435761ULL),
+          r->proc.runtime != nullptr && r->proc.runtime->warmed(),
+          startup_.assets());
+      m.staged_pid = staged.pid;
+      const sim::Duration stage_work = kernel_->sim().now() - t0;
+      kernel_->sim().rewind_to(t0);
+      resources_.node_mut(m.dest).run(arrive, stage_work);
+    } catch (const criu::RestoreError&) {
+      // Staging is an optimization: without a standby the cutover pays the
+      // full restore inside the blackout instead.
+      kernel_->sim().rewind_to(t0);
+    }
+  } else {
+    resources_.node_mut(m.dest).run(arrive,
+                                    migrator_.apply_cost(*m.chain.back()));
+  }
+  const bool converged =
+      round.dumped_pages <= migrator_.config().convergence_pages ||
+      m.rounds >= migrator_.config().max_rounds;
+  if (converged)
+    kernel_->sim().schedule_at(arrive,
+                               [this, rid, mid] { request_cutover(rid, mid); });
+  else
+    kernel_->sim().schedule_at(arrive,
+                               [this, rid, mid] { migration_round(rid, mid); });
+}
+
+void Platform::request_cutover(std::uint64_t replica_id,
+                               std::uint64_t migration_id) {
+  Replica* r = find_replica(replica_id);
+  if (r == nullptr || r->migration == nullptr ||
+      r->migration->id != migration_id)
+    return;
+  if (r->state == ReplicaState::kBusy) {
+    // Quiesce first: finish_serve enters the blackout when the in-flight
+    // request completes, so no request is ever dropped by a cutover.
+    r->migration->cutover_pending = true;
+    return;
+  }
+  if (r->state != ReplicaState::kIdle) return;
+  do_cutover(*r);
+}
+
+void Platform::do_cutover(Replica& replica) {
+  MigrationState& m = *replica.migration;
+  m.cutover_pending = false;
+  replica.state = ReplicaState::kMigrating;
+  ++replica.idle_epoch;  // cancel any armed idle timer
+  const sim::TimePoint t0 = kernel_->sim().now();
+  m.cutover_started = t0;
+  const bool warmed =
+      replica.proc.runtime != nullptr && replica.proc.runtime->warmed();
+
+  obs::Span span = kernel_->trace().span("migration.cutover", "faas");
+  span.attr("function", replica.function);
+
+  // The blackout, measured inline and bucketed into source / network /
+  // destination work so each part replays on the right timeline.
+  sim::Duration src_work{}, net_work{}, dest_work{};
+  sim::TimePoint mark = t0;
+  const auto lap = [&]() {
+    const sim::TimePoint now = kernel_->sim().now();
+    const sim::Duration d = now - mark;
+    mark = now;
+    return d;
+  };
+  const auto abort_cutover = [&](MigrationErrorKind kind, const char* why) {
+    span.attr("aborted", why);
+    span.end_at(kernel_->sim().now());
+    kernel_->sim().rewind_to(t0);
+    abort_migration(replica, kind, /*revive=*/true);
+  };
+
+  // Final freeze+dump of the last dirty delta (a full dump when the
+  // pre-copy chain was abandoned). A corrupt arrival re-dumps, bounded.
+  criu::DumpResult final_dump;
+  std::uint64_t final_bytes = 0;
+  bool have_final = false;
+  for (int attempt = 1; attempt <= migrator_.config().max_final_attempts;
+       ++attempt) {
+    std::vector<const criu::ImageDir*> chain_so_far;
+    chain_so_far.reserve(m.chain.size());
+    for (const auto& link : m.chain) chain_so_far.push_back(link.get());
+    try {
+      final_dump = migrator_.final_dump(replica.proc.pid, chain_so_far,
+                                        warmed ? 1u : 0u);
+    } catch (const MigrationError& e) {
+      abort_cutover(e.kind(), migration_error_name(e.kind()));
+      return;
+    }
+    src_work += lap();
+    criu::PageStore* dest_store =
+        config_.page_store ? &resources_.node_mut(m.dest).store() : nullptr;
+    const Migrator::Shipped shipped =
+        migrator_.ship_link(final_dump.images, dest_store);
+    net_work += lap();
+    final_bytes += shipped.bytes;
+    if (!shipped.corrupt) {
+      have_final = true;
+      break;
+    }
+  }
+  if (!have_final) {
+    abort_cutover(MigrationErrorKind::kCorruptChainLink, "corrupt-chain-link");
+    return;
+  }
+
+  // Restore the chain at the destination. A destination crash mid-restore
+  // (kNodeCrash) fails that node for real and retries on a fresh placement;
+  // transient restore faults retry in place per the restore policy.
+  std::vector<const criu::ImageDir*> chain;
+  chain.reserve(m.chain.size() + 1);
+  for (const auto& link : m.chain) chain.push_back(link.get());
+  chain.push_back(&final_dump.images);
+
+  criu::RestoreResult restored;
+  bool have_restore = false;
+  int attempt = 0;
+  while (!have_restore) {
+    if (kernel_->faults().enabled() &&
+        kernel_->faults().fires(faults::FaultSite::kNodeCrash)) {
+      // Destination died mid-restore: fail it for real, re-place, re-ship
+      // the whole chain to the new destination, and try again there. The
+      // standby died with the node, so the retry pays the restore in full.
+      ++stats_.migration_dest_retries;
+      drop_standby(m);
+      const NodeId dead = m.dest;
+      resources_.node_mut(dead).release(replica.mem_bytes);
+      note_mem_change(-static_cast<std::int64_t>(replica.mem_bytes));
+      m.dest = kNoNode;  // keeps fail_node's dest-lost pass off this one
+      crash_node(dead);
+      PlacementRequest request;
+      request.mem_bytes = replica.mem_bytes;
+      request.exclude = replica.node;
+      const std::optional<NodeId> next = resources_.place(request);
+      if (!next.has_value()) {
+        abort_cutover(MigrationErrorKind::kDestinationLost,
+                      "destination-lost");
+        return;
+      }
+      m.dest = *next;
+      note_mem_change(static_cast<std::int64_t>(replica.mem_bytes));
+      criu::PageStore* store =
+          config_.page_store ? &resources_.node_mut(m.dest).store() : nullptr;
+      bool reshipped = true;
+      for (const criu::ImageDir* link : chain) {
+        const Migrator::Shipped s = migrator_.ship_link(*link, store);
+        final_bytes += s.bytes;
+        if (s.corrupt) {
+          reshipped = false;
+          break;
+        }
+      }
+      net_work += lap();
+      if (!reshipped) {
+        abort_cutover(MigrationErrorKind::kCorruptChainLink,
+                      "corrupt-chain-link");
+        return;
+      }
+      continue;
+    }
+    try {
+      restored = migrator_.restore_at(
+          chain, os::Cap::kSysPtrace | os::Cap::kSysAdmin);
+      have_restore = true;
+    } catch (const criu::RestoreError& e) {
+      ++attempt;
+      if (!e.transient() || attempt >= std::max(config_.restore_max_attempts, 1)) {
+        abort_cutover(MigrationErrorKind::kDestinationLost,
+                      criu::restore_error_name(e.kind()));
+        return;
+      }
+      kernel_->sim().advance(config_.restore_retry_backoff * attempt);
+    }
+  }
+
+  // Stage the destination-side process; the runtime attach charges the
+  // post-restore fixups. The swap itself happens at finish time, after the
+  // work has actually completed on the destination's cores.
+  m.new_proc = core::ReplicaProcess{};
+  m.new_proc.pid = restored.pid;
+  m.new_proc.breakdown = replica.proc.breakdown;
+  m.new_proc.runtime =
+      std::make_unique<rt::ManagedRuntime>(rt::ManagedRuntime::attach_restored(
+          *kernel_, restored.pid, startup_.runtime_costs(),
+          registry_.get(replica.function).spec,
+          rng_.child(0x4D16 + m.id * 2654435761ULL), warmed,
+          startup_.assets()));
+  const sim::Duration restore_work = lap();
+  if (m.staged_pid != os::kNoPid) {
+    // The standby already holds the pre-copy state — restored and fixed up
+    // while the source was still serving. The fresh restore above realizes
+    // the merged final state; its cost was paid incrementally during the
+    // rounds, so the blackout bills only applying the final delta and
+    // resuming the twin.
+    dest_work +=
+        migrator_.apply_cost(final_dump.images) + migrator_.resume_cost();
+    drop_standby(m);
+  } else {
+    dest_work += restore_work;
+  }
+
+  const sim::TimePoint t_end = kernel_->sim().now();
+  span.end_at(t_end);
+  kernel_->sim().rewind_to(t0);
+
+  const sim::TimePoint src_done =
+      resources_.node_mut(replica.node).run(t0, src_work);
+  const sim::TimePoint arrive = src_done + net_work;
+  const sim::TimePoint ready = resources_.node_mut(m.dest).run(arrive, dest_work);
+
+  stats_.migration_final_bytes += final_bytes;
+  const std::uint64_t rid = replica.id;
+  const std::uint64_t mid = m.id;
+  kernel_->sim().schedule_at(ready,
+                             [this, rid, mid] { finish_migration(rid, mid); });
+}
+
+void Platform::finish_migration(std::uint64_t replica_id,
+                                std::uint64_t migration_id) {
+  Replica* r = find_replica(replica_id);
+  if (r == nullptr || r->migration == nullptr ||
+      r->migration->id != migration_id)
+    return;
+  MigrationState& m = *r->migration;
+  const NodeId src = r->node;
+  const NodeId dest = m.dest;
+
+  // The destination replica is live: the frozen source is now redundant.
+  startup_.reclaim(r->proc);
+  r->proc = std::move(m.new_proc);
+
+  // Re-home the container: the old cgroup dies with the source, a fresh one
+  // wraps the restored process, charged to the destination's cores.
+  if (r->container.has_value()) {
+    containers_.destroy(*r->container);
+    const RegisteredFunction& fn = registry_.get(r->function);
+    const sim::TimePoint c0 = kernel_->sim().now();
+    std::vector<std::string> layers{fn.spec.runtime_binary};
+    if (!fn.spec.classpath_archive.empty())
+      layers.push_back(fn.spec.classpath_archive);
+    r->container = containers_.create(
+        r->function + "-" + std::to_string(r->id) + "-m", std::move(layers),
+        r->mem_bytes, /*privileged=*/fn.mode == StartMode::kPrebaked);
+    containers_.attach(*r->container, r->proc.pid);
+    const sim::TimePoint c_end = kernel_->sim().now();
+    kernel_->sim().rewind_to(c0);
+    resources_.node_mut(dest).run(c0, c_end - c0);
+  }
+
+  resources_.release(src, r->mem_bytes);
+  note_mem_change(-static_cast<std::int64_t>(r->mem_bytes));
+  {
+    NodeStats& ss = resources_.node_mut(src).stats();
+    ++ss.migrations_out;
+    ++ss.warmth_replicas_migrated;
+    ++resources_.node_mut(dest).stats().migrations_in;
+  }
+
+  r->node = dest;
+  const sim::Duration downtime = kernel_->sim().now() - m.cutover_started;
+  stats_.migration_downtime += downtime;
+  ++stats_.migrations_completed;
+  {
+    obs::Span mark = kernel_->trace().instant("migration.finish", "faas");
+    mark.attr("function", r->function);
+    kernel_->trace().measure("faas.migration_downtime_ms",
+                             downtime.to_millis());
+  }
+  r->migration.reset();
+  r->state = ReplicaState::kIdle;
+  r->idle_since = kernel_->sim().now();
+  arm_idle_timer(*r);
+  dispatch(r->function);
+}
+
+void Platform::abort_migration(Replica& replica, MigrationErrorKind kind,
+                               bool revive) {
+  if (replica.migration == nullptr) return;
+  MigrationState& m = *replica.migration;
+  if (m.dest != kNoNode) {
+    resources_.node_mut(m.dest).release(replica.mem_bytes);
+    note_mem_change(-static_cast<std::int64_t>(replica.mem_bytes));
+  }
+  if (m.new_proc.pid != os::kNoPid && kernel_->alive(m.new_proc.pid)) {
+    kernel_->kill_process(m.new_proc.pid);
+    kernel_->reap(m.new_proc.pid);
+  }
+  drop_standby(m);
+  ++stats_.migrations_aborted;
+  ++resources_.node_mut(replica.node).stats().migrations_aborted;
+  {
+    obs::Span mark = kernel_->trace().instant("migration.abort", "faas");
+    mark.attr("function", replica.function);
+    mark.attr("reason", migration_error_name(kind));
+  }
+  replica.migration.reset();
+  if (!revive) return;
+  // The source never stopped being able to serve: return it to the pool.
+  if (replica.state == ReplicaState::kMigrating) {
+    replica.state = ReplicaState::kIdle;
+    replica.idle_since = kernel_->sim().now();
+  }
+  if (replica.state == ReplicaState::kIdle) {
+    arm_idle_timer(replica);
+    dispatch(replica.function);
+  }
+}
+
+void Platform::drop_standby(MigrationState& m) {
+  if (m.staged_pid == os::kNoPid) return;
+  if (kernel_->alive(m.staged_pid)) {
+    kernel_->kill_process(m.staged_pid);
+    kernel_->reap(m.staged_pid);
+  }
+  m.staged_pid = os::kNoPid;
+}
+
+void Platform::note_node_health(NodeId node, double signal) {
+  double& h = node_health_[node];
+  h = config_.node_health_alpha * signal +
+      (1.0 - config_.node_health_alpha) * h;
+  if (config_.evacuation_threshold <= 0.0 || h < config_.evacuation_threshold)
+    return;
+  if (!resources_.node(node).schedulable()) return;
+  const sim::TimePoint now = kernel_->sim().now();
+  const auto last = last_evacuation_.find(node);
+  if (last != last_evacuation_.end() &&
+      now - last->second < config_.evacuation_cooldown)
+    return;
+  last_evacuation_[node] = now;
+  h = 0.0;
+  ++stats_.evacuations;
+  {
+    obs::Span mark = kernel_->trace().instant("migration.evacuate", "faas");
+    mark.attr("node", resources_.node(node).name());
+  }
+  // Decoupled from the caller's measured start window: the evacuation runs
+  // as its own event. The node drains warm — its replicas live-migrate —
+  // and rejoins after the cooldown, hopefully past its bad patch.
+  kernel_->sim().schedule_at(now, [this, node] {
+    if (resources_.node(node).state() != NodeState::kReady) return;
+    drain_node(node, DrainMode::kMigrateWarm);
+    if (config_.evacuation_cooldown > sim::Duration{}) {
+      kernel_->sim().schedule_in(config_.evacuation_cooldown, [this, node] {
+        if (resources_.node(node).state() != NodeState::kDraining) return;
+        resources_.reactivate(node);
+        for (const auto& [function, count] : min_idle_)
+          scale_up(function, count);
+      });
+    }
+  });
 }
 
 }  // namespace prebake::faas

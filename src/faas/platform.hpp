@@ -25,6 +25,7 @@
 #include "core/startup.hpp"
 #include "faas/builder.hpp"
 #include "faas/metrics.hpp"
+#include "faas/migration.hpp"
 #include "faas/registry.hpp"
 #include "faas/resource_manager.hpp"
 #include "os/container.hpp"
@@ -117,6 +118,24 @@ struct PlatformConfig {
   // Crashed nodes (FaultSite::kNodeCrash) rejoin the cluster after this
   // long; zero = they stay down.
   sim::Duration node_recovery_delay{};
+
+  // --- live replica migration (DESIGN.md §6i) ------------------------------
+  // Pre-dump chain shape and delta transfer for warm evacuations.
+  MigrationConfig migration{};
+  // Node-health EWMA: per-node fault-rate signal updated on every prebaked
+  // start (1.0 = the start needed retries or fell back, 0.0 = clean).
+  double node_health_alpha = 0.2;
+  // Proactive evacuation: when a node's health EWMA reaches this level, its
+  // warm replicas are live-migrated off (drain_node kMigrateWarm) before the
+  // next kNodeCrash can destroy them. 0 = off (the default; keeps every
+  // scenario without migration byte-identical).
+  double evacuation_threshold = 0.0;
+  // An evacuated node rejoins the cluster after this long (and is exempt
+  // from re-evacuation for the same window); zero = it stays drained.
+  sim::Duration evacuation_cooldown = sim::Duration::seconds(60);
+  // rebalance(): a schedulable node at or above this memory utilization
+  // sheds one idle replica per call via live migration.
+  double rebalance_high_watermark = 0.9;
 };
 
 struct PlatformStats {
@@ -138,6 +157,18 @@ struct PlatformStats {
   std::uint64_t node_crashes = 0;       // injected mid-restore crashes
   std::uint64_t node_recoveries = 0;    // crashed nodes brought back
   std::uint64_t requests_requeued = 0;  // in-flight work re-queued by failures
+  // --- live migration (DESIGN.md §6i) -------------------------------------
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_aborted = 0;    // fell back to serving locally
+  std::uint64_t migration_rounds = 0;      // pre-dump rounds executed
+  std::uint64_t migration_full_dumps = 0;  // corrupt-link full-dump fallbacks
+  std::uint64_t migration_dest_retries = 0;  // destination crashes mid-restore
+  std::uint64_t migration_precopy_bytes = 0;  // shipped while still serving
+  std::uint64_t migration_final_bytes = 0;    // shipped inside the blackout
+  sim::Duration migration_downtime;  // summed cutover blackout windows
+  std::uint64_t evacuations = 0;       // health-triggered warm drains
+  std::uint64_t rebalance_moves = 0;   // migrations started by rebalance()
 };
 
 // Circuit-breaker state for one function's snapshot. Failures count
@@ -177,13 +208,40 @@ class Platform {
   // the provider eats for the latency (Section 1).
   void set_min_idle(const std::string& function, std::uint32_t count);
 
+  // How drain_node disposes of the drained node's warm replicas: reclaim
+  // (destroy the warmth, the legacy behavior) or live-migrate them to other
+  // nodes via pre-dump chains (warm evacuation, DESIGN.md §6i).
+  enum class DrainMode : std::uint8_t { kReclaim, kMigrateWarm };
+
   // Node lifecycle, platform view. Draining stops new placements, reclaims
-  // the node's idle replicas and lets busy ones finish (reclaimed on
-  // completion). Failing a node kills everything on it: in-flight requests
-  // are re-queued at the front of their function's queue and re-served
-  // elsewhere; warm pools are replenished on surviving nodes.
-  void drain_node(NodeId node);
+  // (or, in kMigrateWarm mode, live-migrates) the node's idle replicas and
+  // lets busy ones finish (reclaimed or evacuated on completion). Failing a
+  // node kills everything on it: in-flight requests are re-queued at the
+  // front of their function's queue and re-served elsewhere; warm pools are
+  // replenished on surviving nodes.
+  void drain_node(NodeId node, DrainMode mode = DrainMode::kReclaim);
   void fail_node(NodeId node);
+
+  // Live-migrate one replica of `function` from node `from` to node `to`
+  // (kNoNode = any). Idle replicas start migrating immediately; a busy one
+  // is marked to evacuate when its current request completes. Returns false
+  // when no replica matches or no destination has room.
+  bool migrate_replica(const std::string& function, NodeId from = kNoNode,
+                       NodeId to = kNoNode);
+
+  // Rebalancing action: every schedulable node at or above the configured
+  // high watermark sheds one idle replica via live migration. Returns how
+  // many migrations were started.
+  std::uint32_t rebalance();
+
+  // Node-health EWMA (0 = healthy; grows toward 1 with failing starts).
+  double node_health(NodeId node) const {
+    const auto it = node_health_.find(node);
+    return it == node_health_.end() ? 0.0 : it->second;
+  }
+  // Node hosting the first (creation-order) replica of `function`, or
+  // kNoNode when none exists.
+  NodeId find_replica_node(const std::string& function) const;
 
   ResourceManager& resources() { return resources_; }
   FunctionRegistry& registry() { return registry_; }
@@ -217,7 +275,10 @@ class Platform {
   std::string node_image_prefix(NodeId node, const std::string& fs_prefix) const;
 
  private:
-  enum class ReplicaState : std::uint8_t { kStarting, kIdle, kBusy };
+  // kMigrating covers only the cutover blackout (final dump -> destination
+  // resume); during pre-dump rounds the replica stays kIdle/kBusy and keeps
+  // serving — that is what makes the migration "live".
+  enum class ReplicaState : std::uint8_t { kStarting, kIdle, kBusy, kMigrating };
 
   struct Pending {
     funcs::Request req;
@@ -228,6 +289,8 @@ class Platform {
     sim::TimePoint enqueued;
     std::uint32_t retries = 0;
   };
+
+  struct MigrationState;  // defined below Replica, which holds one
 
   struct Replica {
     std::uint64_t id = 0;
@@ -246,6 +309,36 @@ class Platform {
     // the replica (not in the event closure) so a node failure can re-queue
     // it.
     std::optional<Pending> inflight;
+    // In-flight live migration (null = none). unique_ptr: the chain links
+    // hold stable ImageDir addresses across replica-map rehashes.
+    std::unique_ptr<MigrationState> migration;
+    // Busy replica marked for evacuation: when its current request
+    // completes, finish_serve starts a migration (to evacuate_to, kNoNode =
+    // any) instead of returning it to the idle pool.
+    bool evacuate_on_idle = false;
+    NodeId evacuate_to = kNoNode;
+  };
+
+  // One live migration in flight. The pre-dump chain accumulates here
+  // (oldest link first, --prev-images-dir layout); the staged destination
+  // process replaces the replica's proc only at finish time, so any failure
+  // up to that point can abort back to the still-running source.
+  struct MigrationState {
+    std::uint64_t id = 0;
+    NodeId dest = kNoNode;
+    std::vector<std::unique_ptr<criu::ImageDir>> chain;
+    int rounds = 0;
+    bool full_dump = false;       // pre-copy abandoned (corrupt link)
+    bool cutover_pending = false;  // converged while the replica was busy
+    sim::TimePoint started;
+    sim::TimePoint cutover_started;
+    core::ReplicaProcess new_proc;  // staged destination-side process
+    // Warm standby pre-restored at the destination from the shipped chain
+    // (later links replay onto it as they arrive). With a standby up, the
+    // cutover blackout bills only the final-delta apply + resume; without
+    // one (stop-and-copy, corrupt chain, destination crash) it pays the
+    // full restore.
+    os::Pid staged_pid = os::kNoPid;
   };
 
   Replica* find_idle(const std::string& function);
@@ -272,6 +365,28 @@ class Platform {
   void rebake(const std::string& function);
   // Injected kNodeCrash: fail the node now, optionally schedule recovery.
   void crash_node(NodeId node);
+
+  // --- live migration (DESIGN.md §6i) --------------------------------------
+  // Reserve a destination and start the pre-dump loop for an idle replica.
+  bool begin_migration(Replica& replica, NodeId to);
+  // One pre-dump round: dump the dirty delta while the source keeps
+  // serving, ship the link, then converge or schedule the next round.
+  void migration_round(std::uint64_t replica_id, std::uint64_t migration_id);
+  // Converged: cut over now if the replica is idle, else after its current
+  // request completes.
+  void request_cutover(std::uint64_t replica_id, std::uint64_t migration_id);
+  // The blackout: final freeze+dump, ship the last delta, restore the chain
+  // at the destination (retrying elsewhere if it crashes mid-restore).
+  void do_cutover(Replica& replica);
+  // Destination resumed: kill the source, swap procs, move accounting.
+  void finish_migration(std::uint64_t replica_id, std::uint64_t migration_id);
+  // Release the staged destination and (when revive is set) return the
+  // replica to local service; revive=false when the replica itself is dying.
+  void abort_migration(Replica& replica, MigrationErrorKind kind, bool revive);
+  void drop_standby(MigrationState& m);
+  // Fold one start outcome into the node's health EWMA; may trigger a
+  // proactive warm evacuation when the threshold is configured.
+  void note_node_health(NodeId node, double signal);
 
   os::Kernel* kernel_;
   funcs::SharedAssets assets_;
@@ -302,6 +417,10 @@ class Platform {
   std::map<std::string, SnapshotHealth> snapshot_health_;
   std::uint64_t next_replica_id_ = 1;
   std::uint64_t next_rebake_ = 1;  // rng stream ids for re-bakes
+  Migrator migrator_;
+  std::map<NodeId, double> node_health_;  // fault-rate EWMA per node
+  std::map<NodeId, sim::TimePoint> last_evacuation_;
+  std::uint64_t next_migration_id_ = 1;
 
   // Fleet-memory integral (see fleet_mem_byte_seconds()).
   double mem_byte_seconds_ = 0.0;

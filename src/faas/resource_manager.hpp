@@ -30,7 +30,9 @@ class ResourceManager {
   std::optional<NodeId> place(const PlacementRequest& request);
   // Memory-only placement (vanilla replicas and legacy callers).
   std::optional<NodeId> place(std::uint64_t mem_bytes) {
-    return place(PlacementRequest{mem_bytes, {}});
+    PlacementRequest request;
+    request.mem_bytes = mem_bytes;
+    return place(request);
   }
   void release(NodeId node, std::uint64_t mem_bytes);
 

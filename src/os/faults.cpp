@@ -30,6 +30,8 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kRegistryDisconnect: return "registry-disconnect";
     case FaultSite::kLazyServerDeath: return "lazy-server-death";
     case FaultSite::kNodeCrash: return "node-crash";
+    case FaultSite::kMigrationDumpFault: return "migration-dump-fault";
+    case FaultSite::kMigrationLinkCorrupt: return "migration-link-corrupt";
   }
   return "unknown";
 }
@@ -43,6 +45,8 @@ double FaultPlan::rate(FaultSite site) const {
     case FaultSite::kRegistryDisconnect: return registry_disconnect_rate;
     case FaultSite::kLazyServerDeath: return lazy_server_death_rate;
     case FaultSite::kNodeCrash: return node_crash_rate;
+    case FaultSite::kMigrationDumpFault: return migration_dump_fault_rate;
+    case FaultSite::kMigrationLinkCorrupt: return migration_link_corrupt_rate;
   }
   return 0.0;
 }
@@ -51,7 +55,8 @@ bool FaultPlan::enabled() const {
   return image_corruption_rate > 0.0 || image_read_error_rate > 0.0 ||
          truncated_write_rate > 0.0 || registry_stall_rate > 0.0 ||
          registry_disconnect_rate > 0.0 || lazy_server_death_rate > 0.0 ||
-         node_crash_rate > 0.0;
+         node_crash_rate > 0.0 || migration_dump_fault_rate > 0.0 ||
+         migration_link_corrupt_rate > 0.0;
 }
 
 void Injector::configure(FaultPlan plan) {

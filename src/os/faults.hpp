@@ -35,8 +35,10 @@ enum class FaultSite : std::uint8_t {
   kRegistryDisconnect,  // remote snapshot fetch aborts mid-transfer
   kLazyServerDeath,     // uffd lazy-pages server dies mid-fault
   kNodeCrash,           // worker node crashes mid-restore
+  kMigrationDumpFault,  // pre-dump round fails on the migration source
+  kMigrationLinkCorrupt,  // a shipped pre-dump chain link arrives corrupt
 };
-inline constexpr std::size_t kFaultSiteCount = 7;
+inline constexpr std::size_t kFaultSiteCount = 9;
 
 const char* fault_site_name(FaultSite site);
 
@@ -52,6 +54,8 @@ struct FaultPlan {
   double registry_disconnect_rate = 0.0; // per remote fetch attempt
   double lazy_server_death_rate = 0.0;   // per lazy page-in batch
   double node_crash_rate = 0.0;          // per prebaked replica start
+  double migration_dump_fault_rate = 0.0;   // per live-migration pre-dump round
+  double migration_link_corrupt_rate = 0.0; // per shipped chain link
   // Filesystem-level read faults apply only to paths containing this
   // substring, so injected storage faults hit the snapshot pipeline rather
   // than, say, the runtime binary of a Vanilla start.

@@ -46,6 +46,12 @@ struct FunctionSpec {
   sim::Duration warm_service_median = sim::Duration::millis(1);
   double service_sigma = 0.05;
 
+  // Pages write-touched per request in steady state (heap churn). Zero —
+  // the calibrated default — leaves the post-warmup footprint read-only, so
+  // pre-dump deltas converge instantly; nonzero models a write-heavy
+  // function whose dirty rate resists live-migration convergence.
+  std::uint64_t request_dirty_pages = 0;
+
   std::uint64_t memory_seed = 0x9e3779b9;
 
   std::uint64_t init_class_bytes() const { return class_bytes(init_classes); }

@@ -1,5 +1,6 @@
 #include "rt/runtime.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace prebake::rt {
@@ -190,6 +191,35 @@ void ManagedRuntime::lazy_first_request(bool restored_warm_path) {
   }
 }
 
+// Steady-state heap churn: write-touch `request_dirty_pages` heap pages per
+// request, cycling a cursor across the heap VMA so successive requests dirty
+// *different* pages. This is what a live-migration pre-dump is up against —
+// the dirty delta between rounds is proportional to this rate. Pages are
+// already resident, so the touches re-dirty the soft-dirty bitmap without
+// charging fault-in time; contents come from the same PatternSource, so
+// snapshot digests stay valid.
+void ManagedRuntime::dirty_heap_pages() {
+  os::Kernel& k = *kernel_;
+  if (dirty_vma_ == 0) {
+    for (const os::Vma& v : k.process(pid_).mm().vmas()) {
+      if (v.name == "[jvm-heap]" || (dirty_vma_ == 0 && v.name == "[app-buffers]"))
+        dirty_vma_ = v.id;
+      if (v.name == "[jvm-heap]") break;
+    }
+    if (dirty_vma_ == 0) return;  // nothing writable to churn
+  }
+  const os::Vma* vma = k.process(pid_).mm().find(dirty_vma_);
+  if (vma == nullptr || vma->page_count() == 0) return;
+  const std::uint64_t total = vma->page_count();
+  std::uint64_t left = std::min<std::uint64_t>(spec_.request_dirty_pages, total);
+  while (left > 0) {
+    const std::uint64_t run = std::min(left, total - dirty_cursor_);
+    k.fault_in(pid_, dirty_vma_, dirty_cursor_, run, /*write=*/true);
+    dirty_cursor_ = (dirty_cursor_ + run) % total;
+    left -= run;
+  }
+}
+
 funcs::Response ManagedRuntime::handle(const funcs::Request& req) {
   if (progress_ != RuntimeProgress::kReady && progress_ != RuntimeProgress::kWarmed)
     throw std::logic_error{"ManagedRuntime::handle: runtime not ready"};
@@ -205,6 +235,8 @@ funcs::Response ManagedRuntime::handle(const funcs::Request& req) {
   k.sim().advance(sim::Duration::nanos(static_cast<std::int64_t>(
       static_cast<double>(spec_.warm_service_median.nanos_count()) *
       rng_.lognormal_median(1.0, spec_.service_sigma))));
+
+  if (spec_.request_dirty_pages > 0) dirty_heap_pages();
 
   funcs::Response res = handler_->handle(req);
   ++requests_served_;

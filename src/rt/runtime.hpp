@@ -118,6 +118,7 @@ class ManagedRuntime {
 
   double noise() { return rng_.lognormal_median(1.0, costs_.timing_sigma); }
   void lazy_first_request(bool restored_warm_path);
+  void dirty_heap_pages();
 
   os::Kernel* kernel_;
   os::Pid pid_;
@@ -133,6 +134,11 @@ class ManagedRuntime {
   sim::Duration rts_time_{};
   sim::Duration appinit_time_{};
   sim::Duration last_service_time_{};
+  // Steady-state heap-churn cursor (request_dirty_pages > 0): which heap
+  // page the next request's writes start at. Resolved lazily so restored /
+  // attached runtimes find the heap VMA the image brought along.
+  os::VmaId dirty_vma_ = 0;
+  std::uint64_t dirty_cursor_ = 0;
 };
 
 }  // namespace prebake::rt

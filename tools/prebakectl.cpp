@@ -7,6 +7,7 @@
 //   prebakectl bake-info --function noop [--warmup 1]
 //   prebakectl nodes [--nodes N] [--cpus N] [--policy worst-fit|round-robin|
 //               locality] [--rate HZ] [--duration-s S] [--cache-mib M]
+//   prebakectl migrate FUNCTION [--from N] [--to N] [--nodes N] [--rounds N]
 //   prebakectl faults [--rate R] [--crash-rate R] [--seed S] [--attempts N]
 //               [--quarantine N] [--duration-s S]
 //   prebakectl workload generate --out FILE [--functions N] [--zipf-s S]
@@ -53,8 +54,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: prebakectl "
-               "<list|startup|service|bake-info|trace|nodes|store|faults"
-               "|workload|bench> [flags]\n"
+               "<list|startup|service|bake-info|trace|nodes|migrate|store"
+               "|faults|workload|bench> [flags]\n"
                "  startup   --function F --technique T [--reps N] [--seed S]"
                " [--first-response]\n"
                "  service   --function F --technique T [--requests N]\n"
@@ -69,6 +70,10 @@ int usage() {
                " [--duration-s S]\n"
                "            [--cache-mib M] [--mode vanilla|prebaked]"
                " [--seed S]\n"
+               "  migrate   FUNCTION [--from N] [--to N] [--nodes N]"
+               " [--rounds N] [--seed S]\n"
+               "            (live-migrate a warm replica via a pre-dump"
+               " chain, DESIGN.md 6i)\n"
                "  store stats [--nodes N] [--cpus N] [--policy P]"
                " [--rate HZ]\n"
                "            [--duration-s S] [--store-mib M] [--seed S]\n"
@@ -404,7 +409,7 @@ int cmd_nodes(const exp::CliArgs& args) {
 
   exp::TextTable table{{"Node", "State", "Replicas", "Mem used", "Placed",
                         "Hits", "Misses", "Evict", "Cache", "Registry MiB",
-                        "Busy"}};
+                        "Migr out/in", "Warmth mig/lost", "Busy"}};
   for (const exp::ClusterNodeReport& n : r.nodes)
     table.add_row({n.name, n.state, std::to_string(n.replicas),
                    exp::fmt_mib(n.mem_used), std::to_string(n.replicas_placed),
@@ -414,6 +419,10 @@ int cmd_nodes(const exp::CliArgs& args) {
                    std::to_string(n.cache_entries) + " (" +
                        exp::fmt_mib(n.cache_bytes) + ")",
                    exp::fmt_mib(n.remote_bytes_fetched),
+                   std::to_string(n.migrations_out) + "/" +
+                       std::to_string(n.migrations_in),
+                   std::to_string(n.warmth_replicas_migrated) + "/" +
+                       std::to_string(n.warmth_replicas_destroyed),
                    exp::fmt_ms(n.busy_ms, 1)});
   std::printf("%s", table.to_string().c_str());
   return 0;
@@ -706,6 +715,98 @@ int cmd_faults(const exp::CliArgs& args) {
   return 0;
 }
 
+// Live-migrate one warm replica of a function between worker nodes
+// (DESIGN.md §6i) and report the pre-dump chain shape and cutover blackout.
+// `--from`/`--to` are node ids (-1 = any / scheduler's pick).
+int cmd_migrate(const exp::CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "prebakectl migrate: missing function name\n");
+    return usage();
+  }
+  const rt::FunctionSpec spec = resolve_function(args.positional()[1]);
+  const std::uint32_t nodes =
+      static_cast<std::uint32_t>(args.get_int_or("nodes", 3));
+
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  faas::PlatformConfig cfg;
+  cfg.remote_registry = true;
+  cfg.page_store = true;
+  cfg.migration.max_rounds = static_cast<int>(args.get_int_or("rounds", 3));
+  faas::Platform platform{kernel, exp::testbed_runtime(), cfg,
+                          static_cast<std::uint64_t>(args.get_int_or("seed", 42))};
+  std::vector<faas::NodeId> ids;
+  for (std::uint32_t i = 0; i < nodes; ++i)
+    ids.push_back(
+        platform.resources().add_node("w" + std::to_string(i), 8ull << 30, 2));
+  // --from / --to name nodes by index (w0..wN-1), -1 = any.
+  const auto node_arg = [&args, &ids](const char* name) -> faas::NodeId {
+    const int v = static_cast<int>(args.get_int_or(name, -1));
+    if (v < 0) return faas::kNoNode;
+    if (static_cast<std::size_t>(v) >= ids.size())
+      throw std::invalid_argument{std::string{"--"} + name +
+                                  " is out of range (see --nodes)"};
+    return ids[static_cast<std::size_t>(v)];
+  };
+  const faas::NodeId from = node_arg("from");
+  const faas::NodeId to = node_arg("to");
+  const auto node_name = [&platform](faas::NodeId id) -> std::string {
+    return id == faas::kNoNode ? "(none)" : platform.resources().node(id).name();
+  };
+
+  platform.deploy(spec, faas::StartMode::kPrebaked,
+                  core::SnapshotPolicy::warmup(1));
+  platform.scale_up(spec.name, 1);
+  while (platform.idle_replica_count(spec.name) == 0 && sim.step()) {
+  }
+  const faas::NodeId source = platform.find_replica_node(spec.name);
+  if (source == faas::kNoNode) {
+    std::fprintf(stderr, "migrate: no warm replica of %s came up\n",
+                 spec.name.c_str());
+    return 1;
+  }
+  if (!platform.migrate_replica(spec.name, from, to)) {
+    std::fprintf(stderr,
+                 "migrate: no replica of %s on %s, or no destination has "
+                 "room\n",
+                 spec.name.c_str(),
+                 from == faas::kNoNode ? "any node" : node_name(from).c_str());
+    return 1;
+  }
+  sim.run_until(sim.now() + sim::Duration::seconds(60));
+
+  const faas::PlatformStats& st = platform.stats();
+  const faas::NodeId final_node = platform.find_replica_node(spec.name);
+  std::printf("%s: %s -> %s (%llu pre-dump rounds)\n", spec.name.c_str(),
+              node_name(source).c_str(), node_name(final_node).c_str(),
+              static_cast<unsigned long long>(st.migration_rounds));
+  std::printf(
+      "migrations: %llu started, %llu completed, %llu aborted, "
+      "%llu full-dump fallbacks, %llu destination retries\n",
+      static_cast<unsigned long long>(st.migrations_started),
+      static_cast<unsigned long long>(st.migrations_completed),
+      static_cast<unsigned long long>(st.migrations_aborted),
+      static_cast<unsigned long long>(st.migration_full_dumps),
+      static_cast<unsigned long long>(st.migration_dest_retries));
+  std::printf("pre-copy %s while serving, %s inside the blackout; "
+              "downtime %s\n",
+              exp::fmt_mib(st.migration_precopy_bytes).c_str(),
+              exp::fmt_mib(st.migration_final_bytes).c_str(),
+              exp::fmt_ms(st.migration_downtime.to_millis()).c_str());
+
+  exp::TextTable table{
+      {"Node", "State", "Replicas", "Migr out/in", "Warmth mig/lost"}};
+  for (const faas::WorkerNode& n : platform.resources().nodes())
+    table.add_row({n.name(), faas::node_state_name(n.state()),
+                   std::to_string(n.replicas()),
+                   std::to_string(n.stats().migrations_out) + "/" +
+                       std::to_string(n.stats().migrations_in),
+                   std::to_string(n.stats().warmth_replicas_migrated) + "/" +
+                       std::to_string(n.stats().warmth_replicas_destroyed)});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -726,6 +827,8 @@ int main(int argc, char** argv) {
       rc = cmd_trace(args);
     } else if (command == "nodes") {
       rc = cmd_nodes(args);
+    } else if (command == "migrate") {
+      rc = cmd_migrate(args);
     } else if (command == "store") {
       rc = cmd_store(args);
     } else if (command == "faults") {

@@ -35,6 +35,13 @@
 # (>= 5x restores/sec over the recorded pre-PR baseline, bit-identical
 # restored state at 1 and 4 engine threads).
 #
+# --migration runs the live-migration sweep (bench/migration): downtime vs
+# dirty-page rate for pre-copy chains against the cold re-restore baseline,
+# writing BENCH_migration.json at the repository root; combined with --check
+# it asserts the migration gates (zero lost requests, live downtime < 30% of
+# the cold re-restore for the read-heavy cell, downtime monotone in dirty
+# rate, bit-identical JSON at 1 and 4 engine threads).
+#
 # --policy runs the keep-alive policy study (bench/policy_study): four
 # replica-lifecycle policies under the same 10^6-request streaming Zipf
 # workload, writing BENCH_policy_study.json at the repository root; combined
@@ -53,6 +60,7 @@ trace=0
 dedup=0
 throughput=0
 policy=0
+migration=0
 reps_set=0
 
 while [[ $# -gt 0 ]]; do
@@ -63,6 +71,7 @@ while [[ $# -gt 0 ]]; do
     --dedup) dedup=1; shift ;;
     --throughput) throughput=1; shift ;;
     --policy) policy=1; shift ;;
+    --migration) migration=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --threads) mode_args+=(--threads "$2"); shift 2 ;;
     --reps) mode_args+=(--reps "$2"); reps_set=1; shift 2 ;;
@@ -70,6 +79,19 @@ while [[ $# -gt 0 ]]; do
     *) echo "run_benches.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$migration" -eq 1 ]]; then
+  migration_bin="${build_dir}/bench/migration"
+  if [[ ! -x "$migration_bin" ]]; then
+    echo "run_benches.sh: ${migration_bin} not found; building..." >&2
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" --target migration -j
+  fi
+  [[ "$out_set" -eq 1 ]] || out="${repo_root}/BENCH_migration.json"
+  migration_args=(--out "$out")
+  [[ "$check" -eq 1 ]] && migration_args+=(--check)
+  exec "$migration_bin" "${migration_args[@]}"
+fi
 
 if [[ "$policy" -eq 1 ]]; then
   policy_bin="${build_dir}/bench/policy_study"

@@ -59,3 +59,11 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ./build-sanitize/tests/prebake_tests \
   --gtest_filter='Scale*:TraceStream*'
+
+# Sixth pass over the live-migration suites: the pre-dump chain's
+# unique_ptr-held links, the staged standby process, and the abort-to-local
+# paths move ownership across rewound timelines — exactly the lifetime churn
+# sanitizers exist to catch.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ./build-sanitize/tests/prebake_tests --gtest_filter='Migrat*'
