@@ -41,8 +41,7 @@ int main() {
   for (const double fraction : {1.0, 0.5, 0.25, 0.1, 0.05, 0.0}) {
     criu::RestoreOptions opts;
     opts.fs_prefix = "/snap/lazy/";
-    opts.lazy_pages = fraction < 1.0;
-    opts.lazy_working_set = fraction;
+    if (fraction < 1.0) opts.paging = criu::PagingPolicy::lazy(fraction);
 
     const sim::TimePoint t0 = sim.now();
     const criu::RestoreResult r = criu::Restorer{kernel}.restore(dump.images, opts);

@@ -115,7 +115,7 @@ CellResult run_cell(const Cell& cell) {
   opts.fs_prefix = "/img/";
   const bool lazy = std::strcmp(cell.mode, "lazy") == 0;
   const bool clone = std::strcmp(cell.mode, "cow-clone") == 0;
-  if (lazy) opts.lazy_pages = true;
+  if (lazy) opts.paging = criu::PagingPolicy::lazy();
 
   criu::PageStore store;
   if (clone) {
@@ -191,6 +191,7 @@ std::string to_json(const std::vector<CellResult>& results, bool deterministic) 
                     static_cast<unsigned long long>(r.pages_restored),
                     static_cast<unsigned long long>(r.state_fingerprint),
                     i + 1 < results.size() ? "," : "");
+      out += buf;
     } else {
       std::snprintf(buf, sizeof buf,
                     "    {\"mode\": \"%s\", \"heap_mib\": %d, "
@@ -201,6 +202,7 @@ std::string to_json(const std::vector<CellResult>& results, bool deterministic) 
                     static_cast<unsigned long long>(r.pages_restored),
                     static_cast<unsigned long long>(r.state_fingerprint),
                     i + 1 < results.size() ? "," : "");
+      out += buf;
     }
   }
   out += "  ]\n}\n";

@@ -121,19 +121,6 @@ ReplicaProcess StartupService::start_zygote_fork(const rt::FunctionSpec& spec,
 
 ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
                                               const criu::ImageDir& images,
-                                              const std::string& fs_prefix,
-                                              sim::Rng rng,
-                                              double io_contention,
-                                              bool in_memory_images) {
-  PrebakedStartOptions options;
-  options.restore.fs_prefix = fs_prefix;
-  options.restore.io_contention = io_contention;
-  options.restore.in_memory = in_memory_images;
-  return start_prebaked(spec, images, options, std::move(rng));
-}
-
-ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
-                                              const criu::ImageDir& images,
                                               const PrebakedStartOptions& options,
                                               sim::Rng rng) {
   os::Kernel& k = *kernel_;
@@ -143,7 +130,9 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
 
   obs::Span start_span = tr.span("start.prebaked", "core");
   start_span.attr("function", spec.name);
-  if (options.restore.lazy_pages) start_span.attr("lazy_pages", "true");
+  const criu::PagingPolicy paging = options.restore.effective_paging();
+  if (paging.mode != criu::PagingMode::kEager)
+    start_span.attr("paging", criu::paging_mode_name(paging.mode));
   if (options.restore.remote_fetch) start_span.attr("remote_fetch", "true");
 
   // The caller's restore knobs pass through untouched, but pid reuse and
@@ -195,12 +184,20 @@ ReplicaProcess StartupService::start_prebaked(const rt::FunctionSpec& spec,
   }
   rep.pid = restored.pid;
   rep.lazy_server = restored.lazy_server;
+  rep.paging_mode = paging.mode;
+  rep.ws_recorder = restored.ws_recorder;
+  rep.ws_prefetched_pages = restored.ws_prefetched_pages;
+  rep.ws_fallback = restored.ws_fallback;
+  rep.ws_fallback_kind = restored.ws_fallback_kind;
   rep.remote_bytes_fetched = restored.remote_bytes;
   rep.store_hit_pages = restored.store_hit_pages;
   rep.store_delta_bytes = restored.store_delta_bytes;
   rep.template_clone = restored.template_clone;
   rep.template_materialized = restored.template_materialized;
   if (restored.template_clone) start_span.attr("template_clone", "true");
+  if (restored.ws_fallback)
+    start_span.attr("ws_fallback",
+                    criu::restore_error_name(restored.ws_fallback_kind));
   const sim::TimePoint t_restored = k.sim().now();
 
   // Learn how warm the image is from its stats entry.

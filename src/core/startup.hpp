@@ -47,9 +47,20 @@ struct ReplicaProcess {
   os::Pid pid = os::kNoPid;
   std::unique_ptr<rt::ManagedRuntime> runtime;
   StartupBreakdown breakdown;
-  // Present iff the replica was restored with lazy_pages: the uffd server
-  // holding its not-yet-faulted pages. The platform drains it on first use.
+  // Present iff the replica was restored under a non-eager paging mode: the
+  // uffd server holding its not-yet-faulted pages. The platform pages it in
+  // on first use (all of it for lazy, the demand set for working-set modes).
   std::shared_ptr<criu::LazyPagesServer> lazy_server;
+  // Which paging mode the restore ran under (kEager for vanilla/zygote
+  // starts and restore-less paths).
+  criu::PagingMode paging_mode = criu::PagingMode::kEager;
+  // Working-set restore accounting (DESIGN.md §6j). The recorder is present
+  // iff this replica is capturing its first invocation's working set; the
+  // platform closes it (criu::finish_ws_recording) after that invocation.
+  std::shared_ptr<criu::WsRecorder> ws_recorder;
+  std::uint64_t ws_prefetched_pages = 0;
+  bool ws_fallback = false;
+  criu::RestoreErrorKind ws_fallback_kind = criu::RestoreErrorKind::kMissingImage;
   // Bytes the restore pulled from a remote snapshot registry (0 unless
   // remote_fetch was set and the node-local cache was cold).
   std::uint64_t remote_bytes_fetched = 0;
@@ -82,7 +93,7 @@ struct RestorePolicy {
 
 // Everything a prebaked start can be asked to do, in one struct. `restore`
 // is the single source of truth for the restore-side knobs (fs_prefix,
-// io_contention, in_memory, remote_fetch, lazy_pages, lazy_working_set,
+// io_contention, in_memory, remote_fetch, the PagingPolicy,
 // registry-fetch retry budget — see criu::RestoreOptions) and is handed to
 // the Restorer as-is, except that the service always forces
 // restore_original_pid=false and runs CRIU with the launcher's capabilities:
@@ -124,16 +135,6 @@ class StartupService {
                                 const criu::ImageDir& images,
                                 const PrebakedStartOptions& options,
                                 sim::Rng rng);
-
-  // Legacy positional shim, kept for one PR. Delegates to the options
-  // overload (identical behavior, including thrown error types).
-  [[deprecated(
-      "use start_prebaked(spec, images, PrebakedStartOptions{...}, rng)")]]
-  ReplicaProcess start_prebaked(const rt::FunctionSpec& spec,
-                                const criu::ImageDir& images,
-                                const std::string& fs_prefix, sim::Rng rng,
-                                double io_contention = 1.0,
-                                bool in_memory_images = false);
 
   os::Pid launcher_pid() const { return launcher_; }
   os::Kernel& kernel() { return *kernel_; }

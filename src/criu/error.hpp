@@ -23,6 +23,9 @@ enum class RestoreErrorKind : std::uint8_t {
                     // buffer memory, thread-count mismatch, unknown vma)
   kPermission,      // missing capability (original-pid restore)
   kDeadline,        // restore attempts exceeded the caller's deadline
+  kConfig,          // contradictory RestoreOptions (caller bug, never
+                    // retryable): e.g. a non-eager paging mode combined
+                    // with a page-store template key
 };
 
 constexpr const char* restore_error_name(RestoreErrorKind kind) {
@@ -35,6 +38,7 @@ constexpr const char* restore_error_name(RestoreErrorKind kind) {
     case RestoreErrorKind::kUnsupported: return "unsupported";
     case RestoreErrorKind::kPermission: return "permission";
     case RestoreErrorKind::kDeadline: return "deadline";
+    case RestoreErrorKind::kConfig: return "config";
   }
   return "unknown";
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "criu/crc32.hpp"
+#include "criu/error.hpp"
 #include "criu/wire.hpp"
 
 namespace prebake::criu {
@@ -244,6 +245,73 @@ StatsEntry decode_stats(std::span<const std::uint8_t> img) {
   return e;
 }
 
+std::vector<std::uint8_t> encode_ws(const WorkingSetImage& ws) {
+  Writer w;
+  w.u32(ws.version);
+  w.u32(static_cast<std::uint32_t>(ws.runs.size()));
+  w.u64(ws.total_pages);
+  for (const WsRun& run : ws.runs) {
+    w.u32(run.vma);
+    w.u64(run.first_page);
+    w.u64(run.pages);
+  }
+  return frame(ImageType::kWs, std::move(w));
+}
+
+// Unlike the other decoders, decode_ws classifies its failures: a damaged
+// working-set image must downgrade the restore to pure-lazy, not fail it, so
+// the caller needs a kind() to switch on (and to surface in the warning).
+WorkingSetImage decode_ws(std::span<const std::uint8_t> img) {
+  if (img.size() < 16)
+    throw RestoreError{RestoreErrorKind::kTruncatedImage,
+                       "ws-1.img: file shorter than the image header"};
+  const std::span<const std::uint8_t> without_crc{img.data(), img.size() - 4};
+  Reader tail{img.subspan(img.size() - 4)};
+  if (tail.u32() != crc32(without_crc))
+    throw RestoreError{RestoreErrorKind::kCorruptImage,
+                       "ws-1.img: CRC mismatch"};
+  Reader r{without_crc};
+  if (r.u32() != kImageMagic)
+    throw RestoreError{RestoreErrorKind::kCorruptImage,
+                       "ws-1.img: bad image magic"};
+  if (static_cast<ImageType>(r.u32()) != ImageType::kWs)
+    throw RestoreError{RestoreErrorKind::kCorruptImage,
+                       "ws-1.img: unexpected image type"};
+  if (r.u32() != kFormatVersion)
+    throw RestoreError{RestoreErrorKind::kCorruptImage,
+                       "ws-1.img: unsupported format version"};
+  WorkingSetImage ws;
+  try {
+    ws.version = r.u32();
+    const std::uint32_t n_runs = r.u32();
+    ws.total_pages = r.u64();
+    ws.runs.reserve(n_runs);
+    for (std::uint32_t i = 0; i < n_runs; ++i) {
+      WsRun run;
+      run.vma = r.u32();
+      run.first_page = r.u64();
+      run.pages = r.u64();
+      ws.runs.push_back(run);
+    }
+  } catch (const std::runtime_error&) {
+    // Reader bounds failures: the CRC passed but the run table is cut short
+    // relative to its own count — a truncated body.
+    throw RestoreError{RestoreErrorKind::kTruncatedImage,
+                       "ws-1.img: run table truncated"};
+  }
+  std::uint64_t sum = 0;
+  for (const WsRun& run : ws.runs) {
+    if (run.pages == 0)
+      throw RestoreError{RestoreErrorKind::kCorruptImage,
+                         "ws-1.img: empty run"};
+    sum += run.pages;
+  }
+  if (sum != ws.total_pages)
+    throw RestoreError{RestoreErrorKind::kCorruptImage,
+                       "ws-1.img: run total does not match header"};
+  return ws;
+}
+
 ImageDir::ImageDir(const ImageDir& o) : files_{o.files_} {
   // Fresh mutex, liveness token and (empty) decode cache: a copy re-derives
   // its caches from its own bytes and never aliases the source's buffers —
@@ -323,6 +391,10 @@ void ImageDir::validate() const {
   const std::lock_guard lock{*cache_mu_};
   if (validated_) return;
   for (const auto& [name, f] : files_) {
+    // The working-set image is advisory: damage to it downgrades the restore
+    // to pure-lazy (decode_ws throws typed errors the restore path catches),
+    // so it must not fail whole-directory validation.
+    if (name == kWsImageName) continue;
     if (f.bytes.size() < 16)
       throw std::runtime_error{"ImageDir: file too small: " + name};
     const std::span<const std::uint8_t> body{f.bytes.data(), f.bytes.size() - 4};

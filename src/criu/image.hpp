@@ -49,6 +49,7 @@ enum class ImageType : std::uint32_t {
   kPages = 5,
   kFiles = 6,
   kStats = 7,
+  kWs = 8,  // ws-1.img: recorded first-invocation working set (DESIGN.md §6j)
 };
 
 enum class PayloadMode : std::uint8_t { kFull = 0, kDigest = 1 };
@@ -151,6 +152,32 @@ std::vector<std::uint8_t> encode_files(const std::vector<FileEntry>& es);
 std::vector<FileEntry> decode_files(std::span<const std::uint8_t> img);
 std::vector<std::uint8_t> encode_stats(const StatsEntry& e);
 StatsEntry decode_stats(std::span<const std::uint8_t> img);
+
+// Recorded first-invocation working set (REAP-style restore, DESIGN.md §6j):
+// RLE runs of faulted pages in *image* VMA coordinates, so any later restore
+// can translate them through its own vma id map. Persisted as ws-1.img next
+// to the snapshot, framed and CRC-guarded like every other image file.
+// decode_ws throws *typed* RestoreError (kTruncatedImage / kCorruptImage) so
+// the restore path can downgrade a damaged WS image to pure-lazy instead of
+// failing the restore.
+inline constexpr const char* kWsImageName = "ws-1.img";
+
+struct WsRun {
+  os::VmaId vma = 0;          // image vma id (VmaEntry::id)
+  std::uint64_t first_page = 0;
+  std::uint64_t pages = 0;
+  bool operator==(const WsRun&) const = default;
+};
+
+struct WorkingSetImage {
+  std::uint32_t version = kFormatVersion;
+  std::vector<WsRun> runs;
+  std::uint64_t total_pages = 0;  // sum of runs[i].pages, cross-checked
+  bool operator==(const WorkingSetImage&) const = default;
+};
+
+std::vector<std::uint8_t> encode_ws(const WorkingSetImage& ws);
+WorkingSetImage decode_ws(std::span<const std::uint8_t> img);
 
 // An in-memory image directory. Real bytes are kept here; nominal sizes are
 // what storage accounting uses (they differ only for digest-mode pages).

@@ -1,0 +1,79 @@
+#pragma once
+
+// Unified paging policy for prebaked restores. Replaces the ad-hoc
+// RestoreOptions.lazy_pages bool + lazy_working_set fraction pair with one
+// struct naming the restore's paging mode and its per-mode knobs:
+//
+//   kEager       — every page populated during restore (the paper's default).
+//   kLazy        — an eager prefix per pagemap run (lazy_fraction), the rest
+//                  served on first touch by the userfaultfd-style
+//                  LazyPagesServer.
+//   kWorkingSet  — REAP-style (Ustiugov et al.): the snapshot's recorded
+//                  first-invocation working set (ws-1.img) is eagerly
+//                  bulk-mapped, only the cold tail is lazy-served. With
+//                  ws_record set, the restore instead *records* that working
+//                  set: it starts pure-lazy with kernel fault capture armed,
+//                  and the platform persists the touched-page set after the
+//                  first invocation completes.
+
+#include <cstdint>
+
+namespace prebake::criu {
+
+enum class PagingMode : std::uint8_t {
+  kEager = 0,
+  kLazy = 1,
+  kWorkingSet = 2,
+};
+
+inline const char* paging_mode_name(PagingMode m) {
+  switch (m) {
+    case PagingMode::kEager: return "eager";
+    case PagingMode::kLazy: return "lazy";
+    case PagingMode::kWorkingSet: return "working_set";
+  }
+  return "unknown";
+}
+
+struct PagingPolicy {
+  PagingMode mode = PagingMode::kEager;
+
+  // kLazy: fraction of each pagemap run populated eagerly up front
+  // (clamped to [0,1]; 0 defers everything, 1 degenerates to eager).
+  double lazy_fraction = 0.25;
+
+  // kWorkingSet: record the working set on this restore instead of
+  // prefetching one. Ignored under other modes.
+  bool ws_record = false;
+
+  static PagingPolicy eager() { return {}; }
+
+  static PagingPolicy lazy(double fraction = 0.25) {
+    PagingPolicy p;
+    p.mode = PagingMode::kLazy;
+    p.lazy_fraction = fraction;
+    return p;
+  }
+
+  // First restore of a snapshot: run pure-lazy with fault recording armed.
+  static PagingPolicy ws_recording() {
+    PagingPolicy p;
+    p.mode = PagingMode::kWorkingSet;
+    p.ws_record = true;
+    return p;
+  }
+
+  // Later restores: eagerly prefetch the recorded working set, lazy tail.
+  static PagingPolicy ws_prefetch() {
+    PagingPolicy p;
+    p.mode = PagingMode::kWorkingSet;
+    return p;
+  }
+
+  friend bool operator==(const PagingPolicy& a, const PagingPolicy& b) {
+    return a.mode == b.mode && a.lazy_fraction == b.lazy_fraction &&
+           a.ws_record == b.ws_record;
+  }
+};
+
+}  // namespace prebake::criu

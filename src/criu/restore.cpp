@@ -90,24 +90,41 @@ std::uint64_t negotiate_delta(os::Kernel& k,
   return delta;
 }
 
-// Charge the storage cost of reading every image file of one snapshot. A
-// lazy-pages restore only reads the eager fraction of the page payload; the
-// rest is read on demand by the LazyPagesServer. Accumulates read/remote
-// byte counts into `result`. Throws typed RestoreErrors for truncated
-// on-disk copies, transient device errors and injected record corruption.
-// `chain_depth` names the pre-dump chain link being read (0 = final dump,
-// growing toward the oldest parent; -1 = not part of a chain) so truncation
-// in a *parent* link is attributable at the error level.
+// How much of one link's page payload the up-front read pass covers, and
+// which digests a delta negotiation runs over. Eager restores read
+// everything (bytes unset); lazy restores a fraction; working-set prefetch
+// reads exactly the link's WS pages and negotiates only their digests, so
+// first-restore-on-node ships the WS delta and nothing else up front.
+struct Pages1Plan {
+  std::optional<std::uint64_t> bytes;  // nullopt = the full nominal size
+  // Delta-negotiation scope when a page store is attached; empty = the
+  // image's full digest list.
+  std::span<const std::uint64_t> digests;
+  // Lazy paging keeps its legacy behavior of bypassing the store entirely
+  // (the uffd server owns the page lifecycle there).
+  bool allow_delta = true;
+};
+
+// Charge the storage cost of reading every image file of one snapshot. The
+// page payload is covered per `plan` (see Pages1Plan); whatever is not read
+// up front is read on demand by the LazyPagesServer. The working-set image
+// is skipped here unconditionally — it is advisory, read explicitly by the
+// prefetch prep path with fallback-not-fail semantics. Accumulates
+// read/remote byte counts into `result`. Throws typed RestoreErrors for
+// truncated on-disk copies, transient device errors and injected record
+// corruption. `chain_depth` names the pre-dump chain link being read (0 =
+// final dump, growing toward the oldest parent; -1 = not part of a chain)
+// so truncation in a *parent* link is attributable at the error level.
 void charge_image_reads(os::Kernel& k, const ImageDir& images,
-                        const RestoreOptions& opts, RestoreResult& result,
-                        int chain_depth = -1) {
+                        const RestoreOptions& opts, const Pages1Plan& plan,
+                        RestoreResult& result, int chain_depth = -1) {
   faults::Injector& inj = k.faults();
   obs::Tracer& tr = k.trace();
   for (const auto& [name, f] : images.files()) {
+    if (name == kWsImageName) continue;
     std::uint64_t to_read = f.nominal_size;
-    if (opts.lazy_pages && name == "pages-1.img")
-      to_read = static_cast<std::uint64_t>(
-          static_cast<double>(to_read) * std::clamp(opts.lazy_working_set, 0.0, 1.0));
+    if (plan.bytes && name == "pages-1.img")
+      to_read = std::min(*plan.bytes, f.nominal_size);
     result.bytes_read += to_read;
     if (to_read == 0) continue;
     // Per-image read span ("read:pages-1.img" ...). The name is built only
@@ -133,12 +150,14 @@ void charge_image_reads(os::Kernel& k, const ImageDir& images,
                            chain_depth};
       }
       if (opts.remote_fetch && !k.fs().is_cached(path)) {
-        if (opts.page_store != nullptr && !opts.lazy_pages &&
+        if (opts.page_store != nullptr && plan.allow_delta &&
             name == "pages-1.img" && images.decoded().pages) {
           // Borrowed digest span straight out of the decode cache — the
-          // negotiation never copies the digest list.
+          // negotiation never copies the digest list. A WS-prefetch plan
+          // narrows it to the link's working-set pages.
           const std::span<const std::uint64_t> digests =
-              images.decoded().pages->digests();
+              plan.digests.empty() ? images.decoded().pages->digests()
+                                   : plan.digests;
           const std::uint64_t delta = negotiate_delta(k, digests, opts, result);
           if (delta > 0)
             fetch_from_registry(k, path, delta, opts, result);
@@ -208,10 +227,18 @@ RestoreResult Restorer::restore(const ImageDir& images,
 RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
                                       const RestoreOptions& opts) {
   if (chain.empty()) throw std::invalid_argument{"restore: empty image chain"};
+  opts.validate();
+  const PagingPolicy paging = opts.effective_paging();
+  const bool lazy = paging.mode == PagingMode::kLazy;
+  const bool ws_record =
+      paging.mode == PagingMode::kWorkingSet && paging.ws_record;
+  const bool ws_prefetch =
+      paging.mode == PagingMode::kWorkingSet && !paging.ws_record;
   // Fast path (DESIGN.md §6f): the node store already holds a frozen template
   // for this snapshot — COW-clone it instead of replaying the images.
-  if (opts.page_store != nullptr && !opts.lazy_pages &&
-      !opts.store_key.empty() && opts.page_store->has_template(opts.store_key))
+  // (validate() already guaranteed store_key implies eager paging.)
+  if (opts.page_store != nullptr && !opts.store_key.empty() &&
+      opts.page_store->has_template(opts.store_key))
     return clone_from_template(chain, opts);
   os::Kernel& k = *kernel_;
   obs::Tracer& tr = k.trace();
@@ -240,9 +267,118 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
     }
   }
   const ImageDir& last = *chain.back();
+  RestoreResult result;
+
+  // 0. Working-set prefetch prep (DESIGN.md §6j): read and decode ws-1.img,
+  // then expand it into per-vma bitmaps. Any failure here — missing file,
+  // truncated or corrupt image, a bad read of the persisted copy —
+  // downgrades the restore to pure-lazy with a typed warning in the result:
+  // the WS image is advisory and must never fail a restore that would
+  // otherwise complete.
+  std::map<os::VmaId, os::PageBitmap> ws_pages;  // image vma id -> WS bitmap
+  bool have_ws = false;
+  if (ws_prefetch) {
+    obs::Span s = tr.span("ws-prep", "criu");
+    if (!last.has(kWsImageName)) {
+      result.ws_fallback = true;
+      result.ws_fallback_kind = RestoreErrorKind::kMissingImage;
+      result.ws_fallback_detail =
+          std::string{kWsImageName} + ": not present in snapshot";
+    } else {
+      try {
+        // Read the WS image like any other metadata file (fetched from the
+        // registry on remote first-restore, charged at storage bandwidth).
+        const std::uint64_t ws_bytes = last.get(kWsImageName).bytes.size();
+        result.bytes_read += ws_bytes;
+        if (!opts.fs_prefix.empty()) {
+          const std::string path = opts.fs_prefix + kWsImageName;
+          if (opts.remote_fetch && !k.fs().is_cached(path))
+            fetch_from_registry(k, path, ws_bytes, opts, result);
+          if (opts.in_memory) k.fs().warm(path);
+          if (k.fs().exists(path)) {
+            try {
+              k.fs().charge_read(path, ws_bytes, opts.io_contention);
+            } catch (const os::IoError& e) {
+              throw RestoreError{RestoreErrorKind::kIoError, e.what()};
+            }
+          } else {
+            k.sim().advance(k.costs().page_cache_read_cost(ws_bytes) *
+                            std::max(opts.io_contention, 1.0));
+          }
+        } else {
+          k.sim().advance(k.costs().page_cache_read_cost(ws_bytes) *
+                          std::max(opts.io_contention, 1.0));
+        }
+        const WsLoad load = load_working_set(last);
+        if (!load.ws)
+          throw RestoreError{load.fallback_kind, load.detail};
+        ws_pages = ws_bitmaps(*load.ws, last.decoded().vmas);
+        have_ws = true;
+      } catch (const RestoreError& e) {
+        result.ws_fallback = true;
+        result.ws_fallback_kind = e.kind();
+        result.ws_fallback_detail = e.what();
+        ws_pages.clear();
+      }
+    }
+    if (result.ws_fallback) {
+      s.attr("fallback", restore_error_name(result.ws_fallback_kind));
+      tr.count("criu.ws_fallback");
+    }
+  }
+
+  // Per-link plans for the page payload: how many bytes the up-front read
+  // pass covers and which digests a page-store delta negotiation runs over.
+  std::vector<Pages1Plan> plans(chain.size());
+  // Owned digest storage backing plans[i].digests for WS prefetch (the
+  // working set's digests, gathered per link in pagemap order).
+  std::vector<std::vector<std::uint64_t>> ws_digests(chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (lazy) {
+      std::uint64_t nominal = 0;
+      if (chain[i]->has("pages-1.img"))
+        nominal = chain[i]->get("pages-1.img").nominal_size;
+      plans[i].bytes = static_cast<std::uint64_t>(
+          static_cast<double>(nominal) *
+          std::clamp(paging.lazy_fraction, 0.0, 1.0));
+      plans[i].allow_delta = false;
+    } else if (ws_record || (ws_prefetch && !have_ws)) {
+      // Record mode (and the damaged-WS fallback) restores pure-lazy: every
+      // payload page is first read when it is first touched.
+      plans[i].bytes = 0;
+      plans[i].allow_delta = false;
+    } else if (ws_prefetch) {
+      const ImageDir::Decoded& ddec = chain[i]->decoded();
+      std::uint64_t ws_count = 0;
+      const bool want_digests =
+          opts.page_store != nullptr && ddec.pages.has_value();
+      const std::span<const std::uint64_t> digests =
+          want_digests ? ddec.pages->digests()
+                       : std::span<const std::uint64_t>{};
+      std::uint64_t cursor = 0;
+      for (const PagemapEntry& e : ddec.pagemap) {
+        if (e.zero) continue;
+        const auto bit = ws_pages.find(e.vma);
+        if (bit != ws_pages.end()) {
+          ws_count += bit->second.count_range(e.first_page, e.pages);
+          if (want_digests)
+            bit->second.for_each_set_run(
+                e.first_page, e.pages,
+                [&](std::uint64_t first, std::uint64_t n) {
+                  const std::uint64_t base = cursor + (first - e.first_page);
+                  for (std::uint64_t j = 0; j < n && base + j < digests.size();
+                       ++j)
+                    ws_digests[i].push_back(digests[base + j]);
+                });
+        }
+        cursor += e.pages;
+      }
+      plans[i].bytes = ws_count * os::kPageSize;
+      plans[i].digests = ws_digests[i];
+    }
+  }
 
   // 1. Read and decode the metadata images (and charge their I/O).
-  RestoreResult result;
   {
     obs::Span s = tr.span("image-reads", "criu.io");
     // Pre-dump links live under nested parent/ subdirectories of the final
@@ -255,7 +391,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
           link.fs_prefix += "parent/";
       const int depth =
           chain.size() > 1 ? static_cast<int>(chain.size() - 1 - i) : -1;
-      charge_image_reads(k, *chain[i], link, result, depth);
+      charge_image_reads(k, *chain[i], link, plans[i], result, depth);
     }
   }
 
@@ -362,9 +498,10 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   // 5. Replay the pagemap(s) oldest-first, one *run* at a time (DESIGN.md
   // §6g): each pagemap entry becomes a single bulk populate (one memcpy of
   // the run's payload span, one aggregated fault charge) and, when
-  // verifying, a single bulk digest compare. Under lazy_pages only a prefix
-  // of each run is eagerly mapped; the tail goes to the uffd server as one
-  // run-length-encoded entry.
+  // verifying, a single bulk digest compare. Under lazy paging only a prefix
+  // of each run is eagerly mapped; under WS prefetch the recorded working
+  // set's sub-runs are; in both cases the cold remainder goes to the uffd
+  // server as run-length-encoded entries.
   std::vector<LazyRun> lazy_pending;
   std::uint64_t lazy_pending_pages = 0;
   for (const ImageDir* dir : chain) {
@@ -396,15 +533,26 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
         continue;
       }
       std::uint64_t eager = e.pages;
-      if (opts.lazy_pages) {
+      if (lazy) {
         eager = static_cast<std::uint64_t>(std::ceil(
             static_cast<double>(e.pages) *
-            std::clamp(opts.lazy_working_set, 0.0, 1.0)));
+            std::clamp(paging.lazy_fraction, 0.0, 1.0)));
         if (eager < e.pages) {
           lazy_pending.push_back(
               LazyRun{it->second, e.first_page + eager, e.pages - eager});
           lazy_pending_pages += e.pages - eager;
         }
+      } else if (ws_record || (ws_prefetch && !have_ws)) {
+        // Pure-lazy: defer the whole run. In record mode the kernel's fault
+        // capture (armed below) then sees exactly the first invocation's
+        // touches.
+        eager = 0;
+        lazy_pending.push_back(LazyRun{it->second, e.first_page, e.pages});
+        lazy_pending_pages += e.pages;
+      } else if (ws_prefetch) {
+        // The recorded WS sub-runs are faulted explicitly after the payload
+        // copy; the gaps between them go to the uffd server.
+        eager = 0;
       }
       std::span<const std::uint8_t> payload{};
       if (buffers.contains(e.vma)) {
@@ -423,6 +571,44 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
       k.populate_run(pid, it->second, e.first_page, eager, payload);
       result.pages_restored += eager;
 
+      if (ws_prefetch && have_ws) {
+        // Bulk-map the recorded working set's sub-runs of this pagemap run;
+        // run-length-encode the cold gaps for the uffd server.
+        const auto bit = ws_pages.find(e.vma);
+        std::uint64_t pos = e.first_page;
+        const std::uint64_t end = e.first_page + e.pages;
+        if (bit != ws_pages.end())
+          bit->second.for_each_set_run(
+              e.first_page, e.pages,
+              [&](std::uint64_t first, std::uint64_t n) {
+                if (first > pos) {
+                  lazy_pending.push_back(LazyRun{it->second, pos, first - pos});
+                  lazy_pending_pages += first - pos;
+                }
+                k.fault_in(pid, it->second, first, n, /*write=*/false);
+                result.pages_restored += n;
+                result.ws_prefetched_pages += n;
+                if (opts.verify_pages) {
+                  const std::uint64_t base = cursor + (first - e.first_page);
+                  const std::uint64_t avail =
+                      base < digests.size() ? digests.size() - base : 0;
+                  const std::uint64_t matched =
+                      k.verify_run(pid, it->second, first,
+                                   digests.subspan(base, std::min(n, avail)));
+                  if (matched < n) {
+                    pagemap_span.attr("error", "digest-mismatch");
+                    throw RestoreError{RestoreErrorKind::kCorruptImage,
+                                       "restore: page digest mismatch"};
+                  }
+                }
+                pos = first + n;
+              });
+        if (pos < end) {
+          lazy_pending.push_back(LazyRun{it->second, pos, end - pos});
+          lazy_pending_pages += end - pos;
+        }
+      }
+
       if (opts.verify_pages && eager > 0) {
         const std::uint64_t avail =
             cursor < digests.size() ? digests.size() - cursor : 0;
@@ -440,8 +626,10 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   }
 
   pagemap_span.attr("pages_restored", result.pages_restored);
-  if (opts.lazy_pages)
+  if (paging.mode != PagingMode::kEager)
     pagemap_span.attr("lazy_pending", lazy_pending_pages);
+  if (ws_prefetch)
+    pagemap_span.attr("ws_prefetched", result.ws_prefetched_pages);
   if (opts.verify_pages) pagemap_span.attr("verified", "true");
   pagemap_span.end();
 
@@ -461,7 +649,7 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
   proc.set_state(os::ProcState::kRunning);
   cleanup.armed = false;
   result.pid = pid;
-  if (opts.page_store != nullptr && !opts.lazy_pages) {
+  if (opts.page_store != nullptr && paging.mode == PagingMode::kEager) {
     PageStore& store = *opts.page_store;
     // Whatever the payload source was, the node now holds these pages.
     for (const ImageDir* dir : chain)
@@ -489,10 +677,28 @@ RestoreResult Restorer::restore_chain(std::span<const ImageDir* const> chain,
       result.template_materialized = true;
       result.pid = spawn_template_clone(k, pid, inv, opts);
     }
+  } else if (opts.page_store != nullptr && ws_prefetch && have_ws) {
+    // The node now holds the working-set pages (they were read up front);
+    // the cold tail only lands page by page via the uffd server and is not
+    // tracked. Re-inserting digests the delta path already registered is a
+    // no-op — the store is content addressed.
+    for (const std::vector<std::uint64_t>& d : ws_digests)
+      if (!d.empty()) opts.page_store->insert(d);
   }
-  if (opts.lazy_pages)
+  if (paging.mode != PagingMode::kEager)
     result.lazy_server = std::make_shared<LazyPagesServer>(
         k, pid, opts.fs_prefix, std::move(lazy_pending));
+  if (ws_record) {
+    // Arm the kernel's fault capture only now, after the replay: everything
+    // recorded from here on — lazy page-ins, the invocation's own touches —
+    // is the first invocation's working set. Host-side bookkeeping, no
+    // simulated time.
+    auto rec = std::make_shared<WsRecorder>();
+    rec->pid = pid;
+    rec->image_to_new = vma_id_map;
+    k.start_fault_recording(pid);
+    result.ws_recorder = std::move(rec);
+  }
   result.duration = k.sim().now() - t0;
   restore_span.attr("pages", result.pages_restored);
   restore_span.attr("bytes_read", result.bytes_read);

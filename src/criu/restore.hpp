@@ -13,6 +13,8 @@
 
 #include "criu/error.hpp"
 #include "criu/image.hpp"
+#include "criu/paging.hpp"
+#include "criu/ws.hpp"
 #include "os/kernel.hpp"
 
 namespace prebake::criu {
@@ -20,6 +22,19 @@ namespace prebake::criu {
 class PageStore;
 
 struct RestoreOptions {
+  // The special members are defaulted inside this pragma region so copying
+  // an options struct does not re-trigger the deprecation warnings on the
+  // legacy lazy fields below — only *naming* them should.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  RestoreOptions() = default;
+  RestoreOptions(const RestoreOptions&) = default;
+  RestoreOptions(RestoreOptions&&) = default;
+  RestoreOptions& operator=(const RestoreOptions&) = default;
+  RestoreOptions& operator=(RestoreOptions&&) = default;
+  ~RestoreOptions() = default;
+#pragma GCC diagnostic pop
+
   // Reuse the checkpointed pid (requires CAP_CHECKPOINT_RESTORE or root).
   bool restore_original_pid = false;
   // Recompute every page digest after mapping and compare against the image
@@ -44,11 +59,17 @@ struct RestoreOptions {
   // a service", Section 7): a node's first read of each file is charged at
   // network bandwidth, after which it is cached locally.
   bool remote_fetch = false;
-  // Lazy-pages (post-copy) restore, CRIU's userfaultfd mode: only
-  // `lazy_working_set` of each VMA's pages are mapped eagerly; the rest are
-  // served on demand by the returned LazyPagesServer when the process first
-  // touches them. Trades restore latency for first-touch page faults.
+  // How the memory replay pages the process in (DESIGN.md §6j): eager
+  // (default), lazy (CRIU's userfaultfd post-copy mode — an eager prefix per
+  // pagemap run, the rest served on demand by the returned LazyPagesServer),
+  // or REAP-style working-set record/prefetch.
+  PagingPolicy paging;
+  // Pre-PagingPolicy spelling of the lazy mode, kept as aliases for exactly
+  // one PR: when lazy_pages is set it wins over `paging` (see
+  // effective_paging), so old-field configs behave identically.
+  [[deprecated("use paging = PagingPolicy::lazy(fraction)")]]
   bool lazy_pages = false;
+  [[deprecated("use paging = PagingPolicy::lazy(fraction)")]]
   double lazy_working_set = 0.25;  // fraction of pages restored eagerly
   // Remote-fetch resilience: a registry transfer that disconnects mid-flight
   // is retried up to this many attempts, sleeping backoff * attempt *
@@ -60,14 +81,43 @@ struct RestoreOptions {
   // Node-local content-addressed page store (DESIGN.md §6f). When set,
   // remote fetches of the page payload negotiate per-page digests and
   // transfer only what the store is missing, and restores materialize (or
-  // clone) a frozen per-snapshot template keyed by `store_key`. Ignored
-  // under lazy_pages (the uffd server owns the page lifecycle there).
+  // clone) a frozen per-snapshot template keyed by `store_key`. Delta
+  // negotiation also serves working-set prefetch restores (over the WS
+  // pages only); template clone requires eager paging — see validate().
   // Null = the legacy behavior everywhere.
   PageStore* page_store = nullptr;
   // The snapshot's identity in the node store (e.g. its node-local image
   // prefix). Empty disables template materialization/cloning even with a
-  // store attached; delta transfer still applies.
+  // store attached; delta transfer still applies. Requires eager paging: a
+  // non-eager restore leaves a lazy tail a frozen template would miss, so
+  // validate() rejects the combination (RestoreError{kConfig}) instead of
+  // the silent downgrade the pre-PagingPolicy code performed.
   std::string store_key;
+
+  // The paging policy this restore actually runs under: the deprecated
+  // lazy_pages/lazy_working_set pair wins when set, so configs written
+  // against the old API keep their exact behavior for this PR.
+  PagingPolicy effective_paging() const {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    if (lazy_pages) return PagingPolicy::lazy(lazy_working_set);
+#pragma GCC diagnostic pop
+    return paging;
+  }
+
+  // Reject contradictory option combinations up front with a typed,
+  // non-transient error (retrying a caller bug fails identically forever).
+  // Called by Restorer::restore_chain on every restore.
+  void validate() const {
+    const PagingPolicy p = effective_paging();
+    if (p.mode != PagingMode::kEager && page_store != nullptr &&
+        !store_key.empty())
+      throw RestoreError{
+          RestoreErrorKind::kConfig,
+          std::string{"restore: template clone (store_key) requires eager "
+                      "paging, got "} +
+              paging_mode_name(p.mode)};
+  }
 };
 
 // A run of not-yet-mapped pages handed to the uffd server. Run-length
@@ -124,8 +174,20 @@ struct RestoreResult {
   // layer's placement policies optimize for.
   std::uint64_t remote_bytes = 0;
   sim::Duration duration;
-  // Present iff the restore ran with lazy_pages.
+  // Present iff the restore ran under a non-eager paging mode (lazy, or the
+  // working-set modes, which lazy-serve their cold tail).
   std::shared_ptr<LazyPagesServer> lazy_server;
+  // Working-set restore (DESIGN.md §6j). The recorder is present iff the
+  // restore ran in ws-recording mode; the platform closes it with
+  // finish_ws_recording after the first invocation completes.
+  std::shared_ptr<WsRecorder> ws_recorder;
+  // Pages eagerly mapped from the recorded working set (prefetch mode).
+  std::uint64_t ws_prefetched_pages = 0;
+  // A requested WS prefetch downgraded to pure-lazy because ws-1.img was
+  // missing, truncated, or corrupt; kind/detail carry the typed warning.
+  bool ws_fallback = false;
+  RestoreErrorKind ws_fallback_kind = RestoreErrorKind::kMissingImage;
+  std::string ws_fallback_detail;
   // Page-store accounting (zero / false without opts.page_store). Hit pages
   // are payload pages the delta negotiation found already materialized on
   // the node; delta bytes are the payload that actually crossed the wire.

@@ -1,0 +1,64 @@
+#include "criu/ws.hpp"
+
+namespace prebake::criu {
+
+WorkingSetImage finish_ws_recording(os::Kernel& kernel,
+                                    const WsRecorder& rec) {
+  std::map<os::VmaId, os::PageBitmap> captured =
+      kernel.stop_fault_recording(rec.pid);
+  WorkingSetImage ws;
+  // image_to_new is ordered by image vma id and for_each_set_run ascends, so
+  // the run table comes out sorted without a separate pass.
+  for (const auto& [image_id, new_id] : rec.image_to_new) {
+    const auto it = captured.find(new_id);
+    if (it == captured.end()) continue;
+    const os::PageBitmap& bm = it->second;
+    bm.for_each_set_run(0, bm.size(),
+                        [&](std::uint64_t first, std::uint64_t pages) {
+                          ws.runs.push_back({image_id, first, pages});
+                          ws.total_pages += pages;
+                        });
+  }
+  return ws;
+}
+
+WsLoad load_working_set(const ImageDir& images) {
+  WsLoad out;
+  if (!images.has(kWsImageName)) {
+    out.fallback_kind = RestoreErrorKind::kMissingImage;
+    out.detail = std::string{kWsImageName} + ": not present in snapshot";
+    return out;
+  }
+  try {
+    out.ws = decode_ws(images.get(kWsImageName).bytes);
+  } catch (const RestoreError& e) {
+    out.fallback_kind = e.kind();
+    out.detail = e.what();
+  }
+  return out;
+}
+
+std::map<os::VmaId, os::PageBitmap> ws_bitmaps(
+    const WorkingSetImage& ws, const std::vector<VmaEntry>& vmas) {
+  std::map<os::VmaId, std::uint64_t> page_counts;
+  for (const VmaEntry& v : vmas)
+    page_counts[v.id] = v.length / os::kPageSize;
+  std::map<os::VmaId, os::PageBitmap> out;
+  for (const WsRun& run : ws.runs) {
+    const auto it = page_counts.find(run.vma);
+    if (it == page_counts.end())
+      throw RestoreError{RestoreErrorKind::kCorruptImage,
+                         "ws-1.img: run references unknown vma " +
+                             std::to_string(run.vma)};
+    if (run.first_page + run.pages > it->second)
+      throw RestoreError{RestoreErrorKind::kCorruptImage,
+                         "ws-1.img: run past the end of vma " +
+                             std::to_string(run.vma)};
+    os::PageBitmap& bm = out[run.vma];
+    if (bm.size() != it->second) bm.assign(it->second, false);
+    bm.set_range(run.first_page, run.pages);
+  }
+  return out;
+}
+
+}  // namespace prebake::criu

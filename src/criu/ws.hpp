@@ -1,0 +1,58 @@
+// REAP-style working-set capture (DESIGN.md §6j).
+//
+// A ws_recording restore arms the kernel's per-page fault capture on the
+// restored pid and hands back a WsRecorder; after the first invocation
+// completes, finish_ws_recording() turns the captured per-VMA bitmaps into a
+// WorkingSetImage — RLE runs in *image* VMA coordinates, so any later
+// restore can translate them through its own vma id map — ready to encode as
+// ws-1.img next to the snapshot.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "criu/error.hpp"
+#include "criu/image.hpp"
+#include "os/kernel.hpp"
+
+namespace prebake::criu {
+
+// Live recording handle: which pid's faults are being captured and how the
+// restored VMA ids map back to the image's. Returned (shared) in
+// RestoreResult so the platform can close the recording after the first
+// invocation even though the Restorer is long gone.
+struct WsRecorder {
+  os::Pid pid = os::kNoPid;
+  // image vma id -> restored vma id. The kernel's capture is keyed by the
+  // restored process's ids; the persisted image must be keyed by the
+  // snapshot's, so the translation happens exactly once, at finish time.
+  std::map<os::VmaId, os::VmaId> image_to_new;
+};
+
+// Stop the capture and translate it into a WorkingSetImage. Recorded VMAs
+// with no image counterpart (regions mapped after restore) are dropped —
+// they cannot be prefetched from the snapshot. Deterministic: runs are
+// emitted in (image vma id, first_page) order.
+WorkingSetImage finish_ws_recording(os::Kernel& kernel, const WsRecorder& rec);
+
+// Attempt to load ws-1.img from a directory. A missing / truncated / corrupt
+// working-set image is not a restore failure — the caller downgrades to
+// pure-lazy — so the outcome is a value, not an exception: `ws` empty means
+// fall back, with the typed reason and human detail alongside.
+struct WsLoad {
+  std::optional<WorkingSetImage> ws;
+  RestoreErrorKind fallback_kind = RestoreErrorKind::kMissingImage;
+  std::string detail;
+};
+WsLoad load_working_set(const ImageDir& images);
+
+// Expand the runs into per-VMA bitmaps keyed by image vma id, validated
+// against the image's VMA table. Throws RestoreError{kCorruptImage} on an
+// unknown vma or a run past the end of its VMA (the caller catches and falls
+// back, same as a bad decode).
+std::map<os::VmaId, os::PageBitmap> ws_bitmaps(
+    const WorkingSetImage& ws, const std::vector<VmaEntry>& vmas);
+
+}  // namespace prebake::criu

@@ -1,9 +1,11 @@
 #include "faas/platform.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "criu/error.hpp"
+#include "criu/ws.hpp"
 
 namespace prebake::faas {
 
@@ -174,8 +176,15 @@ Platform::Replica* Platform::start_replica(const std::string& function,
     // it: fall back to the fork-exec path and count the incident.
     try {
       core::PrebakedStartOptions opts;
-      opts.restore.lazy_pages = config_.lazy_restore;
-      opts.restore.lazy_working_set = config_.lazy_working_set;
+      // Working-set mode auto-switches per snapshot: record on its first
+      // start (no ws-1.img yet — serve() closes the recording after the
+      // first invocation and attaches the image), prefetch ever after.
+      criu::PagingPolicy paging = config_.paging;
+      if (paging.mode == criu::PagingMode::kWorkingSet)
+        paging = snap->images.has(criu::kWsImageName)
+                     ? criu::PagingPolicy::ws_prefetch()
+                     : criu::PagingPolicy::ws_recording();
+      opts.restore.paging = paging;
       opts.policy.max_attempts = config_.restore_max_attempts;
       opts.policy.retry_backoff = config_.restore_retry_backoff;
       opts.policy.deadline = config_.restore_deadline;
@@ -231,7 +240,12 @@ Platform::Replica* Platform::start_replica(const std::string& function,
         if (config_.node_page_store_bytes > 0 && wn.store().capacity() == 0)
           wn.store().set_capacity(config_.node_page_store_bytes);
         opts.restore.page_store = &wn.store();
-        opts.restore.store_key = opts.restore.fs_prefix;
+        // Template freeze/clone requires eager paging (a non-eager restore
+        // leaves a lazy tail the frozen template would miss — see
+        // RestoreOptions::validate); under lazy or working-set modes the
+        // store still serves per-page delta transfer.
+        if (paging.mode == criu::PagingMode::kEager)
+          opts.restore.store_key = opts.restore.fs_prefix;
       }
       replica->proc = startup_.start_prebaked(fn.spec, snap->images, opts,
                                               rng.child(0));
@@ -249,6 +263,14 @@ Platform::Replica* Platform::start_replica(const std::string& function,
           ++ns.snapshot_hits;
         } else if (!replica->proc.breakdown.fell_back_to_vanilla) {
           ++ns.snapshot_misses;
+        }
+      }
+      if (replica->proc.paging_mode == criu::PagingMode::kWorkingSet) {
+        if (replica->proc.ws_fallback) {
+          ++stats_.ws_fallbacks;
+        } else if (replica->proc.ws_recorder == nullptr) {
+          ++stats_.ws_prefetch_starts;
+          stats_.ws_prefetched_pages += replica->proc.ws_prefetched_pages;
         }
       }
       if (replica->proc.breakdown.restore_attempts > 1)
@@ -420,6 +442,7 @@ void Platform::serve(Replica& replica, Pending pending) {
       wait.attr("retries", static_cast<std::uint64_t>(pending.retries));
     tr.measure("faas.queue_wait_ms", metrics.queue_wait.to_millis());
   }
+  const bool first_serve = !replica.served_any;
   // A cold start is a request that had to wait for a replica to be created
   // on its behalf; pre-warmed pool replicas serve warm (Lin & Glikson [14]).
   if (!replica.served_any && !replica.prewarmed) {
@@ -445,11 +468,32 @@ void Platform::serve(Replica& replica, Pending pending) {
   serve_span.attr("function", replica.function);
   serve_span.attr("node", resources_.node(replica.node).name());
   if (metrics.cold_start) serve_span.attr("cold_start", "true");
-  // A lazy (post-copy) restore left pages behind: the first touch of the
-  // working set faults them in, billed to this request's service time.
-  if (replica.proc.lazy_server != nullptr && !replica.proc.lazy_server->done())
-    replica.proc.lazy_server->page_in_all();
+  // A non-eager restore left pages behind, billed to this request's service
+  // time as they fault in. Pure-lazy (post-copy) drains everything on the
+  // first touch of the working set — the legacy model. Under the REAP
+  // working-set model the first invocation demand-faults only its working
+  // set (first_invoke_ws_fraction of what is pending); a prefetch restore
+  // already bulk-mapped that set, so it faults nothing here, and later
+  // invocations touch the same resident pages.
+  if (replica.proc.lazy_server != nullptr &&
+      !replica.proc.lazy_server->done()) {
+    if (replica.proc.paging_mode != criu::PagingMode::kWorkingSet) {
+      replica.proc.lazy_server->page_in_all();
+    } else if (first_serve && (replica.proc.ws_recorder != nullptr ||
+                               replica.proc.ws_fallback)) {
+      const rt::FunctionSpec& spec = registry_.get(replica.function).spec;
+      const double fraction =
+          std::clamp(spec.first_invoke_ws_fraction, 0.0, 1.0);
+      const std::uint64_t pending = replica.proc.lazy_server->pending_pages();
+      replica.proc.lazy_server->page_in(static_cast<std::uint64_t>(
+          std::ceil(static_cast<double>(pending) * fraction)));
+    }
+  }
   const funcs::Response response = replica.proc.runtime->handle(pending.req);
+  // First invocation of a recording replica done: its faults (restore-demand
+  // plus the handler's own touches) are the working set. Closing the capture
+  // here keeps the encode + persist cost inside the measured serve window.
+  if (replica.proc.ws_recorder != nullptr) finish_ws_capture(replica);
   const sim::TimePoint service_end = kernel_->sim().now();
   serve_span.end_at(service_end);
   kernel_->sim().rewind_to(service_start);
@@ -465,6 +509,34 @@ void Platform::serve(Replica& replica, Pending pending) {
   kernel_->sim().schedule_at(completion, [this, id, epoch, response, metrics] {
     finish_serve(id, epoch, response, metrics);
   });
+}
+
+void Platform::finish_ws_capture(Replica& replica) {
+  const criu::WorkingSetImage ws =
+      criu::finish_ws_recording(*kernel_, *replica.proc.ws_recorder);
+  replica.proc.ws_recorder.reset();
+  std::vector<std::uint8_t> bytes = criu::encode_ws(ws);
+  {
+    obs::Span span = kernel_->trace().instant("ws-record.finish", "faas");
+    span.attr("function", replica.function);
+    span.attr("ws_pages", ws.total_pages);
+    span.attr("ws_runs", static_cast<std::uint64_t>(ws.runs.size()));
+    kernel_->trace().count("faas.ws_recordings");
+  }
+  ++stats_.ws_recordings;
+  try {
+    const RegisteredFunction& fn = registry_.get(replica.function);
+    core::BakedSnapshot& snap =
+        snapshots_.get_mutable(replica.function, fn.policy);
+    // Persist beside the other image files so restores (and remote-node
+    // materialization) read it like any metadata file.
+    if (!snap.fs_prefix.empty())
+      kernel_->fs().create(snap.fs_prefix + criu::kWsImageName, bytes.size());
+    snap.images.put(criu::kWsImageName, std::move(bytes));
+  } catch (const std::exception&) {
+    // Snapshot evicted or re-baked away mid-capture: the recording is lost;
+    // the next working-set start of the function simply records again.
+  }
 }
 
 void Platform::finish_serve(std::uint64_t id, std::uint64_t serve_epoch,
@@ -892,6 +964,12 @@ void Platform::migration_round(std::uint64_t replica_id,
   const sim::TimePoint t0 = kernel_->sim().now();
   obs::Span round_span = kernel_->trace().span("migration.pre-dump", "faas");
   round_span.attr("function", r->function);
+  // A working-set replica lazy-serves its cold tail for life, but a pre-dump
+  // chain must capture full memory: fault the tail in first, charged to this
+  // round's source-side work. (Pure-lazy replicas drained on first serve.)
+  if (r->proc.paging_mode == criu::PagingMode::kWorkingSet &&
+      r->proc.lazy_server != nullptr && !r->proc.lazy_server->done())
+    r->proc.lazy_server->page_in_all();
   std::vector<const criu::ImageDir*> chain_so_far;
   chain_so_far.reserve(m.chain.size());
   for (const auto& link : m.chain) chain_so_far.push_back(link.get());
@@ -1025,6 +1103,13 @@ void Platform::do_cutover(Replica& replica) {
     kernel_->sim().rewind_to(t0);
     abort_migration(replica, kind, /*revive=*/true);
   };
+
+  // Stop-and-copy (no pre-copy rounds ran) can still hold a working-set
+  // replica's lazily pending cold tail: fault it in before the final dump.
+  if (replica.proc.paging_mode == criu::PagingMode::kWorkingSet &&
+      replica.proc.lazy_server != nullptr &&
+      !replica.proc.lazy_server->done())
+    replica.proc.lazy_server->page_in_all();
 
   // Final freeze+dump of the last dirty delta (a full dump when the
   // pre-copy chain was abandoned). A corrupt arrival re-dumps, bounded.

@@ -92,11 +92,15 @@ struct PlatformConfig {
   // Per-node byte budget for unpinned store pages (0 = unbounded); applied
   // lazily like node_snapshot_cache_bytes.
   std::uint64_t node_page_store_bytes = 0;
-  // Restore replicas with CRIU lazy-pages (post-copy): only
-  // `lazy_working_set` of the memory is mapped at start; the remainder
-  // faults in on first use, charged to the first request's service time.
-  bool lazy_restore = false;
-  double lazy_working_set = 0.25;
+  // How restores page replica memory in (DESIGN.md §6j): eager (the
+  // default), lazy post-copy (PagingPolicy::lazy(fraction) — only a prefix
+  // of each pagemap run is mapped at start, the remainder faults in on
+  // first use, charged to the first request's service time), or REAP-style
+  // working-set (PagingPolicy::ws_prefetch() — the first start of each
+  // snapshot records the first invocation's working set into ws-1.img,
+  // every later start bulk-maps exactly that set and lazy-serves only the
+  // cold tail).
+  criu::PagingPolicy paging{};
   // Record requests into a bounded RequestAggregate (histogram percentiles)
   // instead of growing the full per-request log — required for runs with
   // millions of invocations.
@@ -169,6 +173,11 @@ struct PlatformStats {
   sim::Duration migration_downtime;  // summed cutover blackout windows
   std::uint64_t evacuations = 0;       // health-triggered warm drains
   std::uint64_t rebalance_moves = 0;   // migrations started by rebalance()
+  // --- working-set restore (DESIGN.md §6j) --------------------------------
+  std::uint64_t ws_recordings = 0;       // first-invocation captures closed
+  std::uint64_t ws_prefetch_starts = 0;  // restores that bulk-mapped a WS
+  std::uint64_t ws_prefetched_pages = 0;  // pages eagerly mapped from WSes
+  std::uint64_t ws_fallbacks = 0;  // WS prefetches downgraded to pure-lazy
 };
 
 // Circuit-breaker state for one function's snapshot. Failures count
@@ -351,6 +360,11 @@ class Platform {
   void on_replica_ready(std::uint64_t id);
   void dispatch(const std::string& function);
   void serve(Replica& replica, Pending pending);
+  // Close a working-set recording (DESIGN.md §6j): the replica's first
+  // invocation completed, so the kernel's fault log holds exactly the pages
+  // it touched. Encode them as ws-1.img and attach the image to the stored
+  // snapshot; later starts of the function prefetch it.
+  void finish_ws_capture(Replica& replica);
   void finish_serve(std::uint64_t id, std::uint64_t serve_epoch,
                     const funcs::Response& response, RequestMetrics metrics);
   void arm_idle_timer(Replica& replica);

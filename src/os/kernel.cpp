@@ -122,6 +122,7 @@ int Kernel::reap(Pid pid) {
     throw std::logic_error{"reap: process is not a zombie"};
   const int code = p.exit_code();
   procs_.erase(pid);
+  recordings_.erase(pid);
   return code;
 }
 
@@ -152,11 +153,14 @@ void Kernel::fault_in(Pid pid, VmaId id, std::uint64_t first_page,
                       std::uint64_t pages, bool write) {
   Process& p = require_mut(pid);
   charge_faults(p.mm().touch(id, first_page, pages, write));
+  maybe_record(p, pid, id, first_page, pages);
 }
 
 void Kernel::fault_in_all(Pid pid, VmaId id, bool write) {
   Process& p = require_mut(pid);
   charge_faults(p.mm().touch_all(id, write));
+  if (const Vma* vma = p.mm().find(id))
+    maybe_record(p, pid, id, 0, vma->page_count());
 }
 
 void Kernel::populate_run(Pid pid, VmaId id, std::uint64_t first_page,
@@ -164,6 +168,34 @@ void Kernel::populate_run(Pid pid, VmaId id, std::uint64_t first_page,
                           std::span<const std::uint8_t> payload) {
   Process& p = require_mut(pid);
   charge_faults(p.mm().populate_run(id, first_page, touch_pages, payload));
+  // Only the touched prefix becomes resident; the rest of the payload is
+  // buffer content behind non-present pages and is not part of the WS.
+  maybe_record(p, pid, id, first_page, touch_pages);
+}
+
+void Kernel::start_fault_recording(Pid pid) {
+  require_mut(pid);  // validates the pid
+  recordings_[pid].clear();
+}
+
+std::map<VmaId, PageBitmap> Kernel::stop_fault_recording(Pid pid) {
+  auto it = recordings_.find(pid);
+  if (it == recordings_.end()) return {};
+  std::map<VmaId, PageBitmap> out = std::move(it->second);
+  recordings_.erase(it);
+  return out;
+}
+
+void Kernel::maybe_record(const Process& p, Pid pid, VmaId id,
+                          std::uint64_t first_page, std::uint64_t pages) {
+  if (recordings_.empty()) return;
+  auto it = recordings_.find(pid);
+  if (it == recordings_.end()) return;
+  const Vma* vma = p.mm().find(id);
+  if (vma == nullptr) return;
+  PageBitmap& bm = it->second[id];
+  if (bm.size() != vma->page_count()) bm.assign(vma->page_count(), false);
+  bm.set_range(first_page, pages);
 }
 
 std::uint64_t Kernel::verify_run(Pid pid, VmaId id, std::uint64_t first_page,

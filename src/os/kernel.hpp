@@ -110,6 +110,21 @@ class Kernel {
   std::uint64_t verify_run(Pid pid, VmaId id, std::uint64_t first_page,
                            std::span<const std::uint64_t> expected);
 
+  // --- fault recording (REAP-style working-set capture, DESIGN.md §6j) ----
+  // Arm per-page fault capture for `pid`: every page of `pid` made resident
+  // through fault_in / fault_in_all / populate_run is marked in a per-VMA
+  // bitmap until stop_fault_recording. Recording is pure bookkeeping — it
+  // charges no simulated time, so an instrumented restore costs exactly what
+  // an uninstrumented one does. Re-arming an already recording pid resets
+  // its capture.
+  void start_fault_recording(Pid pid);
+  // Disarm and return the captured bitmaps, keyed by VMA id and sized to
+  // each VMA. Returns an empty map when `pid` was not recording.
+  std::map<VmaId, PageBitmap> stop_fault_recording(Pid pid);
+  bool fault_recording(Pid pid) const {
+    return recordings_.find(pid) != recordings_.end();
+  }
+
   // --- freezer + ptrace (CRIU building blocks) ----------------------------
   // Stop all threads (cgroup freezer / PTRACE_INTERRUPT equivalent). Charged
   // per thread. Requires tracer_caps to include SysPtrace unless self.
@@ -135,6 +150,8 @@ class Kernel {
  private:
   Process& require_mut(Pid pid);
   void charge_faults(const AddressSpace::TouchResult& touched);
+  void maybe_record(const Process& p, Pid pid, VmaId id,
+                    std::uint64_t first_page, std::uint64_t pages);
 
   sim::Simulation* sim_;
   CostModel costs_;
@@ -142,6 +159,9 @@ class Kernel {
   FileSystem fs_;
   obs::Tracer tracer_;
   std::map<Pid, std::unique_ptr<Process>> procs_;
+  // Armed working-set captures; empty in every configuration that does not
+  // record, so the hot-path guard is one branch on an empty map.
+  std::map<Pid, std::map<VmaId, PageBitmap>> recordings_;
   Pid next_pid_ = 100;
   std::uint64_t next_pipe_ = 1;
 };

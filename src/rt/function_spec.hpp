@@ -52,6 +52,13 @@ struct FunctionSpec {
   // function whose dirty rate resists live-migration convergence.
   std::uint64_t request_dirty_pages = 0;
 
+  // Fraction of the snapshot's lazily pending pages the *first* invocation
+  // demand-faults (REAP working-set model, DESIGN.md §6j): an invocation
+  // touches its code + data working set, not the whole image. Only consulted
+  // under PagingMode::kWorkingSet — the legacy lazy path keeps its
+  // drain-everything-on-first-serve behavior.
+  double first_invoke_ws_fraction = 0.3;
+
   std::uint64_t memory_seed = 0x9e3779b9;
 
   std::uint64_t init_class_bytes() const { return class_bytes(init_classes); }

@@ -152,36 +152,18 @@ class ChaosStartup : public ::testing::Test {
   rt::FunctionSpec baked_spec_;
 };
 
-TEST_F(ChaosStartup, LegacyAndOptionsOverloadsThrowIdenticalTypedErrors) {
+TEST_F(ChaosStartup, MissingImageFileThrowsTypedError) {
   const core::BakedSnapshot snap = bake(exp::noop_spec());
   const criu::ImageDir broken = drop_file(snap.images, "files.img");
 
-  std::string legacy_what, options_what;
-  criu::RestoreErrorKind legacy_kind{}, options_kind{};
-  try {
-    // The sole sanctioned caller of the deprecated positional shim: this
-    // test pins the shim's behaviour for the one PR it survives.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    startup_.start_prebaked(baked_spec_, broken, snap.fs_prefix, sim::Rng{4});
-#pragma GCC diagnostic pop
-    FAIL() << "legacy overload accepted a snapshot without files.img";
-  } catch (const criu::RestoreError& e) {
-    legacy_kind = e.kind();
-    legacy_what = e.what();
-  }
   core::PrebakedStartOptions opts;
   opts.restore.fs_prefix = snap.fs_prefix;
   try {
     startup_.start_prebaked(baked_spec_, broken, opts, sim::Rng{4});
-    FAIL() << "options overload accepted a snapshot without files.img";
+    FAIL() << "start_prebaked accepted a snapshot without files.img";
   } catch (const criu::RestoreError& e) {
-    options_kind = e.kind();
-    options_what = e.what();
+    EXPECT_EQ(e.kind(), criu::RestoreErrorKind::kMissingImage);
   }
-  EXPECT_EQ(legacy_kind, criu::RestoreErrorKind::kMissingImage);
-  EXPECT_EQ(legacy_kind, options_kind);
-  EXPECT_EQ(legacy_what, options_what);
 }
 
 TEST_F(ChaosStartup, RetriesAbsorbTransientReadErrors) {

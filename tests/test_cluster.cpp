@@ -442,8 +442,7 @@ TEST(ClusterPlatform, TruncatedPagesImageFallsBackToVanilla) {
 TEST(ClusterPlatform, LazyRestoreChargesFirstRequestService) {
   auto run = [](bool lazy) {
     PlatformConfig cfg;
-    cfg.lazy_restore = lazy;
-    cfg.lazy_working_set = 0.2;
+    if (lazy) cfg.paging = criu::PagingPolicy::lazy(0.2);
     Harness h{cfg};
     h.platform.resources().add_node("n", 8 * GiB);
     h.platform.deploy(exp::image_resizer_spec(), StartMode::kPrebaked,

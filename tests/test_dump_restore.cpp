@@ -429,8 +429,7 @@ TEST_F(DumpRestoreTest, LazyRestoreMapsOnlyWorkingSet) {
 
   RestoreOptions opts;
   opts.fs_prefix = "/snap/lazy/";
-  opts.lazy_pages = true;
-  opts.lazy_working_set = 0.25;
+  opts.paging = PagingPolicy::lazy(0.25);
   const RestoreResult restored = Restorer{kernel_}.restore(dump.images, opts);
 
   ASSERT_NE(restored.lazy_server, nullptr);
@@ -454,8 +453,7 @@ TEST_F(DumpRestoreTest, LazyRestoreIsFasterUpFront) {
   const double eager_ms = sim_.now().to_millis() - t0;
 
   RestoreOptions lazy = eager;
-  lazy.lazy_pages = true;
-  lazy.lazy_working_set = 0.1;
+  lazy.paging = PagingPolicy::lazy(0.1);
   const double t1 = sim_.now().to_millis();
   Restorer{kernel_}.restore(dump.images, lazy);
   const double lazy_ms = sim_.now().to_millis() - t1;
@@ -471,8 +469,7 @@ TEST_F(DumpRestoreTest, LazyServerPagesInRemainderAtHigherPerPageCost) {
 
   RestoreOptions opts;
   opts.fs_prefix = "/snap/lazyserve/";
-  opts.lazy_pages = true;
-  opts.lazy_working_set = 0.0;  // everything deferred
+  opts.paging = PagingPolicy::lazy(0.0);  // everything deferred
   const RestoreResult restored = Restorer{kernel_}.restore(dump.images, opts);
   ASSERT_NE(restored.lazy_server, nullptr);
 
@@ -499,7 +496,7 @@ TEST_F(DumpRestoreTest, LazyServerIdempotentWhenDrained) {
   const DumpResult dump = Dumper{kernel_}.dump(pid, dopts);
   RestoreOptions opts;
   opts.fs_prefix = "/snap/lazydrain/";
-  opts.lazy_pages = true;
+  opts.paging = PagingPolicy::lazy();
   const RestoreResult restored = Restorer{kernel_}.restore(dump.images, opts);
   restored.lazy_server->page_in_all();
   EXPECT_EQ(restored.lazy_server->page_in(10), 0u);

@@ -408,19 +408,34 @@ TEST_F(TemplateRestoreTest, TemplateDroppedTemplateRematerializes) {
   EXPECT_EQ(store.stats().templates_materialized, 2u);
 }
 
-TEST_F(TemplateRestoreTest, TemplateIgnoredUnderLazyPages) {
+// Regression (DESIGN.md §6j): requesting a template clone together with
+// non-eager paging used to silently skip the template; it is now a typed,
+// non-retryable config error diagnosed before any work happens.
+TEST_F(TemplateRestoreTest, TemplateWithNonEagerPagingIsConfigError) {
   const DumpResult dump = dump_to(make_target(0xFEED), "/snap/lazy/");
   PageStore store;
   RestoreOptions opts;
   opts.fs_prefix = "/snap/lazy/";
   opts.page_store = &store;
   opts.store_key = "/snap/lazy/";
-  opts.lazy_pages = true;
-  const RestoreResult restored = Restorer{kernel_}.restore(dump.images, opts);
-  EXPECT_FALSE(restored.template_materialized);
+  opts.paging = PagingPolicy::lazy();
+  try {
+    Restorer{kernel_}.restore(dump.images, opts);
+    FAIL() << "template clone + lazy paging was accepted";
+  } catch (const RestoreError& e) {
+    EXPECT_EQ(e.kind(), RestoreErrorKind::kConfig);
+    EXPECT_FALSE(e.transient());
+  }
+  // The rejected restore did no work against the store...
   EXPECT_FALSE(store.has_template("/snap/lazy/"));
   EXPECT_EQ(store.stored_pages(), 0u);
+  // ...and the same options without the template request (delta-only store
+  // use) restore lazily as before.
+  opts.store_key.clear();
+  const RestoreResult restored = Restorer{kernel_}.restore(dump.images, opts);
   ASSERT_NE(restored.lazy_server, nullptr);
+  EXPECT_FALSE(restored.template_materialized);
+  EXPECT_FALSE(store.has_template("/snap/lazy/"));
 }
 
 }  // namespace

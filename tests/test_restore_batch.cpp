@@ -190,8 +190,7 @@ TEST_F(RestoreBatchTest, LazyPendingIsRunLengthEncoded) {
 
   RestoreOptions opts;
   opts.fs_prefix = "/snap/rle/";
-  opts.lazy_pages = true;
-  opts.lazy_working_set = 0.0;  // everything deferred
+  opts.paging = PagingPolicy::lazy(0.0);  // everything deferred
   const RestoreResult restored = Restorer{kernel_}.restore(dump.images, opts);
   ASSERT_NE(restored.lazy_server, nullptr);
   LazyPagesServer& server = *restored.lazy_server;
@@ -234,8 +233,7 @@ TEST_F(RestoreBatchTest, LazyDrainMatchesEagerResidency) {
   const RestoreResult full = Restorer{kernel_}.restore(dump.images, eager);
 
   RestoreOptions lazy = eager;
-  lazy.lazy_pages = true;
-  lazy.lazy_working_set = 0.3;
+  lazy.paging = PagingPolicy::lazy(0.3);
   const RestoreResult post = Restorer{kernel_}.restore(dump.images, lazy);
   ASSERT_NE(post.lazy_server, nullptr);
   post.lazy_server->page_in_all();

@@ -55,7 +55,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: prebakectl "
                "<list|startup|service|bake-info|trace|nodes|migrate|store"
-               "|faults|workload|bench> [flags]\n"
+               "|faults|workload|bench|ws> [flags]\n"
                "  startup   --function F --technique T [--reps N] [--seed S]"
                " [--first-response]\n"
                "  service   --function F --technique T [--requests N]\n"
@@ -93,6 +93,9 @@ int usage() {
                "  bench throughput [--reps N]\n"
                "            (host restores/sec of the zero-copy restore"
                " hot path, DESIGN.md 6g)\n"
+               "  ws stats FUNCTION [--requests N] [--seed S]\n"
+               "            (record-and-prefetch working-set size and"
+               " coverage, DESIGN.md 6j)\n"
                "functions:  noop markdown image-resizer synthetic-small"
                " synthetic-medium synthetic-big\n"
                "techniques: vanilla pb-nowarmup pb-warmup zygote\n");
@@ -612,7 +615,8 @@ int cmd_bench(const exp::CliArgs& args) {
 
     criu::RestoreOptions opts;
     opts.fs_prefix = "/img/";
-    if (std::string{cell.mode} == "lazy") opts.lazy_pages = true;
+    if (std::string{cell.mode} == "lazy")
+      opts.paging = criu::PagingPolicy::lazy();
     criu::PageStore store;
     criu::Restorer restorer{kernel};
     if (std::string{cell.mode} == "cow-clone") {
@@ -807,6 +811,82 @@ int cmd_migrate(const exp::CliArgs& args) {
   return 0;
 }
 
+// Record-and-prefetch working-set statistics (DESIGN.md §6j): run the
+// function's record -> prefetch lifecycle on a one-node platform (first
+// cold start records, later ones prefetch) and report the recorded working
+// set's size and its coverage of the snapshot's payload.
+int cmd_ws(const exp::CliArgs& args) {
+  const std::string sub =
+      args.positional().size() > 1 ? args.positional()[1] : "";
+  if (sub != "stats" || args.positional().size() < 3) {
+    std::fprintf(stderr,
+                 "prebakectl ws: usage: prebakectl ws stats FUNCTION "
+                 "[--requests N] [--seed S]\n");
+    return usage();
+  }
+  const rt::FunctionSpec spec = resolve_function(args.positional()[2]);
+  const int requests =
+      std::max(2, static_cast<int>(args.get_int_or("requests", 2)));
+
+  sim::Simulation sim;
+  os::Kernel kernel{sim, exp::testbed_costs()};
+  faas::PlatformConfig cfg;
+  cfg.paging = criu::PagingPolicy::ws_prefetch();
+  cfg.idle_timeout = sim::Duration::seconds(1);
+  faas::Platform platform{kernel, exp::testbed_runtime(), cfg,
+                          static_cast<std::uint64_t>(args.get_int_or("seed", 42))};
+  platform.resources().add_node("w0", 8ull << 30, 2);
+  platform.deploy(spec, faas::StartMode::kPrebaked,
+                  core::SnapshotPolicy::warmup(1));
+  for (int i = 0; i < requests; ++i) {
+    bool done = false;
+    platform.invoke(spec.name,
+                    funcs::sample_request(
+                        platform.registry().get(spec.name).spec.handler_id),
+                    [&done](const funcs::Response&, const faas::RequestMetrics&) {
+                      done = true;
+                    });
+    while (!done && sim.step()) {
+    }
+    // Let the replica idle out so every request is a fresh cold start:
+    // request #1 records, every later one prefetches.
+    sim.run();
+  }
+
+  const core::BakedSnapshot& snap =
+      platform.snapshots().get(spec.name, core::SnapshotPolicy::warmup(1));
+  if (!snap.images.has(criu::kWsImageName)) {
+    std::fprintf(stderr, "ws: no working set recorded for %s\n",
+                 spec.name.c_str());
+    return 1;
+  }
+  const criu::WorkingSetImage ws =
+      criu::decode_ws(snap.images.get(criu::kWsImageName).bytes);
+  const std::uint64_t snap_pages = snap.stats.pages_dumped;
+  const double coverage =
+      snap_pages == 0 ? 0.0
+                      : static_cast<double>(ws.total_pages) /
+                            static_cast<double>(snap_pages);
+
+  const faas::PlatformStats& st = platform.stats();
+  std::printf("%s: snapshot %llu payload pages (%s)\n", spec.name.c_str(),
+              static_cast<unsigned long long>(snap_pages),
+              exp::fmt_mib(snap.stats.payload_bytes).c_str());
+  std::printf("recorded working set: %llu pages (%s) in %llu runs, "
+              "%s of the snapshot\n",
+              static_cast<unsigned long long>(ws.total_pages),
+              exp::fmt_mib(ws.total_pages * os::kPageSize).c_str(),
+              static_cast<unsigned long long>(ws.runs.size()),
+              exp::fmt_percent(coverage).c_str());
+  std::printf("restores: %llu recorded, %llu prefetched "
+              "(%llu pages bulk-mapped), %llu fallbacks to pure-lazy\n",
+              static_cast<unsigned long long>(st.ws_recordings),
+              static_cast<unsigned long long>(st.ws_prefetch_starts),
+              static_cast<unsigned long long>(st.ws_prefetched_pages),
+              static_cast<unsigned long long>(st.ws_fallbacks));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -837,6 +917,8 @@ int main(int argc, char** argv) {
       rc = cmd_workload(args);
     } else if (command == "bench") {
       rc = cmd_bench(args);
+    } else if (command == "ws") {
+      rc = cmd_ws(args);
     } else {
       return usage();
     }

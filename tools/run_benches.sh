@@ -47,6 +47,12 @@
 # workload, writing BENCH_policy_study.json at the repository root; combined
 # with --check it asserts the cold-start-rate ordering, bit-identical JSON
 # at 1 and 4 engine threads, and the 10^7-request completion gate.
+#
+# --ws runs the working-set restore sweep (bench/ws_restore): REAP-style
+# record-and-prefetch against eager and pure-lazy restores, writing
+# BENCH_ws_restore.json at the repository root; combined with --check it
+# asserts the WS gates (first-invoke stall <= 30% of pure-lazy's, restore
+# latency <= 2x pure-lazy's, bit-identical JSON at 1 and 4 engine threads).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -61,6 +67,7 @@ dedup=0
 throughput=0
 policy=0
 migration=0
+ws=0
 reps_set=0
 
 while [[ $# -gt 0 ]]; do
@@ -72,6 +79,7 @@ while [[ $# -gt 0 ]]; do
     --throughput) throughput=1; shift ;;
     --policy) policy=1; shift ;;
     --migration) migration=1; shift ;;
+    --ws) ws=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --threads) mode_args+=(--threads "$2"); shift 2 ;;
     --reps) mode_args+=(--reps "$2"); reps_set=1; shift 2 ;;
@@ -79,6 +87,19 @@ while [[ $# -gt 0 ]]; do
     *) echo "run_benches.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$ws" -eq 1 ]]; then
+  ws_bin="${build_dir}/bench/ws_restore"
+  if [[ ! -x "$ws_bin" ]]; then
+    echo "run_benches.sh: ${ws_bin} not found; building..." >&2
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" --target ws_restore -j
+  fi
+  [[ "$out_set" -eq 1 ]] || out="${repo_root}/BENCH_ws_restore.json"
+  ws_args=(--out "$out")
+  [[ "$check" -eq 1 ]] && ws_args+=(--check)
+  exec "$ws_bin" "${ws_args[@]}"
+fi
 
 if [[ "$migration" -eq 1 ]]; then
   migration_bin="${build_dir}/bench/migration"

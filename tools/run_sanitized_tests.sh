@@ -67,3 +67,11 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ./build-sanitize/tests/prebake_tests --gtest_filter='Migrat*'
+
+# Seventh pass over the working-set restore suites: the shared WsRecorder
+# outlives the Restorer, the kernel's fault-capture bitmaps are erased on
+# reap, and the prefetch path borrows digest spans out of the decode cache —
+# all lifetime seams introduced by the record-and-prefetch restore.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ./build-sanitize/tests/prebake_tests --gtest_filter='WsRestore*'
